@@ -1,0 +1,312 @@
+package hermes_test
+
+// One testing.B benchmark per paper artifact (Table 1, Figures 1 and 8–15,
+// the §8.6 predictor sweep, the §8.4 BGP study) plus the design-choice
+// ablations. Each bench drives the same experiment code the hermes-bench
+// command uses, at a reduced scale so `go test -bench=.` completes in
+// minutes; run `hermes-bench -scale 1` (or 4) for paper-sized output.
+//
+// Benchmarks report experiment-specific metrics (median/p95 latency,
+// violation counts) via b.ReportMetric so regressions in the *shape* of a
+// result are visible, not just its runtime.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hermes"
+	"hermes/internal/classifier"
+	"hermes/internal/experiments"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+)
+
+// benchScale keeps the per-iteration cost of experiment benches bounded.
+const benchScale = 0.1
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (rule update rate vs occupancy).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFigure1 regenerates Fig. 1 (JCT increase ratio CDFs).
+func BenchmarkFigure1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFigure8 regenerates Fig. 8 (rule installation time CDFs).
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFigure9 regenerates Fig. 9 (flow completion time CDFs).
+func BenchmarkFigure9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFigure10 regenerates Fig. 10 (Hermes vs Tango vs ESPRES RIT).
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFigure11 regenerates Fig. 11 (RIT time series).
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFigure12 regenerates Fig. 12 (Hermes-SIMPLE threshold sweep).
+func BenchmarkFigure12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFigure13 regenerates Fig. 13 (latency vs slack factor).
+func BenchmarkFigure13(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFigure14 regenerates Fig. 14 (ASIC overhead vs guarantee).
+func BenchmarkFigure14(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFigure15 regenerates Fig. 15 (algorithm runtime/memory).
+func BenchmarkFigure15(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkPredictorSweep regenerates the §8.6 sensitivity analysis.
+func BenchmarkPredictorSweep(b *testing.B) { runExperiment(b, "predsweep") }
+
+// BenchmarkBGP regenerates the §8.4 BGP study.
+func BenchmarkBGP(b *testing.B) { runExperiment(b, "bgp") }
+
+// --- ablation benches (DESIGN.md §6) ---------------------------------------
+
+// BenchmarkAblationLowPriorityBypass, BenchmarkAblationMerge and
+// BenchmarkAblationAtomicMigration run the full ablation suite; per-choice
+// shape assertions live in internal/experiments tests.
+func BenchmarkAblationLowPriorityBypass(b *testing.B) { runExperiment(b, "ablations") }
+
+// BenchmarkAblationMerge measures Algorithm 1 with and without the merge
+// step on the sibling-cut workload where merging halves the fragments.
+func BenchmarkAblationMerge(b *testing.B) {
+	for _, merge := range []struct {
+		name    string
+		disable bool
+	}{{"merge", false}, {"no-merge", true}} {
+		b.Run(merge.name, func(b *testing.B) {
+			var perRule float64
+			for i := 0; i < b.N; i++ {
+				m := experiments.MergeAblationRun(60, merge.disable)
+				if m.RulesCut > 0 {
+					perRule = float64(m.PartitionsInstalled) / float64(m.RulesCut)
+				}
+			}
+			b.ReportMetric(perRule, "partitions/rule")
+		})
+	}
+}
+
+// BenchmarkAblationAtomicMigration contrasts migration orderings by
+// exposed rule-seconds.
+func BenchmarkAblationAtomicMigration(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"atomic", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var exposed float64
+			for i := 0; i < b.N; i++ {
+				sw := hermes.NewSwitch("bench", hermes.Pica8P3290)
+				agent, err := hermes.NewAgent(sw, hermes.Config{
+					Guarantee:        5 * time.Millisecond,
+					DisableRateLimit: true,
+					NaiveMigration:   mode.naive,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				now := time.Duration(0)
+				for j := 0; j < 50; j++ {
+					r := hermes.Rule{
+						ID:       hermes.RuleID(j + 1),
+						Match:    hermes.DstMatch(hermes.NewPrefix(0x0A000000|uint32(j)<<8, 24)),
+						Priority: int32(j + 1),
+					}
+					agent.Insert(now, r) //nolint:errcheck
+					now += time.Millisecond
+				}
+				if end := agent.ForceMigration(now); end != 0 {
+					agent.Advance(end)
+				}
+				exposed = agent.Metrics().ExposedRuleSeconds
+			}
+			b.ReportMetric(exposed, "exposed-rule-s")
+		})
+	}
+}
+
+// --- core hot-path microbenches ---------------------------------------------
+
+// BenchmarkShadowInsert measures the guaranteed-path insertion, the
+// latency-critical operation of the whole system.
+func BenchmarkShadowInsert(b *testing.B) {
+	sw := hermes.NewSwitch("bench", hermes.Pica8P3290)
+	agent, err := hermes.NewAgent(sw, hermes.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Duration(0)
+	// Steady-state churn: retire rules once the table carries a realistic
+	// working set, so arbitrarily large b.N never exhausts the TCAM.
+	const window = 2000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Rule{
+			ID:       hermes.RuleID(i + 1),
+			Match:    hermes.DstMatch(hermes.NewPrefix(uint32(i)<<8, 24)),
+			Priority: int32(i%50 + 1),
+		}
+		if _, err := agent.Insert(now, r); err != nil {
+			b.Fatal(err)
+		}
+		if i >= window {
+			if _, err := agent.Delete(now, hermes.RuleID(i+1-window)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		now += time.Millisecond
+		if i%64 == 63 {
+			if end := agent.Tick(now); end != 0 {
+				agent.Advance(end)
+			}
+		}
+	}
+}
+
+// BenchmarkPartitionNewRule measures Algorithm 1 against a populated main
+// index.
+func BenchmarkPartitionNewRule(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var idx classifier.Trie
+	for i := 0; i < 5000; i++ {
+		idx.Insert(classifier.Rule{
+			ID:       classifier.RuleID(i + 1),
+			Match:    classifier.DstMatch(classifier.NewPrefix(rng.Uint32(), uint8(12+rng.Intn(13)))),
+			Priority: int32(rng.Intn(64)),
+		})
+	}
+	next := classifier.RuleID(1 << 20)
+	mint := func() classifier.RuleID { next++; return next }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe := classifier.Rule{
+			ID:       classifier.RuleID(1<<19 + i),
+			Match:    classifier.DstMatch(classifier.NewPrefix(rng.Uint32(), 20)),
+			Priority: 1,
+		}
+		classifier.PartitionNewRule(probe, &idx, mint)
+	}
+}
+
+// BenchmarkTCAMInsert measures the raw table model at the paper's largest
+// calibration occupancy.
+func BenchmarkTCAMInsert(b *testing.B) {
+	tbl := tcam.NewTable("bench", tcam.Pica8P3290.Capacity, tcam.Pica8P3290)
+	for i := 0; i < 2000; i++ {
+		tbl.Insert(classifier.Rule{ //nolint:errcheck
+			ID:       classifier.RuleID(i + 1),
+			Match:    classifier.DstMatch(classifier.NewPrefix(uint32(i)<<8, 24)),
+			Priority: 10,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := classifier.RuleID(1<<20 + i)
+		if _, err := tbl.Insert(classifier.Rule{
+			ID:       id,
+			Match:    classifier.DstMatch(classifier.NewPrefix(0xF0000000|uint32(i)<<8, 24)),
+			Priority: 1000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		tbl.Delete(id)
+	}
+}
+
+// BenchmarkLookup measures the two-slice pipeline lookup.
+func BenchmarkLookup(b *testing.B) {
+	sw := hermes.NewSwitch("bench", hermes.Pica8P3290)
+	agent, err := hermes.NewAgent(sw, hermes.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Duration(0)
+	for i := 0; i < 500; i++ {
+		agent.Insert(now, hermes.Rule{ //nolint:errcheck
+			ID:       hermes.RuleID(i + 1),
+			Match:    hermes.DstMatch(hermes.NewPrefix(uint32(i)<<12, 20)),
+			Priority: int32(i % 50),
+		})
+		now += time.Millisecond
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Lookup(uint32(i)<<12, 0)
+	}
+}
+
+// BenchmarkMigration measures a full shadow→main migration cycle.
+func BenchmarkMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sw := hermes.NewSwitch("bench", hermes.Pica8P3290)
+		agent, err := hermes.NewAgent(sw, hermes.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		now := time.Duration(0)
+		for j := 0; j < 100; j++ {
+			agent.Insert(now, hermes.Rule{ //nolint:errcheck
+				ID:       hermes.RuleID(j + 1),
+				Match:    hermes.DstMatch(hermes.NewPrefix(uint32(j)<<8, 24)),
+				Priority: int32(j + 1),
+			})
+			now += time.Millisecond
+		}
+		b.StartTimer()
+		if end := agent.ForceMigration(now); end != 0 {
+			agent.Advance(end)
+		}
+	}
+}
+
+// BenchmarkVarysSimulation measures a small end-to-end simulation.
+func BenchmarkVarysSimulation(b *testing.B) {
+	res, err := experiments.Run("fig14", 1) // warm sanity check
+	if err != nil || res == nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("fig1", 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStatsSummaries guards the reporting layer's cost.
+func BenchmarkStatsSummaries(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := stats.Summarize(vals)
+		_ = s.Median()
+		_ = s.P99()
+	}
+}
+
+// BenchmarkAutoTune runs the self-tuning slack experiment (§8.6 future
+// work, implemented as an extension).
+func BenchmarkAutoTune(b *testing.B) { runExperiment(b, "autotune") }
+
+// BenchmarkShadowSwitchComparison runs the §9 software-vs-hardware shadow
+// design-space experiment.
+func BenchmarkShadowSwitchComparison(b *testing.B) { runExperiment(b, "shadowswitch") }

@@ -1,0 +1,70 @@
+// Command hermes-agentd runs the switch-side Hermes agent as a network
+// daemon: it models one switch's TCAM, carves it for the configured
+// guarantee, and serves the ofwire control channel (the deployment of the
+// paper's Fig. 2, with the modeled ASIC standing in for hardware).
+//
+// Usage:
+//
+//	hermes-agentd -listen 127.0.0.1:6653 -switch "Pica8 P-3290" -guarantee 5ms
+//
+// Pair it with examples/remote-controller, or any program speaking
+// internal/ofwire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hermes/internal/core"
+	"hermes/internal/ofwire"
+	"hermes/internal/tcam"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:6653", "address to listen on")
+	profName := flag.String("switch", "Pica8 P-3290", "switch profile name")
+	guarantee := flag.Duration("guarantee", 5*time.Millisecond, "insertion guarantee")
+	name := flag.String("name", "hermes-sw", "switch name")
+	rateLimit := flag.Bool("ratelimit", true, "enable Gate Keeper admission control")
+	flag.Parse()
+
+	profile, ok := tcam.ProfileByName(*profName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hermes-agentd: unknown switch %q\n", *profName)
+		os.Exit(1)
+	}
+	srv, err := ofwire.NewAgentServer(*name, profile, core.Config{
+		Guarantee:        *guarantee,
+		DisableRateLimit: !*rateLimit,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hermes-agentd: %v\n", err)
+		os.Exit(1)
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hermes-agentd: %v\n", err)
+		os.Exit(1)
+	}
+	agent := srv.Agent()
+	fmt.Printf("hermes-agentd: %s (%s) on %s — guarantee %v, shadow %d entries (%.1f%% overhead), max rate %.0f rules/s\n",
+		*name, profile.Name, lis.Addr(), *guarantee,
+		agent.ShadowSize(), agent.OverheadFraction()*100, agent.MaxRate())
+
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		fmt.Println("hermes-agentd: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(lis); err != nil {
+		fmt.Fprintf(os.Stderr, "hermes-agentd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Datacenter traffic engineering: the paper's motivating scenario (§2.2).
+//
+// A Facebook-like MapReduce workload runs on a fat-tree while a proactive
+// TE application periodically moves flows off congested links. Every path
+// reconfiguration installs per-flow rules; slow TCAM control actions delay
+// the switchover and keep flows on congested paths. The example runs the
+// identical workload three times — idealized switches, raw Pica8 switches,
+// and Hermes-managed Pica8 switches — and compares job completion times.
+//
+//	go run ./examples/datacenter-te
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hermes/internal/netsim"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+	"hermes/internal/topo"
+	"hermes/internal/workload"
+)
+
+func main() {
+	g := topo.FatTree(8, 10e9, 10*time.Microsecond)
+	fmt.Printf("fat-tree k=8: %d hosts, %d switches\n", g.NumHosts(), len(g.Switches()))
+
+	jobs := workload.FacebookJobs(rand.New(rand.NewSource(7)), workload.FacebookConfig{
+		Jobs:     300,
+		Duration: 30 * time.Second,
+		Hosts:    g.Hosts(),
+	})
+	fmt.Printf("workload: %d MapReduce jobs over 30s\n\n", len(jobs))
+
+	run := func(kind netsim.InstallerKind) *netsim.Metrics {
+		sim := netsim.New(netsim.Config{
+			Graph:        topo.FatTree(8, 10e9, 10*time.Microsecond),
+			Profile:      tcam.Pica8P3290,
+			Kind:         kind,
+			PrefillRules: 300,
+			Seed:         7,
+		})
+		return sim.Run(jobs)
+	}
+
+	ideal := run(netsim.InstallZero)
+	raw := run(netsim.InstallDirect)
+	managed := run(netsim.InstallHermes)
+
+	report := func(name string, m *netsim.Metrics) {
+		jcts := make([]float64, 0, len(m.JCTs))
+		for _, v := range m.JCTs {
+			jcts = append(jcts, v)
+		}
+		s := stats.Summarize(jcts)
+		var rit string
+		if len(m.RITms) > 0 {
+			r := stats.Summarize(m.RITms)
+			rit = fmt.Sprintf("RIT median %.2fms p95 %.2fms", r.Median(), r.P95())
+		} else {
+			rit = "no rule installs"
+		}
+		fmt.Printf("%-22s JCT median %.3fs p95 %.3fs | moves %4d | %s\n",
+			name, s.Median(), s.P95(), m.Moves, rit)
+	}
+	report("zero-latency (ideal)", ideal)
+	report("raw Pica8 P-3290", raw)
+	report("Hermes on Pica8", managed)
+
+	// Headline comparison: how much JCT inflation does each incur vs the
+	// ideal, for short jobs — the paper's most affected class (Fig. 1a).
+	fmt.Println()
+	for _, c := range []struct {
+		name string
+		m    *netsim.Metrics
+	}{{"raw Pica8", raw}, {"Hermes", managed}} {
+		var ratios []float64
+		for job, base := range ideal.JCTs {
+			if v, ok := c.m.JCTs[job]; ok && base > 0 && ideal.JobBytes[job] < 1e9 {
+				ratios = append(ratios, v/base)
+			}
+		}
+		if len(ratios) > 0 {
+			s := stats.Summarize(ratios)
+			fmt.Printf("short-job JCT increase vs ideal, %-10s median %.3fx p95 %.3fx\n",
+				c.name+":", s.Median(), s.P95())
+		}
+	}
+}

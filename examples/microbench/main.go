@@ -1,0 +1,68 @@
+// Microbench: explore Hermes's parameter space interactively (§8.5, §8.6).
+//
+// Sweeps the slack factor against two arrival rates at a fixed overlap
+// rate on the Dell 8132F — a condensed version of the paper's Figure 13 —
+// and prints how prediction slack trades migration aggressiveness for
+// insertion-latency headroom.
+//
+//	go run ./examples/microbench
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hermes"
+	"hermes/internal/stats"
+	"hermes/internal/workload"
+)
+
+func main() {
+	fmt.Println("Hermes slack sweep on Dell 8132F (overlap 60%)")
+	fmt.Printf("%8s  %14s  %14s  %12s  %12s\n", "slack", "p95 @200/s", "p95 @1000/s", "migr/s @200", "migr/s @1000")
+	for _, slack := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		var p95 [2]float64
+		var migr [2]float64
+		for i, rate := range []float64{200, 1000} {
+			p95[i], migr[i] = run(rate, 0.6, slack)
+		}
+		fmt.Printf("%7.0f%%  %12.3fms  %12.3fms  %12.1f  %12.1f\n",
+			slack*100, p95[0], p95[1], migr[0], migr[1])
+	}
+	fmt.Println("\nexpected: higher slack buys lower tail latency at high rates, at the cost of more migrations")
+}
+
+// run replays a microbench stream and returns (p95 latency ms, migrations/s).
+func run(rate, overlap, slack float64) (float64, float64) {
+	stream := workload.MicroBench(rand.New(rand.NewSource(3)), workload.MicroBenchConfig{
+		Rules: int(rate * 4), RatePerSec: rate, OverlapFrac: overlap, MaxPriority: 64,
+	})
+	sw := hermes.NewSwitch("dell", hermes.Dell8132F)
+	agent, err := hermes.NewAgent(sw, hermes.Config{
+		Guarantee:        5 * time.Millisecond,
+		Corrector:        hermes.Slack{Factor: slack},
+		DisableRateLimit: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tick := 10 * time.Millisecond
+	nextTick := tick
+	var lats []float64
+	for _, tr := range stream {
+		for tr.At >= nextTick {
+			if end := agent.Tick(nextTick); end != 0 {
+				agent.Advance(end)
+			}
+			nextTick += tick
+		}
+		res, err := agent.Insert(tr.At, tr.Rule)
+		if err != nil {
+			continue
+		}
+		lats = append(lats, (res.Completed-tr.At).Seconds()*1e3)
+	}
+	elapsed := stream[len(stream)-1].At
+	return stats.Summarize(lats).P95(), agent.Metrics().MigrationsPerSecond(elapsed)
+}

@@ -1,0 +1,336 @@
+// Package baseline implements the systems Hermes is compared against in §8:
+//
+//   - Direct: an unmodified switch — flow-mods hit the monolithic TCAM in
+//     arrival order (the "Pica8 P-3290 / Dell 8132F / HP 5406zl" lines of
+//     the figures);
+//   - ZeroLatency: an idealized switch with free control-plane actions
+//     (the reference lines of Fig. 1);
+//   - ESPRES [Perešíni et al., HotSDN'14]: transparently reorders each
+//     pending batch of updates to minimize TCAM entry moves;
+//   - Tango [Lazaris et al., CoNEXT'14]: ESPRES-style reordering plus rule
+//     rewriting — it aggregates same-action sibling prefixes, exploiting
+//     the structure of data-center IP allocation, before installing.
+//
+// All baselines speak the same Installer interface as the Hermes-backed
+// installer so the simulator and benchmark harness can swap them freely.
+// Unlike Hermes they are best-effort: they reduce installation latency but
+// provide no guarantee (§2.4) — which is precisely what the experiments
+// demonstrate.
+package baseline
+
+import (
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/tcam"
+)
+
+// InstallResult reports one rule installation.
+type InstallResult struct {
+	ID classifier.RuleID
+	// Latency is the hardware service time; Completed includes queueing
+	// behind earlier control-plane work.
+	Latency   time.Duration
+	Completed time.Duration
+	// Err is non-nil when the TCAM rejected the rule (table full).
+	Err error
+}
+
+// Installer abstracts how rule insertions reach a switch.
+type Installer interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// InsertBatch installs a batch of rules that became ready at now,
+	// returning one result per rule in the order actually installed.
+	InsertBatch(now time.Duration, rules []classifier.Rule) []InstallResult
+	// Delete removes a rule.
+	Delete(now time.Duration, id classifier.RuleID) InstallResult
+	// Tick gives periodic strategies (Hermes's Rule Manager) CPU time.
+	Tick(now time.Duration)
+	// Prefill loads background rules at configuration time without
+	// charging control-plane time — the steady-state table contents a
+	// production switch carries before the experiment begins (Table 1's
+	// occupancy dimension).
+	Prefill(rules []classifier.Rule)
+}
+
+// --- Direct ---------------------------------------------------------------
+
+// Direct installs rules in arrival order into a monolithic table.
+type Direct struct {
+	sw *tcam.Switch
+}
+
+// NewDirect wraps an un-carved switch.
+func NewDirect(sw *tcam.Switch) *Direct { return &Direct{sw: sw} }
+
+// Name implements Installer.
+func (d *Direct) Name() string { return d.sw.Profile().Name }
+
+// InsertBatch implements Installer.
+func (d *Direct) InsertBatch(now time.Duration, rules []classifier.Rule) []InstallResult {
+	out := make([]InstallResult, 0, len(rules))
+	for _, r := range rules {
+		out = append(out, insertOne(d.sw, d.sw.Table(), now, r))
+	}
+	return out
+}
+
+// Delete implements Installer.
+func (d *Direct) Delete(now time.Duration, id classifier.RuleID) InstallResult {
+	return deleteOne(d.sw, d.sw.Table(), now, id)
+}
+
+// Tick implements Installer.
+func (d *Direct) Tick(time.Duration) {}
+
+// Prefill implements Installer.
+func (d *Direct) Prefill(rules []classifier.Rule) { prefillTable(d.sw, d.sw.Table(), rules) }
+
+// --- ZeroLatency ------------------------------------------------------------
+
+// ZeroLatency models a switch whose control-plane actions are free — the
+// no-control-latency reference configuration of Fig. 1.
+type ZeroLatency struct {
+	table *tcam.Table
+}
+
+// NewZeroLatency returns the idealized installer; it still maintains a rule
+// table so lookups work, but charges no time.
+func NewZeroLatency(profile *tcam.Profile) *ZeroLatency {
+	return &ZeroLatency{table: tcam.NewTable("ideal", profile.Capacity, profile)}
+}
+
+// Name implements Installer.
+func (z *ZeroLatency) Name() string { return "ZeroLatency" }
+
+// InsertBatch implements Installer.
+func (z *ZeroLatency) InsertBatch(now time.Duration, rules []classifier.Rule) []InstallResult {
+	out := make([]InstallResult, 0, len(rules))
+	for _, r := range rules {
+		_, err := z.table.Insert(r)
+		out = append(out, InstallResult{ID: r.ID, Completed: now, Err: err})
+	}
+	return out
+}
+
+// Delete implements Installer.
+func (z *ZeroLatency) Delete(now time.Duration, id classifier.RuleID) InstallResult {
+	z.table.Delete(id)
+	return InstallResult{ID: id, Completed: now}
+}
+
+// Tick implements Installer.
+func (z *ZeroLatency) Tick(time.Duration) {}
+
+// Prefill implements Installer.
+func (z *ZeroLatency) Prefill(rules []classifier.Rule) {
+	for _, r := range rules {
+		z.table.Insert(r) //nolint:errcheck // best effort
+	}
+}
+
+// --- ESPRES -----------------------------------------------------------------
+
+// ESPRES reorders each pending batch before installation: updates are
+// scheduled so that each insertion lands as low in the TCAM as possible,
+// minimizing entry moves. With our shift model (an insertion moves every
+// entry below it) the move-minimizing order is descending priority: each
+// subsequent rule places below its batch predecessors.
+type ESPRES struct {
+	sw *tcam.Switch
+}
+
+// NewESPRES wraps an un-carved switch.
+func NewESPRES(sw *tcam.Switch) *ESPRES { return &ESPRES{sw: sw} }
+
+// Name implements Installer.
+func (e *ESPRES) Name() string { return "ESPRES" }
+
+// InsertBatch implements Installer.
+func (e *ESPRES) InsertBatch(now time.Duration, rules []classifier.Rule) []InstallResult {
+	ordered := append([]classifier.Rule(nil), rules...)
+	sortDescendingPriority(ordered)
+	out := make([]InstallResult, 0, len(ordered))
+	for _, r := range ordered {
+		out = append(out, insertOne(e.sw, e.sw.Table(), now, r))
+	}
+	return out
+}
+
+// Delete implements Installer.
+func (e *ESPRES) Delete(now time.Duration, id classifier.RuleID) InstallResult {
+	return deleteOne(e.sw, e.sw.Table(), now, id)
+}
+
+// Tick implements Installer.
+func (e *ESPRES) Tick(time.Duration) {}
+
+// Prefill implements Installer.
+func (e *ESPRES) Prefill(rules []classifier.Rule) { prefillTable(e.sw, e.sw.Table(), rules) }
+
+// --- Tango -------------------------------------------------------------------
+
+// Tango layers rule rewriting on top of ESPRES reordering: same-priority,
+// same-action rules in a batch are aggregated (sibling prefixes merge,
+// covered prefixes drop) before installation, shrinking both the batch and
+// the eventual table occupancy. This mirrors Tango's exploitation of IP
+// allocation structure; its advantage over ESPRES grows on structured
+// (data-center) prefixes and shrinks on ISP prefixes — the Fig. 10/11
+// contrast.
+type Tango struct {
+	sw *tcam.Switch
+}
+
+// NewTango wraps an un-carved switch.
+func NewTango(sw *tcam.Switch) *Tango { return &Tango{sw: sw} }
+
+// Name implements Installer.
+func (t *Tango) Name() string { return "Tango" }
+
+// InsertBatch implements Installer.
+func (t *Tango) InsertBatch(now time.Duration, rules []classifier.Rule) []InstallResult {
+	merged := AggregateRules(rules)
+	sortDescendingPriority(merged)
+	out := make([]InstallResult, 0, len(merged))
+	for _, r := range merged {
+		out = append(out, insertOne(t.sw, t.sw.Table(), now, r))
+	}
+	return out
+}
+
+// Delete implements Installer.
+func (t *Tango) Delete(now time.Duration, id classifier.RuleID) InstallResult {
+	return deleteOne(t.sw, t.sw.Table(), now, id)
+}
+
+// Tick implements Installer.
+func (t *Tango) Tick(time.Duration) {}
+
+// Prefill implements Installer.
+func (t *Tango) Prefill(rules []classifier.Rule) { prefillTable(t.sw, t.sw.Table(), rules) }
+
+// AggregateRules merges a batch: rules sharing (priority, action) have
+// their match regions minimized via sibling merging and containment
+// elimination. Surviving regions keep the ID of the first contributing
+// rule; fully merged-away rules are absorbed (their result is reported by
+// the survivor).
+func AggregateRules(rules []classifier.Rule) []classifier.Rule {
+	type key struct {
+		prio   int32
+		action classifier.Action
+	}
+	groups := make(map[key][]classifier.Rule)
+	var order []key
+	for _, r := range rules {
+		k := key{r.Priority, r.Action}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	var out []classifier.Rule
+	for _, k := range order {
+		group := groups[k]
+		matches := make([]classifier.Match, len(group))
+		for i, r := range group {
+			matches[i] = r.Match
+		}
+		merged := classifier.MergeMatches(matches)
+		if len(merged) >= len(group) {
+			out = append(out, group...)
+			continue
+		}
+		for i, m := range merged {
+			out = append(out, classifier.Rule{
+				ID:       group[i].ID, // reuse IDs from the group
+				Match:    m,
+				Priority: k.prio,
+				Action:   k.action,
+			})
+		}
+	}
+	return out
+}
+
+func sortDescendingPriority(rules []classifier.Rule) {
+	for i := 1; i < len(rules); i++ {
+		for j := i; j > 0 && rules[j].Priority > rules[j-1].Priority; j-- {
+			rules[j], rules[j-1] = rules[j-1], rules[j]
+		}
+	}
+}
+
+// --- Hermes adapter -----------------------------------------------------------
+
+// Hermes adapts a core.Agent to the Installer interface.
+type Hermes struct {
+	agent *core.Agent
+}
+
+// NewHermes wraps a configured Hermes agent.
+func NewHermes(agent *core.Agent) *Hermes { return &Hermes{agent: agent} }
+
+// Name implements Installer.
+func (h *Hermes) Name() string { return "Hermes" }
+
+// Agent exposes the wrapped agent for metric collection.
+func (h *Hermes) Agent() *core.Agent { return h.agent }
+
+// InsertBatch implements Installer.
+func (h *Hermes) InsertBatch(now time.Duration, rules []classifier.Rule) []InstallResult {
+	out := make([]InstallResult, 0, len(rules))
+	for _, r := range rules {
+		res, err := h.agent.Insert(now, r)
+		out = append(out, InstallResult{ID: r.ID, Latency: res.Latency, Completed: res.Completed, Err: err})
+	}
+	return out
+}
+
+// Delete implements Installer.
+func (h *Hermes) Delete(now time.Duration, id classifier.RuleID) InstallResult {
+	res, err := h.agent.Delete(now, id)
+	return InstallResult{ID: id, Latency: res.Latency, Completed: res.Completed, Err: err}
+}
+
+// Tick implements Installer.
+func (h *Hermes) Tick(now time.Duration) { h.agent.Tick(now) }
+
+// Prefill implements Installer.
+func (h *Hermes) Prefill(rules []classifier.Rule) {
+	for _, r := range rules {
+		h.agent.Insert(0, r) //nolint:errcheck // best effort
+	}
+	if end := h.agent.ForceMigration(0); end != 0 {
+		h.agent.Advance(end)
+	}
+	h.agent.Switch().ResetClock()
+}
+
+// --- shared helpers -------------------------------------------------------------
+
+func insertOne(sw *tcam.Switch, tbl *tcam.Table, now time.Duration, r classifier.Rule) InstallResult {
+	cost, err := tbl.Insert(r)
+	if err != nil {
+		return InstallResult{ID: r.ID, Err: err, Completed: now}
+	}
+	return InstallResult{ID: r.ID, Latency: cost, Completed: sw.Submit(now, cost)}
+}
+
+func deleteOne(sw *tcam.Switch, tbl *tcam.Table, now time.Duration, id classifier.RuleID) InstallResult {
+	cost, ok := tbl.Delete(id)
+	if !ok {
+		return InstallResult{ID: id, Completed: now}
+	}
+	return InstallResult{ID: id, Latency: cost, Completed: sw.Submit(now, cost)}
+}
+
+// prefillTable loads rules into a raw table and clears the control-plane
+// clock so the experiment starts with a loaded but idle switch.
+func prefillTable(sw *tcam.Switch, tbl *tcam.Table, rules []classifier.Rule) {
+	for _, r := range rules {
+		tbl.Insert(r) //nolint:errcheck // best effort; capacity permitting
+	}
+	sw.ResetClock()
+}

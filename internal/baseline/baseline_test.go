@@ -1,0 +1,211 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/tcam"
+)
+
+func rule(id classifier.RuleID, dst string, prio int32) classifier.Rule {
+	return classifier.Rule{
+		ID:       id,
+		Match:    classifier.DstMatch(classifier.MustParsePrefix(dst)),
+		Priority: prio,
+		Action:   classifier.Action{Type: classifier.ActionForward, Port: 1},
+	}
+}
+
+func batch(prios ...int32) []classifier.Rule {
+	out := make([]classifier.Rule, len(prios))
+	for i, p := range prios {
+		out[i] = rule(classifier.RuleID(i+1), "10.0.0.0/8", p)
+		out[i].Match = classifier.DstMatch(classifier.NewPrefix(uint32(i)<<16|0x0A000000, 24))
+	}
+	return out
+}
+
+func totalLatency(results []InstallResult) time.Duration {
+	var total time.Duration
+	for _, r := range results {
+		total += r.Latency
+	}
+	return total
+}
+
+func TestDirectInstallsInOrder(t *testing.T) {
+	sw := tcam.NewSwitch("s", tcam.Pica8P3290)
+	d := NewDirect(sw)
+	res := d.InsertBatch(0, batch(1, 2, 3))
+	if len(res) != 3 {
+		t.Fatal("result count")
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("res %d err: %v", i, r.Err)
+		}
+		if r.ID != classifier.RuleID(i+1) {
+			t.Errorf("arrival order not preserved: %v", res)
+		}
+	}
+	if d.Name() != tcam.Pica8P3290.Name {
+		t.Error("Direct must report the switch name")
+	}
+	// Deleting works and is cheap.
+	del := d.Delete(time.Second, 1)
+	if del.Latency != tcam.Pica8P3290.DeleteLatency {
+		t.Errorf("delete latency = %v", del.Latency)
+	}
+	d.Tick(0) // no-op
+}
+
+func TestESPRESBeatsDirectOnAscendingBatch(t *testing.T) {
+	// An ascending-priority batch is pathological for in-order insertion
+	// (every rule shifts all of its predecessors); ESPRES reorders it.
+	prios := make([]int32, 60)
+	for i := range prios {
+		prios[i] = int32(i)
+	}
+	swD := tcam.NewSwitch("d", tcam.Pica8P3290)
+	swE := tcam.NewSwitch("e", tcam.Pica8P3290)
+	direct := totalLatency(NewDirect(swD).InsertBatch(0, batch(prios...)))
+	espres := totalLatency(NewESPRES(swE).InsertBatch(0, batch(prios...)))
+	if espres >= direct {
+		t.Errorf("ESPRES %v not faster than Direct %v on ascending batch", espres, direct)
+	}
+	// Both leave identical table contents (same rules).
+	if swD.Table().Occupancy() != swE.Table().Occupancy() {
+		t.Error("occupancy mismatch")
+	}
+}
+
+func TestTangoAggregates(t *testing.T) {
+	// Four sibling /26s with the same action collapse into one /24.
+	rules := []classifier.Rule{
+		rule(1, "192.168.1.0/26", 5),
+		rule(2, "192.168.1.64/26", 5),
+		rule(3, "192.168.1.128/26", 5),
+		rule(4, "192.168.1.192/26", 5),
+	}
+	merged := AggregateRules(rules)
+	if len(merged) != 1 {
+		t.Fatalf("aggregated to %d rules, want 1", len(merged))
+	}
+	if merged[0].Match.Dst != classifier.MustParsePrefix("192.168.1.0/24") {
+		t.Errorf("merged match = %v", merged[0].Match)
+	}
+
+	sw := tcam.NewSwitch("t", tcam.Pica8P3290)
+	tg := NewTango(sw)
+	res := tg.InsertBatch(0, rules)
+	if len(res) != 1 {
+		t.Fatalf("installed %d rules", len(res))
+	}
+	if sw.Table().Occupancy() != 1 {
+		t.Error("table should hold the aggregate only")
+	}
+	// Lookups still cover the whole /24.
+	if _, ok := sw.Lookup(classifier.MustParsePrefix("192.168.1.77/32").Addr, 0); !ok {
+		t.Error("aggregate does not cover constituent")
+	}
+}
+
+func TestTangoDoesNotAggregateAcrossActions(t *testing.T) {
+	rules := []classifier.Rule{
+		rule(1, "192.168.1.0/25", 5),
+		rule(2, "192.168.1.128/25", 5),
+	}
+	rules[1].Action = classifier.Action{Type: classifier.ActionDrop}
+	if merged := AggregateRules(rules); len(merged) != 2 {
+		t.Errorf("different actions merged: %v", merged)
+	}
+	// Different priorities also stay separate.
+	rules[1].Action = rules[0].Action
+	rules[1].Priority = 9
+	if merged := AggregateRules(rules); len(merged) != 2 {
+		t.Errorf("different priorities merged: %v", merged)
+	}
+}
+
+func TestTangoAtLeastAsGoodAsESPRES(t *testing.T) {
+	// On a structured batch (sibling prefixes), Tango installs fewer rules
+	// and therefore spends no more time than ESPRES.
+	var rules []classifier.Rule
+	id := classifier.RuleID(1)
+	for i := 0; i < 16; i++ {
+		base := uint32(0xC0A80000 | i<<8)
+		rules = append(rules,
+			classifier.Rule{ID: id, Match: classifier.DstMatch(classifier.NewPrefix(base, 25)), Priority: 7,
+				Action: classifier.Action{Type: classifier.ActionForward, Port: 1}},
+			classifier.Rule{ID: id + 1, Match: classifier.DstMatch(classifier.NewPrefix(base|128, 25)), Priority: 7,
+				Action: classifier.Action{Type: classifier.ActionForward, Port: 1}},
+		)
+		id += 2
+	}
+	swE := tcam.NewSwitch("e", tcam.Dell8132F)
+	swT := tcam.NewSwitch("t", tcam.Dell8132F)
+	espres := totalLatency(NewESPRES(swE).InsertBatch(0, rules))
+	tango := totalLatency(NewTango(swT).InsertBatch(0, rules))
+	if tango > espres {
+		t.Errorf("Tango %v slower than ESPRES %v on structured batch", tango, espres)
+	}
+	if swT.Table().Occupancy() >= swE.Table().Occupancy() {
+		t.Error("Tango should shrink the table")
+	}
+}
+
+func TestZeroLatency(t *testing.T) {
+	z := NewZeroLatency(tcam.Pica8P3290)
+	res := z.InsertBatch(time.Second, batch(3, 1, 2))
+	for _, r := range res {
+		if r.Latency != 0 || r.Completed != time.Second || r.Err != nil {
+			t.Errorf("zero-latency result = %+v", r)
+		}
+	}
+	if z.Delete(time.Second, 1).Latency != 0 {
+		t.Error("zero-latency delete must be free")
+	}
+	if z.Name() != "ZeroLatency" {
+		t.Error("name")
+	}
+	z.Tick(0)
+}
+
+func TestHermesInstaller(t *testing.T) {
+	sw := tcam.NewSwitch("h", tcam.Pica8P3290)
+	agent, err := core.New(sw, core.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHermes(agent)
+	if h.Name() != "Hermes" || h.Agent() != agent {
+		t.Error("identity")
+	}
+	res := h.InsertBatch(0, batch(5, 6, 7))
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("insert err: %v", r.Err)
+		}
+		if r.Completed > 5*time.Millisecond {
+			t.Errorf("guaranteed insert took %v", r.Completed)
+		}
+	}
+	h.Tick(10 * time.Millisecond)
+	del := h.Delete(20*time.Millisecond, 1)
+	if del.Err != nil {
+		t.Errorf("delete err: %v", del.Err)
+	}
+}
+
+func TestInstallerTableFull(t *testing.T) {
+	prof := *tcam.Pica8P3290
+	prof.Capacity = 2
+	sw := tcam.NewSwitch("tiny", &prof)
+	d := NewDirect(sw)
+	res := d.InsertBatch(0, batch(1, 2, 3))
+	if res[2].Err == nil {
+		t.Error("overflow must surface an error")
+	}
+}

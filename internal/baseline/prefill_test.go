@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/tcam"
+)
+
+func background(n int) []classifier.Rule {
+	out := make([]classifier.Rule, n)
+	for i := range out {
+		out[i] = classifier.Rule{
+			ID:       classifier.RuleID(1000 + i),
+			Match:    classifier.DstMatch(classifier.NewPrefix(0xAC100000|uint32(i)<<8, 24)),
+			Priority: 1,
+			Action:   classifier.Action{Type: classifier.ActionForward, Port: i},
+		}
+	}
+	return out
+}
+
+func TestPrefillLoadsWithoutCharge(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (Installer, func() int)
+	}{
+		{"direct", func() (Installer, func() int) {
+			sw := tcam.NewSwitch("d", tcam.Pica8P3290)
+			return NewDirect(sw), sw.Table().Occupancy
+		}},
+		{"espres", func() (Installer, func() int) {
+			sw := tcam.NewSwitch("e", tcam.Pica8P3290)
+			return NewESPRES(sw), sw.Table().Occupancy
+		}},
+		{"tango", func() (Installer, func() int) {
+			sw := tcam.NewSwitch("t", tcam.Pica8P3290)
+			return NewTango(sw), sw.Table().Occupancy
+		}},
+	}
+	for _, c := range cases {
+		inst, occ := c.mk()
+		inst.Prefill(background(200))
+		if got := occ(); got != 200 {
+			t.Errorf("%s: occupancy = %d, want 200", c.name, got)
+		}
+		// The control-plane clock must be clean: the next insert at t=0
+		// completes without queueing behind prefill work.
+		res := inst.InsertBatch(0, []classifier.Rule{rule(1, "10.0.0.0/8", 50)})
+		if res[0].Err != nil {
+			t.Fatalf("%s: %v", c.name, res[0].Err)
+		}
+		if res[0].Completed != res[0].Latency {
+			t.Errorf("%s: first insert queued behind prefill: completed %v, latency %v",
+				c.name, res[0].Completed, res[0].Latency)
+		}
+		inst.Tick(time.Second) // no-ops, but must not panic
+	}
+}
+
+func TestPrefillZeroLatency(t *testing.T) {
+	z := NewZeroLatency(tcam.Pica8P3290)
+	z.Prefill(background(50))
+	res := z.InsertBatch(0, []classifier.Rule{rule(1, "10.0.0.0/8", 50)})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	// Rules must be resolvable (the table actually holds the prefill).
+	if got := z.Delete(0, 1000); got.Err != nil {
+		t.Errorf("prefilled rule not deletable: %v", got.Err)
+	}
+}
+
+func TestPrefillHermesUsesMainTable(t *testing.T) {
+	sw := tcam.NewSwitch("h", tcam.Pica8P3290)
+	agent, err := core.New(sw, core.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHermes(agent)
+	h.Prefill(background(200))
+	if agent.ShadowOccupancy() != 0 {
+		t.Errorf("prefill left %d rules in the shadow table", agent.ShadowOccupancy())
+	}
+	if agent.MainOccupancy() != 200 {
+		t.Errorf("main occupancy = %d, want 200", agent.MainOccupancy())
+	}
+	// Guaranteed inserts still meet the bound with a loaded main table.
+	res := h.InsertBatch(0, []classifier.Rule{rule(1, "10.0.0.0/8", 50)})
+	if res[0].Err != nil || res[0].Completed > 5*time.Millisecond {
+		t.Errorf("post-prefill insert = %+v", res[0])
+	}
+}

@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/tcam"
+)
+
+// ShadowSwitch models the paper's closest related work [Bifulco & Matsiuk,
+// SIGCOMM CCR 2015]: instead of carving a *hardware* shadow slice, new
+// rules are absorbed into a *software* flow table on the switch CPU —
+// insertion is nearly free — and a background mover migrates them into the
+// TCAM one by one.
+//
+// The trade-off Hermes's §9 highlights: while a rule lives in the software
+// table, its traffic is forwarded by the switch CPU at a fraction of line
+// rate. ShadowSwitch therefore buys control-plane latency with data-plane
+// capacity, where Hermes's hardware shadow keeps the data plane untouched.
+// The Installer exposes SoftRuleSeconds so experiments can quantify that
+// exposure.
+type ShadowSwitch struct {
+	sw   *tcam.Switch
+	tcam *tcam.Table
+	// soft is the software flow table: insertion order preserved; lookups
+	// hit it before the TCAM (newest state wins).
+	soft []classifier.Rule
+	// SoftInsertLatency is the CPU-table insertion cost (default 20µs).
+	SoftInsertLatency time.Duration
+
+	lastTick         time.Duration
+	softRuleSeconds  float64
+	softPeak         int
+	movedToTCAM      int
+	softwareInserted int
+}
+
+// NewShadowSwitch wraps an un-carved switch.
+func NewShadowSwitch(sw *tcam.Switch) *ShadowSwitch {
+	return &ShadowSwitch{
+		sw:                sw,
+		tcam:              sw.Table(),
+		SoftInsertLatency: 20 * time.Microsecond,
+	}
+}
+
+// Name implements Installer.
+func (s *ShadowSwitch) Name() string { return "ShadowSwitch" }
+
+// InsertBatch implements Installer: every rule lands in the software table
+// at constant cost.
+func (s *ShadowSwitch) InsertBatch(now time.Duration, rules []classifier.Rule) []InstallResult {
+	s.accrue(now)
+	out := make([]InstallResult, 0, len(rules))
+	for _, r := range rules {
+		s.soft = append(s.soft, r)
+		s.softwareInserted++
+		// Software-table writes are CPU memory operations: they never
+		// contend with the TCAM update engine the mover occupies.
+		out = append(out, InstallResult{ID: r.ID, Latency: s.SoftInsertLatency, Completed: now + s.SoftInsertLatency})
+	}
+	if len(s.soft) > s.softPeak {
+		s.softPeak = len(s.soft)
+	}
+	return out
+}
+
+// Delete implements Installer: software entries delete instantly; TCAM
+// entries at hardware cost.
+func (s *ShadowSwitch) Delete(now time.Duration, id classifier.RuleID) InstallResult {
+	s.accrue(now)
+	for i, r := range s.soft {
+		if r.ID == id {
+			s.soft = append(s.soft[:i], s.soft[i+1:]...)
+			return InstallResult{ID: id, Completed: now}
+		}
+	}
+	return deleteOne(s.sw, s.tcam, now, id)
+}
+
+// Tick implements Installer: the background mover drains the software
+// table into the TCAM, paying full hardware insertion cost per entry on
+// the switch's control processor.
+func (s *ShadowSwitch) Tick(now time.Duration) {
+	s.accrue(now)
+	// Move entries while the control processor has caught up to now: the
+	// mover is background work and must not run ahead of wall-clock.
+	for len(s.soft) > 0 && s.sw.BusyUntil() <= now {
+		r := s.soft[0]
+		cost, err := s.tcam.Insert(r)
+		if err != nil {
+			break // TCAM full: entries stay in software
+		}
+		s.sw.Submit(now, cost)
+		s.soft = s.soft[1:]
+		s.movedToTCAM++
+	}
+}
+
+// Prefill implements Installer.
+func (s *ShadowSwitch) Prefill(rules []classifier.Rule) { prefillTable(s.sw, s.tcam, rules) }
+
+// accrue charges software-table residency (rule·seconds) up to now.
+func (s *ShadowSwitch) accrue(now time.Duration) {
+	if now > s.lastTick {
+		s.softRuleSeconds += float64(len(s.soft)) * (now - s.lastTick).Seconds()
+		s.lastTick = now
+	}
+}
+
+// SoftRuleSeconds reports the accumulated software-forwarding exposure:
+// rule·seconds during which traffic depended on CPU forwarding.
+func (s *ShadowSwitch) SoftRuleSeconds(now time.Duration) float64 {
+	s.accrue(now)
+	return s.softRuleSeconds
+}
+
+// SoftOccupancy reports the current software-table size.
+func (s *ShadowSwitch) SoftOccupancy() int { return len(s.soft) }
+
+// SoftPeak reports the largest software-table size observed.
+func (s *ShadowSwitch) SoftPeak() int { return s.softPeak }
+
+// Moved reports how many rules the background mover promoted to TCAM.
+func (s *ShadowSwitch) Moved() int { return s.movedToTCAM }
+
+// Lookup resolves a packet: the software table answers first (it holds the
+// newest state), then the TCAM.
+func (s *ShadowSwitch) Lookup(dst, src uint32) (classifier.Rule, bool) {
+	var best classifier.Rule
+	found := false
+	for _, r := range s.soft {
+		if !r.Match.MatchesPacket(dst, src) {
+			continue
+		}
+		if !found || r.Priority > best.Priority {
+			best, found = r, true
+		}
+	}
+	if found {
+		return best, true
+	}
+	return s.tcam.Lookup(dst, src)
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/tcam"
+)
+
+func TestShadowSwitchConstantInsert(t *testing.T) {
+	ss := NewShadowSwitch(tcam.NewSwitch("ss", tcam.Dell8132F))
+	ss.Prefill(background(500)) // a loaded TCAM would make direct inserts slow
+	res := ss.InsertBatch(0, batch(10, 20, 30))
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Latency != ss.SoftInsertLatency {
+			t.Errorf("latency = %v, want constant %v", r.Latency, ss.SoftInsertLatency)
+		}
+	}
+	if ss.SoftOccupancy() != 3 || ss.SoftPeak() != 3 {
+		t.Errorf("soft occupancy = %d peak = %d", ss.SoftOccupancy(), ss.SoftPeak())
+	}
+	if ss.Name() != "ShadowSwitch" {
+		t.Error("name")
+	}
+}
+
+func TestShadowSwitchMoverDrainsToTCAM(t *testing.T) {
+	sw := tcam.NewSwitch("ss", tcam.Pica8P3290)
+	ss := NewShadowSwitch(sw)
+	ss.InsertBatch(0, batch(1, 2, 3, 4, 5))
+	before := ss.SoftOccupancy()
+	// Give the mover time: each move costs a hardware insert.
+	for tick := time.Duration(0); tick < time.Second; tick += 10 * time.Millisecond {
+		ss.Tick(tick)
+	}
+	if ss.SoftOccupancy() != 0 {
+		t.Errorf("software table not drained: %d left (was %d)", ss.SoftOccupancy(), before)
+	}
+	if ss.Moved() != 5 {
+		t.Errorf("moved = %d", ss.Moved())
+	}
+	// Rules answer lookups from the TCAM now.
+	for i := 1; i <= 5; i++ {
+		addr := uint32(i-1)<<16 | 0x0A000000
+		if _, ok := ss.Lookup(addr, 0); !ok {
+			t.Errorf("rule %d unreachable after move", i)
+		}
+	}
+}
+
+func TestShadowSwitchSoftResidencyAccrues(t *testing.T) {
+	ss := NewShadowSwitch(tcam.NewSwitch("ss", tcam.Pica8P3290))
+	ss.InsertBatch(0, batch(1, 2))
+	// Two rules resident for 1 second before any tick: 2 rule-seconds.
+	got := ss.SoftRuleSeconds(time.Second)
+	if got < 1.9 || got > 2.1 {
+		t.Errorf("soft rule-seconds = %v, want ≈2", got)
+	}
+}
+
+func TestShadowSwitchLookupPrefersSoftware(t *testing.T) {
+	ss := NewShadowSwitch(tcam.NewSwitch("ss", tcam.Pica8P3290))
+	// Same match in TCAM (old action) and software (new action): the
+	// software entry is newer state and must win.
+	old := rule(1, "10.0.0.0/8", 5)
+	ss.Prefill([]classifier.Rule{old})
+	updated := rule(2, "10.0.0.0/8", 5)
+	updated.Action = classifier.Action{Type: classifier.ActionDrop}
+	ss.InsertBatch(0, []classifier.Rule{updated})
+	got, ok := ss.Lookup(classifier.MustParsePrefix("10.1.1.1/32").Addr, 0)
+	if !ok || got.Action.Type != classifier.ActionDrop {
+		t.Errorf("lookup = %v, %v; software entry must win", got, ok)
+	}
+}
+
+func TestShadowSwitchDelete(t *testing.T) {
+	ss := NewShadowSwitch(tcam.NewSwitch("ss", tcam.Pica8P3290))
+	ss.InsertBatch(0, batch(1, 2))
+	// Software delete is instant.
+	res := ss.Delete(time.Millisecond, 1)
+	if res.Err != nil || res.Latency != 0 {
+		t.Errorf("software delete = %+v", res)
+	}
+	// Drain, then delete from TCAM at hardware cost.
+	for tick := time.Duration(0); tick < 100*time.Millisecond; tick += 10 * time.Millisecond {
+		ss.Tick(tick)
+	}
+	res = ss.Delete(200*time.Millisecond, 2)
+	if res.Err != nil || res.Latency != tcam.Pica8P3290.DeleteLatency {
+		t.Errorf("tcam delete = %+v", res)
+	}
+}
+
+// TestShadowSwitchVsHermesTradeoff encodes §9's design-space contrast:
+// ShadowSwitch wins on raw insert latency (software is nearly free) but
+// pays data-plane exposure that Hermes's hardware shadow never incurs.
+func TestShadowSwitchVsHermesTradeoff(t *testing.T) {
+	ss := NewShadowSwitch(tcam.NewSwitch("ss", tcam.Dell8132F))
+	ss.Prefill(background(400))
+	now := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		r := rule(classifier.RuleID(i+1), "10.0.0.0/8", int32(i%40+1))
+		r.Match = classifier.DstMatch(classifier.NewPrefix(uint32(i)<<12|0x0A000000, 28))
+		ss.InsertBatch(now, []classifier.Rule{r})
+		now += time.Millisecond
+		ss.Tick(now)
+	}
+	if got := ss.SoftRuleSeconds(now); got <= 0 {
+		t.Errorf("software exposure = %v, want > 0 (the cost Hermes avoids)", got)
+	}
+	if ss.Moved() == 0 {
+		t.Error("mover never ran")
+	}
+}

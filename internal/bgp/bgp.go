@@ -1,0 +1,347 @@
+// Package bgp implements the BGP substrate the paper uses to evaluate
+// Hermes on traditional networks (§2.3, §8.4): update messages, per-peer
+// Adj-RIB-In tables, the standard best-path selection procedure, and the
+// Loc-RIB → FIB diff that converts BGP churn into the TCAM operations a
+// router actually performs. As the paper notes, many RIB updates never
+// percolate to the FIB; only FIB-visible changes reach the TCAM.
+//
+// Because the BGPStream captures the paper replays are not redistributable,
+// the package also synthesizes BGPStream-shaped update traces: a calm
+// Poisson base rate punctuated by bursts (session resets and route leaks)
+// that push the instantaneous rate beyond 1000 updates/second, matching the
+// tail behaviour §2.3 reports.
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+// Origin is the BGP origin attribute, ordered IGP < EGP < Incomplete for
+// best-path comparison.
+type Origin uint8
+
+// Origin values.
+const (
+	OriginIGP Origin = iota
+	OriginEGP
+	OriginIncomplete
+)
+
+// Route is one path to a prefix as learned from a peer.
+type Route struct {
+	Prefix    classifier.Prefix
+	Peer      string
+	NextHop   uint32
+	LocalPref uint32
+	ASPath    []uint32
+	Origin    Origin
+	MED       uint32
+	RouterID  uint32
+}
+
+// better reports whether r should be preferred over o by the standard
+// decision process: highest LocalPref, shortest AS path, lowest origin,
+// lowest MED, lowest router ID.
+func (r Route) better(o Route) bool {
+	if r.LocalPref != o.LocalPref {
+		return r.LocalPref > o.LocalPref
+	}
+	if len(r.ASPath) != len(o.ASPath) {
+		return len(r.ASPath) < len(o.ASPath)
+	}
+	if r.Origin != o.Origin {
+		return r.Origin < o.Origin
+	}
+	if r.MED != o.MED {
+		return r.MED < o.MED
+	}
+	return r.RouterID < o.RouterID
+}
+
+// Update is one BGP message: an announcement carrying a Route, or a
+// withdrawal of a prefix from a peer.
+type Update struct {
+	At       time.Duration
+	Peer     string
+	Withdraw bool
+	Route    Route             // valid when !Withdraw
+	Prefix   classifier.Prefix // valid when Withdraw
+}
+
+// FIBOpType classifies a forwarding-table change.
+type FIBOpType uint8
+
+// FIB operation kinds.
+const (
+	// FIBInsert installs a new prefix.
+	FIBInsert FIBOpType = iota
+	// FIBDelete removes a prefix.
+	FIBDelete
+	// FIBModify changes the next hop of an installed prefix — the cheap,
+	// constant-time TCAM action (§2.1).
+	FIBModify
+)
+
+func (t FIBOpType) String() string {
+	switch t {
+	case FIBInsert:
+		return "insert"
+	case FIBDelete:
+		return "delete"
+	case FIBModify:
+		return "modify"
+	default:
+		return fmt.Sprintf("fibop(%d)", uint8(t))
+	}
+}
+
+// FIBOp is one forwarding-table change produced by best-path selection.
+type FIBOp struct {
+	At      time.Duration
+	Type    FIBOpType
+	Prefix  classifier.Prefix
+	NextHop uint32
+}
+
+// Rule converts the FIB entry into the TCAM rule a router installs:
+// longest-prefix match encoded as priority == prefix length, the standard
+// LPM-in-TCAM encoding. Rule IDs are derived from the prefix so that
+// insert/delete/modify of the same prefix address the same entry.
+func (op FIBOp) Rule() classifier.Rule {
+	return classifier.Rule{
+		ID:       PrefixRuleID(op.Prefix),
+		Match:    classifier.DstMatch(op.Prefix),
+		Priority: int32(op.Prefix.Len),
+		Action:   classifier.Action{Type: classifier.ActionForward, Port: int(op.NextHop % 64)},
+	}
+}
+
+// PrefixRuleID derives a stable rule ID from a prefix. The result is below
+// the Hermes agent's reserved partition-ID space.
+func PrefixRuleID(p classifier.Prefix) classifier.RuleID {
+	return classifier.RuleID(uint64(p.Addr)<<6 | uint64(p.Len))
+}
+
+// Router is one BGP speaker: per-peer Adj-RIB-In plus the Loc-RIB of
+// current best routes. Process applies updates and emits the FIB delta.
+type Router struct {
+	name  string
+	adjIn map[string]map[classifier.Prefix]Route
+	loc   map[classifier.Prefix]Route
+}
+
+// NewRouter returns an empty router.
+func NewRouter(name string) *Router {
+	return &Router{
+		name:  name,
+		adjIn: make(map[string]map[classifier.Prefix]Route),
+		loc:   make(map[classifier.Prefix]Route),
+	}
+}
+
+// Name returns the router name.
+func (r *Router) Name() string { return r.name }
+
+// FIBSize reports the number of installed best routes.
+func (r *Router) FIBSize() int { return len(r.loc) }
+
+// Process applies one update and returns the resulting FIB operations
+// (possibly none: updates that do not change the best path never reach the
+// forwarding plane).
+func (r *Router) Process(u Update) []FIBOp {
+	prefix := u.Prefix
+	if !u.Withdraw {
+		prefix = u.Route.Prefix
+	}
+	peerTable := r.adjIn[u.Peer]
+	if peerTable == nil {
+		peerTable = make(map[classifier.Prefix]Route)
+		r.adjIn[u.Peer] = peerTable
+	}
+	if u.Withdraw {
+		if _, had := peerTable[prefix]; !had {
+			return nil // idempotent withdraw
+		}
+		delete(peerTable, prefix)
+	} else {
+		peerTable[prefix] = u.Route
+	}
+
+	// Re-run best-path selection for this prefix.
+	var best Route
+	found := false
+	for _, table := range r.adjIn {
+		if route, ok := table[prefix]; ok {
+			if !found || route.better(best) {
+				best, found = route, true
+			}
+		}
+	}
+	old, had := r.loc[prefix]
+	switch {
+	case found && !had:
+		r.loc[prefix] = best
+		return []FIBOp{{At: u.At, Type: FIBInsert, Prefix: prefix, NextHop: best.NextHop}}
+	case !found && had:
+		delete(r.loc, prefix)
+		return []FIBOp{{At: u.At, Type: FIBDelete, Prefix: prefix, NextHop: old.NextHop}}
+	case found && had && best.NextHop != old.NextHop:
+		r.loc[prefix] = best
+		return []FIBOp{{At: u.At, Type: FIBModify, Prefix: prefix, NextHop: best.NextHop}}
+	case found && had:
+		r.loc[prefix] = best // attribute-only change; no FIB impact
+	}
+	return nil
+}
+
+// TraceConfig shapes a synthetic BGPStream-like update trace.
+type TraceConfig struct {
+	// Duration of the trace.
+	Duration time.Duration
+	// Peers is the number of BGP sessions.
+	Peers int
+	// Prefixes is the size of the advertised prefix pool.
+	Prefixes int
+	// BaseRate is the calm-period update rate (updates/second).
+	BaseRate float64
+	// BurstRate is the rate during burst episodes; §2.3 observes tails
+	// beyond 1000 updates/second.
+	BurstRate float64
+	// BurstProb is the per-second probability that a burst starts.
+	BurstProb float64
+	// BurstLen is the mean burst duration.
+	BurstLen time.Duration
+	// WithdrawFrac is the fraction of updates that are withdrawals.
+	WithdrawFrac float64
+}
+
+// RouterProfile names one of the four vantage points the paper replays and
+// its trace shape.
+type RouterProfile struct {
+	Name string
+	Cfg  TraceConfig
+}
+
+// Profiles returns the four representative routers of §8.1.3 with
+// BGPStream-shaped trace parameters (busier IXP collectors burst harder).
+func Profiles() []RouterProfile {
+	base := TraceConfig{
+		Duration: 60 * time.Second, Peers: 8, Prefixes: 4000,
+		BaseRate: 30, BurstRate: 1500, BurstProb: 0.05,
+		BurstLen: 2 * time.Second, WithdrawFrac: 0.3,
+	}
+	equinix := base
+	equinix.BaseRate, equinix.BurstRate, equinix.Peers = 60, 2500, 16
+	telx := base
+	telx.BaseRate, telx.BurstRate = 45, 2000
+	nwax := base
+	nwax.BaseRate, nwax.BurstRate = 20, 1200
+	oregon := base
+	oregon.BaseRate, oregon.BurstRate, oregon.Peers = 35, 1600, 12
+	return []RouterProfile{
+		{Name: "Equinix-Chicago", Cfg: equinix},
+		{Name: "TELXATL-Atlanta", Cfg: telx},
+		{Name: "NWAX-Portland", Cfg: nwax},
+		{Name: "UnivOregon", Cfg: oregon},
+	}
+}
+
+// GenerateTrace synthesizes an update stream per the config. It is
+// deterministic given rng.
+func GenerateTrace(rng *rand.Rand, cfg TraceConfig) []Update {
+	if cfg.Peers <= 0 || cfg.Prefixes <= 0 || cfg.BaseRate <= 0 {
+		return nil
+	}
+	prefixes := makePrefixPool(rng, cfg.Prefixes)
+	peers := make([]string, cfg.Peers)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("peer%d", i)
+	}
+	var out []Update
+	now := 0.0
+	end := cfg.Duration.Seconds()
+	// Pre-place burst episodes (session resets, route leaks): on average
+	// BurstProb per second, but at least one per trace so every capture
+	// exhibits the >1000 upd/s tail §2.3 reports.
+	nBursts := int(cfg.BurstProb * end)
+	if nBursts < 1 && cfg.BurstRate > cfg.BaseRate {
+		nBursts = 1
+	}
+	type window struct{ start, stop float64 }
+	bursts := make([]window, 0, nBursts)
+	for i := 0; i < nBursts; i++ {
+		length := 0.5*cfg.BurstLen.Seconds() + rng.ExpFloat64()*0.5*cfg.BurstLen.Seconds()
+		span := end - length
+		if span < 0 {
+			span = 0
+		}
+		start := rng.Float64() * span
+		bursts = append(bursts, window{start, start + length})
+	}
+	inBurst := func(t float64) bool {
+		for _, w := range bursts {
+			if t >= w.start && t < w.stop {
+				return true
+			}
+		}
+		return false
+	}
+	for now < end {
+		rate := cfg.BaseRate
+		if inBurst(now) {
+			rate = cfg.BurstRate
+		}
+		now += rng.ExpFloat64() / rate
+		if now >= end {
+			break
+		}
+		at := time.Duration(now * float64(time.Second))
+		peer := peers[rng.Intn(len(peers))]
+		prefix := prefixes[rng.Intn(len(prefixes))]
+		if rng.Float64() < cfg.WithdrawFrac {
+			out = append(out, Update{At: at, Peer: peer, Withdraw: true, Prefix: prefix})
+			continue
+		}
+		out = append(out, Update{At: at, Peer: peer, Route: Route{
+			Prefix:    prefix,
+			Peer:      peer,
+			NextHop:   rng.Uint32(),
+			LocalPref: uint32(100 + rng.Intn(3)*10),
+			ASPath:    makeASPath(rng),
+			Origin:    Origin(rng.Intn(3)),
+			MED:       uint32(rng.Intn(100)),
+			RouterID:  rng.Uint32(),
+		}})
+	}
+	return out
+}
+
+func makePrefixPool(rng *rand.Rand, n int) []classifier.Prefix {
+	seen := make(map[classifier.Prefix]bool, n)
+	out := make([]classifier.Prefix, 0, n)
+	// Realistic FIB length mix: mostly /24s and /16-/22s, some shorter.
+	lengths := []uint8{24, 24, 24, 24, 22, 20, 19, 18, 16, 16, 12, 8}
+	for len(out) < n {
+		plen := lengths[rng.Intn(len(lengths))]
+		p := classifier.NewPrefix(rng.Uint32(), plen)
+		if p.Addr == 0 || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+func makeASPath(rng *rand.Rand) []uint32 {
+	n := 1 + rng.Intn(6)
+	path := make([]uint32, n)
+	for i := range path {
+		path[i] = uint32(1000 + rng.Intn(64000))
+	}
+	return path
+}

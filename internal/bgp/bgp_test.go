@@ -1,0 +1,241 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+func pfx(s string) classifier.Prefix { return classifier.MustParsePrefix(s) }
+
+func announce(at time.Duration, peer string, p classifier.Prefix, nh uint32, lp uint32, pathLen int) Update {
+	path := make([]uint32, pathLen)
+	for i := range path {
+		path[i] = uint32(100 + i)
+	}
+	return Update{At: at, Peer: peer, Route: Route{
+		Prefix: p, Peer: peer, NextHop: nh, LocalPref: lp, ASPath: path, RouterID: 1,
+	}}
+}
+
+func TestAnnounceInstallsFIB(t *testing.T) {
+	r := NewRouter("r1")
+	ops := r.Process(announce(0, "p1", pfx("10.0.0.0/8"), 0xAA, 100, 3))
+	if len(ops) != 1 || ops[0].Type != FIBInsert || ops[0].NextHop != 0xAA {
+		t.Fatalf("ops = %v", ops)
+	}
+	if r.FIBSize() != 1 {
+		t.Errorf("FIB size = %d", r.FIBSize())
+	}
+}
+
+func TestBestPathLocalPref(t *testing.T) {
+	r := NewRouter("r1")
+	r.Process(announce(0, "p1", pfx("10.0.0.0/8"), 0xAA, 100, 3))
+	// Higher LocalPref wins despite a longer AS path.
+	ops := r.Process(announce(1, "p2", pfx("10.0.0.0/8"), 0xBB, 200, 6))
+	if len(ops) != 1 || ops[0].Type != FIBModify || ops[0].NextHop != 0xBB {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestBestPathASPathLength(t *testing.T) {
+	r := NewRouter("r1")
+	r.Process(announce(0, "p1", pfx("10.0.0.0/8"), 0xAA, 100, 5))
+	ops := r.Process(announce(1, "p2", pfx("10.0.0.0/8"), 0xBB, 100, 2))
+	if len(ops) != 1 || ops[0].NextHop != 0xBB {
+		t.Fatalf("shorter AS path must win: %v", ops)
+	}
+	// A losing route produces no FIB op.
+	ops = r.Process(announce(2, "p3", pfx("10.0.0.0/8"), 0xCC, 100, 9))
+	if len(ops) != 0 {
+		t.Fatalf("losing route leaked to FIB: %v", ops)
+	}
+}
+
+func TestBestPathTieBreakers(t *testing.T) {
+	a := Route{LocalPref: 100, ASPath: []uint32{1}, Origin: OriginIGP, MED: 5, RouterID: 10}
+	b := Route{LocalPref: 100, ASPath: []uint32{1}, Origin: OriginEGP, MED: 1, RouterID: 1}
+	if !a.better(b) {
+		t.Error("lower origin must beat lower MED")
+	}
+	c := b
+	c.Origin = OriginIGP
+	if !c.better(a) {
+		t.Error("lower MED must win when origin ties")
+	}
+	d := a
+	d.RouterID = 2
+	if !d.better(a) {
+		t.Error("lower router ID must break final tie")
+	}
+}
+
+func TestWithdrawDeletesAndFallsBack(t *testing.T) {
+	r := NewRouter("r1")
+	r.Process(announce(0, "p1", pfx("10.0.0.0/8"), 0xAA, 200, 3))
+	r.Process(announce(1, "p2", pfx("10.0.0.0/8"), 0xBB, 100, 3))
+	// Withdraw the best route: falls back to p2's route (Modify).
+	ops := r.Process(Update{At: 2, Peer: "p1", Withdraw: true, Prefix: pfx("10.0.0.0/8")})
+	if len(ops) != 1 || ops[0].Type != FIBModify || ops[0].NextHop != 0xBB {
+		t.Fatalf("fallback ops = %v", ops)
+	}
+	// Withdraw the last route: Delete.
+	ops = r.Process(Update{At: 3, Peer: "p2", Withdraw: true, Prefix: pfx("10.0.0.0/8")})
+	if len(ops) != 1 || ops[0].Type != FIBDelete {
+		t.Fatalf("delete ops = %v", ops)
+	}
+	if r.FIBSize() != 0 {
+		t.Error("FIB not empty")
+	}
+	// Idempotent withdraw.
+	if ops := r.Process(Update{At: 4, Peer: "p2", Withdraw: true, Prefix: pfx("10.0.0.0/8")}); len(ops) != 0 {
+		t.Errorf("re-withdraw ops = %v", ops)
+	}
+}
+
+func TestAttributeOnlyChangeNoFIBOp(t *testing.T) {
+	r := NewRouter("r1")
+	r.Process(announce(0, "p1", pfx("10.0.0.0/8"), 0xAA, 100, 3))
+	// Same next hop, different MED: RIB changes, FIB does not.
+	u := announce(1, "p1", pfx("10.0.0.0/8"), 0xAA, 100, 3)
+	u.Route.MED = 42
+	if ops := r.Process(u); len(ops) != 0 {
+		t.Errorf("attribute-only change leaked: %v", ops)
+	}
+}
+
+func TestFIBOpRule(t *testing.T) {
+	op := FIBOp{Type: FIBInsert, Prefix: pfx("192.168.0.0/16"), NextHop: 7}
+	r := op.Rule()
+	if r.Priority != 16 {
+		t.Errorf("LPM priority = %d, want prefix length", r.Priority)
+	}
+	if r.Match.Dst != op.Prefix {
+		t.Error("rule match mismatch")
+	}
+	// Longer prefixes get higher priority (LPM).
+	op2 := FIBOp{Prefix: pfx("192.168.1.0/24")}
+	if op2.Rule().Priority <= r.Priority {
+		t.Error("longer prefix must out-prioritize shorter")
+	}
+	// Stable IDs per prefix, distinct across prefixes.
+	if PrefixRuleID(op.Prefix) != PrefixRuleID(pfx("192.168.0.0/16")) {
+		t.Error("IDs not stable")
+	}
+	if PrefixRuleID(op.Prefix) == PrefixRuleID(op2.Prefix) {
+		t.Error("ID collision")
+	}
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := TraceConfig{
+		Duration: 30 * time.Second, Peers: 8, Prefixes: 1000,
+		BaseRate: 50, BurstRate: 2000, BurstProb: 0.1,
+		BurstLen: time.Second, WithdrawFrac: 0.3,
+	}
+	trace := GenerateTrace(rng, cfg)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	var prev time.Duration
+	withdraws := 0
+	for _, u := range trace {
+		if u.At < prev {
+			t.Fatal("trace not time-ordered")
+		}
+		prev = u.At
+		if u.Withdraw {
+			withdraws++
+		}
+	}
+	frac := float64(withdraws) / float64(len(trace))
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("withdraw fraction = %.2f, want ≈0.3", frac)
+	}
+	// The paper's §2.3 observation: the tail rate exceeds 1000 upd/s.
+	// Measure per-100ms windows.
+	counts := map[int]int{}
+	for _, u := range trace {
+		counts[int(u.At/(100*time.Millisecond))]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak*10 < 1000 {
+		t.Errorf("peak rate = %d upd/s, want >1000 (bursts missing)", peak*10)
+	}
+	// And the median rate stays low.
+	if avg := float64(len(trace)) / 30; avg > 500 {
+		t.Errorf("average rate = %.0f, suspiciously high", avg)
+	}
+}
+
+func TestGenerateTraceEmptyConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if tr := GenerateTrace(rng, TraceConfig{}); tr != nil {
+		t.Error("zero config must return nil")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("got %d profiles, want the paper's 4 routers", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if p.Cfg.BaseRate <= 0 || p.Cfg.BurstRate < 1000 {
+			t.Errorf("%s: burst rate %v must exceed 1000 upd/s", p.Name, p.Cfg.BurstRate)
+		}
+		names[p.Name] = true
+	}
+	if len(names) != 4 {
+		t.Error("duplicate profile names")
+	}
+}
+
+// TestRouterFIBConsistency replays a random trace and checks the FIB ops
+// form a consistent sequence: no double-insert, no delete/modify of absent
+// prefixes, and the final FIB matches an independently computed best-route
+// set.
+func TestRouterFIBConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := TraceConfig{
+		Duration: 20 * time.Second, Peers: 5, Prefixes: 300,
+		BaseRate: 200, BurstRate: 1500, BurstProb: 0.1,
+		BurstLen: time.Second, WithdrawFrac: 0.4,
+	}
+	trace := GenerateTrace(rng, cfg)
+	r := NewRouter("r1")
+	installed := map[classifier.Prefix]bool{}
+	for _, u := range trace {
+		for _, op := range r.Process(u) {
+			switch op.Type {
+			case FIBInsert:
+				if installed[op.Prefix] {
+					t.Fatalf("double insert of %v", op.Prefix)
+				}
+				installed[op.Prefix] = true
+			case FIBDelete:
+				if !installed[op.Prefix] {
+					t.Fatalf("delete of absent %v", op.Prefix)
+				}
+				delete(installed, op.Prefix)
+			case FIBModify:
+				if !installed[op.Prefix] {
+					t.Fatalf("modify of absent %v", op.Prefix)
+				}
+			}
+		}
+	}
+	if len(installed) != r.FIBSize() {
+		t.Errorf("op-tracked FIB %d entries, router reports %d", len(installed), r.FIBSize())
+	}
+}

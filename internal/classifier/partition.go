@@ -1,0 +1,200 @@
+package classifier
+
+// This file implements Algorithm 1 of the paper (PartitionNewRule) and the
+// bookkeeping needed to undo it.
+//
+// Hermes inserts new rules into the shadow table, which is looked up before
+// the main table. A new rule that overlaps a *higher-priority* rule already
+// in the main table would therefore shadow it incorrectly (Fig. 4b). To
+// preserve monolithic-table semantics, the region of the new rule that
+// collides with higher-priority main-table rules is cut away:
+//
+//  (i)   detect overlaps between the new rule and main-table rules with
+//        higher priority (DetectOverlap, via the Trie);
+//  (ii)  eliminate each overlap by recursively cutting the new rule's match
+//        region (EliminateOverlap, via Match.Subtract);
+//  (iii) merge the surviving fragments into a minimal rule set (Merge, via
+//        MergeMatches).
+//
+// The three overlap cases of Fig. 5 fall out naturally: (a) a containing
+// higher-priority rule leaves nothing, so the new rule is redundant and is
+// not inserted; (b)/(c) partial overlaps leave fragments that are installed
+// in the shadow table in place of the original rule.
+
+// Partition is the result of PartitionNewRule for one new rule.
+type Partition struct {
+	// Original is the rule as requested by the controller.
+	Original Rule
+	// Parts are the rules actually installed in the shadow table. Each
+	// carries the original action and priority but a cut-down match. When no
+	// main-table rule overlapped, Parts is exactly {Original}. When a
+	// higher-priority main-table rule subsumed the original (Fig. 5a), Parts
+	// is empty and the rule is redundant.
+	Parts []Rule
+	// Cause lists the IDs of the higher-priority main-table rules whose
+	// overlap forced the cut. Deleting any of them requires re-evaluating
+	// this partition (Fig. 6).
+	Cause []RuleID
+	// Overflow reports that partitioning was abandoned because the
+	// fragment count exceeded the caller's cap — the cheap detection
+	// behind the paper's footnote-5 Gate Keeper escape hatch (rules like
+	// a low-priority 0.0.0.0/0 would shatter against the whole table).
+	Overflow bool
+}
+
+// Redundant reports whether the original rule was wholly subsumed and
+// nothing needs to be installed.
+func (p *Partition) Redundant() bool { return len(p.Parts) == 0 }
+
+// WasCut reports whether the rule had to be fragmented (or dropped), i.e.
+// whether Parts differs from {Original}.
+func (p *Partition) WasCut() bool {
+	return len(p.Cause) > 0
+}
+
+// PartitionNewRule implements Algorithm 1. mainIndex is the trie over the
+// current main-table rules; nextID mints IDs for the generated partition
+// rules (the original rule's ID is reused when no cut is needed, so the
+// common fast path allocates nothing).
+//
+// Rules in the main table with priority >= the new rule's priority cut the
+// new rule. Equal priority is treated as "existing rule wins" because in a
+// monolithic TCAM the earlier-inserted rule sits higher and would match
+// first. Callers that know the true insertion order (the Hermes agent) use
+// PartitionAgainst with a seq-aware wins predicate instead.
+func PartitionNewRule(newRule Rule, mainIndex *Trie, nextID func() RuleID) Partition {
+	wins := func(existing Rule) bool { return existing.Priority >= newRule.Priority }
+	return PartitionAgainst(newRule, mainIndex, wins, nextID, true, 0)
+}
+
+// PartitionAgainst is the generalized Algorithm 1: wins reports whether an
+// existing main-table rule would beat newRule in a monolithic table (the
+// caller encodes priority and insertion-order tie-breaking). merge controls
+// the line-7 optimal merge; ablations disable it. maxRegions, when
+// positive, abandons partitioning (setting Overflow) as soon as the
+// working fragment set exceeds it, so the Gate Keeper can divert
+// pathological rules to the main table without paying the full cutting
+// cost first.
+func PartitionAgainst(newRule Rule, mainIndex *Trie, wins func(existing Rule) bool, nextID func() RuleID, merge bool, maxRegions int) Partition {
+	p := Partition{Original: newRule}
+	regions := []Match{newRule.Match}
+	for _, r := range mainIndex.Overlapping(newRule.Match) {
+		if r.ID == newRule.ID || !wins(r) {
+			continue // the new rule legitimately wins; shadow-first order is correct
+		}
+		p.Cause = append(p.Cause, r.ID)
+		var next []Match
+		for _, region := range regions {
+			next = append(next, region.Subtract(r.Match)...)
+		}
+		regions = next
+		if len(regions) == 0 {
+			break
+		}
+		if maxRegions > 0 && len(regions) > maxRegions {
+			p.Overflow = true
+			return p
+		}
+	}
+	if len(p.Cause) == 0 {
+		// Fast path: untouched.
+		p.Parts = []Rule{newRule}
+		return p
+	}
+	if merge {
+		regions = MergeMatches(regions)
+	}
+	for _, m := range regions {
+		p.Parts = append(p.Parts, Rule{
+			ID:       nextID(),
+			Match:    m,
+			Priority: newRule.Priority,
+			Action:   newRule.Action,
+		})
+	}
+	return p
+}
+
+// PartitionMap tracks, for every original rule that was cut, the partition
+// that replaced it — the "mapping set M" of Algorithm 1. It answers the two
+// questions rule deletion must ask (§4.1): "was this shadow rule
+// partitioned?" and "which partitions depended on this main-table rule?".
+type PartitionMap struct {
+	byOriginal map[RuleID]*Partition // original rule ID -> its partition
+	byCause    map[RuleID][]RuleID   // main rule ID -> original rule IDs cut by it
+	byPart     map[RuleID]RuleID     // partition rule ID -> original rule ID
+}
+
+// NewPartitionMap returns an empty map.
+func NewPartitionMap() *PartitionMap {
+	return &PartitionMap{
+		byOriginal: make(map[RuleID]*Partition),
+		byCause:    make(map[RuleID][]RuleID),
+		byPart:     make(map[RuleID]RuleID),
+	}
+}
+
+// Record stores a partition that actually cut its rule. Partitions with no
+// cause are not recorded (nothing to undo).
+func (m *PartitionMap) Record(p Partition) {
+	if !p.WasCut() {
+		return
+	}
+	cp := p
+	m.byOriginal[p.Original.ID] = &cp
+	for _, c := range p.Cause {
+		m.byCause[c] = append(m.byCause[c], p.Original.ID)
+	}
+	for _, part := range p.Parts {
+		m.byPart[part.ID] = p.Original.ID
+	}
+}
+
+// Lookup returns the partition recorded for an original rule ID.
+func (m *PartitionMap) Lookup(original RuleID) (*Partition, bool) {
+	p, ok := m.byOriginal[original]
+	return p, ok
+}
+
+// OriginalOf maps a partition-rule ID back to the original rule ID. The
+// second result is false when id is not a partition rule.
+func (m *PartitionMap) OriginalOf(id RuleID) (RuleID, bool) {
+	o, ok := m.byPart[id]
+	return o, ok
+}
+
+// DependentsOf returns the original-rule IDs whose partitions were caused by
+// the given main-table rule. Deleting that main-table rule requires
+// un-partitioning each of them (delete the fragments, re-insert the
+// original; Fig. 6).
+func (m *PartitionMap) DependentsOf(mainRule RuleID) []RuleID {
+	return append([]RuleID(nil), m.byCause[mainRule]...)
+}
+
+// Remove erases the record for an original rule (after its fragments have
+// been deleted or the original restored).
+func (m *PartitionMap) Remove(original RuleID) {
+	p, ok := m.byOriginal[original]
+	if !ok {
+		return
+	}
+	delete(m.byOriginal, original)
+	for _, c := range p.Cause {
+		deps := m.byCause[c]
+		for i, d := range deps {
+			if d == original {
+				m.byCause[c] = append(deps[:i], deps[i+1:]...)
+				break
+			}
+		}
+		if len(m.byCause[c]) == 0 {
+			delete(m.byCause, c)
+		}
+	}
+	for _, part := range p.Parts {
+		delete(m.byPart, part.ID)
+	}
+}
+
+// Len reports the number of recorded partitions.
+func (m *PartitionMap) Len() int { return len(m.byOriginal) }

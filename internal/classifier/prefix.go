@@ -1,0 +1,234 @@
+// Package classifier implements the rule algebra Hermes relies on for its
+// correctness guarantees (paper §4): IPv4 prefixes, ternary match rules, an
+// overlap-detection trie, prefix subtraction ("EliminateOverlap"), optimal
+// sibling merging, and Algorithm 1 (PartitionNewRule) together with the
+// original-rule → partition mapping used to un-partition on deletion.
+package classifier
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IPv4 prefix: the top Len bits of Addr are significant and the
+// remaining bits must be zero (enforced by the constructors). The zero value
+// is 0.0.0.0/0, which matches every address.
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+// NewPrefix masks addr to plen bits and returns the canonical prefix. It
+// panics if plen > 32 because that is a programming error, never data.
+func NewPrefix(addr uint32, plen uint8) Prefix {
+	if plen > 32 {
+		panic(fmt.Sprintf("classifier: prefix length %d out of range", plen))
+	}
+	return Prefix{Addr: addr & maskBits(plen), Len: plen}
+}
+
+// ParsePrefix parses dotted-quad "a.b.c.d/len" notation. A missing "/len"
+// means a /32 host route.
+func ParsePrefix(s string) (Prefix, error) {
+	ipPart := s
+	plen := 32
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		ipPart = s[:i]
+		v, err := strconv.Atoi(s[i+1:])
+		if err != nil || v < 0 || v > 32 {
+			return Prefix{}, fmt.Errorf("classifier: bad prefix length in %q", s)
+		}
+		plen = v
+	}
+	parts := strings.Split(ipPart, ".")
+	if len(parts) != 4 {
+		return Prefix{}, fmt.Errorf("classifier: bad IPv4 address in %q", s)
+	}
+	var addr uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return Prefix{}, fmt.Errorf("classifier: bad IPv4 octet in %q", s)
+		}
+		addr = addr<<8 | uint32(v)
+	}
+	return NewPrefix(addr, uint8(plen)), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error; for tests and
+// literals.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func maskBits(plen uint8) uint32 {
+	if plen == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - plen)
+}
+
+// Mask returns the netmask of the prefix as a uint32.
+func (p Prefix) Mask() uint32 { return maskBits(p.Len) }
+
+// String renders dotted-quad/len notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		byte(p.Addr>>24), byte(p.Addr>>16), byte(p.Addr>>8), byte(p.Addr), p.Len)
+}
+
+// MatchesAddr reports whether addr falls inside the prefix.
+func (p Prefix) MatchesAddr(addr uint32) bool {
+	return addr&p.Mask() == p.Addr
+}
+
+// Contains reports whether p fully contains q (p ⊇ q). A prefix contains
+// itself.
+func (p Prefix) Contains(q Prefix) bool {
+	return p.Len <= q.Len && q.Addr&p.Mask() == p.Addr
+}
+
+// Overlaps reports whether the prefixes share any address. For prefixes this
+// is true exactly when one contains the other.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Contains(q) || q.Contains(p)
+}
+
+// Children returns the two /Len+1 halves of the prefix. It panics on a /32,
+// which has no children.
+func (p Prefix) Children() (lo, hi Prefix) {
+	if p.Len >= 32 {
+		panic("classifier: /32 prefix has no children")
+	}
+	bit := uint32(1) << (31 - p.Len)
+	return Prefix{Addr: p.Addr, Len: p.Len + 1},
+		Prefix{Addr: p.Addr | bit, Len: p.Len + 1}
+}
+
+// Parent returns the /Len-1 prefix covering p. It panics on a /0.
+func (p Prefix) Parent() Prefix {
+	if p.Len == 0 {
+		panic("classifier: /0 prefix has no parent")
+	}
+	return NewPrefix(p.Addr, p.Len-1)
+}
+
+// Sibling returns the other half of p's parent. It panics on a /0.
+func (p Prefix) Sibling() Prefix {
+	if p.Len == 0 {
+		panic("classifier: /0 prefix has no sibling")
+	}
+	bit := uint32(1) << (32 - p.Len)
+	return Prefix{Addr: p.Addr ^ bit, Len: p.Len}
+}
+
+// NumAddrs returns the number of addresses covered by the prefix as a
+// float64 (a /0 covers 2^32 which overflows uint32).
+func (p Prefix) NumAddrs() float64 {
+	return float64(uint64(1) << (32 - p.Len))
+}
+
+// Subtract returns the set of maximal prefixes covering p minus q. If q does
+// not overlap p the result is {p}; if q contains p the result is empty.
+// Otherwise q is strictly inside p and the result is the q.Len-p.Len
+// prefixes that peel off the path from p down to q — this is the classic
+// prefix-subtraction step behind the paper's EliminateOverlap.
+func (p Prefix) Subtract(q Prefix) []Prefix {
+	if !p.Overlaps(q) {
+		return []Prefix{p}
+	}
+	if q.Contains(p) {
+		return nil
+	}
+	// q is strictly inside p: walk from p toward q, at each level emitting
+	// the half that does NOT contain q.
+	out := make([]Prefix, 0, q.Len-p.Len)
+	cur := p
+	for cur.Len < q.Len {
+		lo, hi := cur.Children()
+		if lo.Contains(q) {
+			out = append(out, hi)
+			cur = lo
+		} else {
+			out = append(out, lo)
+			cur = hi
+		}
+	}
+	return out
+}
+
+// MergePrefixes combines sibling prefixes into their parent repeatedly and
+// removes prefixes contained in other prefixes, returning a minimal
+// equivalent cover. This is the merge step of Algorithm 1 (line 7), used to
+// minimize the number of partition rules inserted into the shadow table.
+func MergePrefixes(in []Prefix) []Prefix {
+	if len(in) <= 1 {
+		return append([]Prefix(nil), in...)
+	}
+	set := make(map[Prefix]bool, len(in))
+	for _, p := range in {
+		set[p] = true
+	}
+	// Repeatedly merge siblings bottom-up.
+	for {
+		merged := false
+		for p := range set {
+			if !set[p] { // already removed this pass
+				continue
+			}
+			if p.Len == 0 {
+				continue
+			}
+			sib := p.Sibling()
+			if set[sib] {
+				delete(set, p)
+				delete(set, sib)
+				set[p.Parent()] = true
+				merged = true
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	// Remove prefixes covered by another prefix in the set.
+	out := make([]Prefix, 0, len(set))
+	for p := range set {
+		covered := false
+		q := p
+		for q.Len > 0 {
+			q = q.Parent()
+			if set[q] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, p)
+		}
+	}
+	SortPrefixes(out)
+	return out
+}
+
+// SortPrefixes orders prefixes by address then length, giving deterministic
+// output for tests and rendering.
+func SortPrefixes(ps []Prefix) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && less(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func less(a, b Prefix) bool {
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	return a.Len < b.Len
+}

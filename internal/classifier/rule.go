@@ -1,0 +1,217 @@
+package classifier
+
+import "fmt"
+
+// ActionType enumerates the forwarding actions a rule can take. The set
+// mirrors what the paper's examples use (forward to a port, drop, punt to
+// the controller) plus the table-miss "goto next table" behaviour Hermes
+// configures on shadow tables (§3, §6).
+type ActionType uint8
+
+const (
+	// ActionForward sends matching packets out Action.Port.
+	ActionForward ActionType = iota
+	// ActionDrop discards matching packets.
+	ActionDrop
+	// ActionController punts matching packets to the SDN controller.
+	ActionController
+	// ActionGotoNext continues lookup in the next table in the pipeline.
+	ActionGotoNext
+)
+
+func (t ActionType) String() string {
+	switch t {
+	case ActionForward:
+		return "fwd"
+	case ActionDrop:
+		return "drop"
+	case ActionController:
+		return "ctrl"
+	case ActionGotoNext:
+		return "goto-next"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(t))
+	}
+}
+
+// Action is what a matching rule does with a packet.
+type Action struct {
+	Type ActionType
+	Port int // output port for ActionForward
+}
+
+func (a Action) String() string {
+	if a.Type == ActionForward {
+		return fmt.Sprintf("fwd:%d", a.Port)
+	}
+	return a.Type.String()
+}
+
+// Match is the region of header space a rule covers: a destination prefix
+// and a source prefix. FIB-style rules leave Src as the zero value (0/0).
+// Two matches overlap iff both dimensions overlap.
+type Match struct {
+	Dst Prefix
+	Src Prefix
+}
+
+// DstMatch is a convenience constructor for FIB-style destination-only
+// matches.
+func DstMatch(dst Prefix) Match { return Match{Dst: dst} }
+
+func (m Match) String() string {
+	if m.Src.Len == 0 {
+		return "dst=" + m.Dst.String()
+	}
+	return "dst=" + m.Dst.String() + ",src=" + m.Src.String()
+}
+
+// Overlaps reports whether the two match regions share any packet.
+func (m Match) Overlaps(o Match) bool {
+	return m.Dst.Overlaps(o.Dst) && m.Src.Overlaps(o.Src)
+}
+
+// Contains reports whether m fully contains o.
+func (m Match) Contains(o Match) bool {
+	return m.Dst.Contains(o.Dst) && m.Src.Contains(o.Src)
+}
+
+// MatchesPacket reports whether the (dst, src) address pair falls in the
+// region.
+func (m Match) MatchesPacket(dst, src uint32) bool {
+	return m.Dst.MatchesAddr(dst) && m.Src.MatchesAddr(src)
+}
+
+// Subtract returns a set of match regions exactly covering m minus o.
+// The result is empty when o contains m and {m} when they do not overlap.
+//
+// For the two-dimensional case the difference decomposes into (i) the dst
+// slices of m outside o's dst, each keeping m's full src range, and (ii) the
+// dst intersection combined with m's src minus o's src. Because prefixes
+// only nest, the intersection of two overlapping prefixes is simply the
+// longer one.
+func (m Match) Subtract(o Match) []Match {
+	if !m.Overlaps(o) {
+		return []Match{m}
+	}
+	if o.Contains(m) {
+		return nil
+	}
+	var out []Match
+	// Dst slices outside o.Dst.
+	for _, d := range m.Dst.Subtract(o.Dst) {
+		out = append(out, Match{Dst: d, Src: m.Src})
+	}
+	// Dst intersection: the longer of the two overlapping prefixes.
+	dstInt := m.Dst
+	if o.Dst.Len > dstInt.Len {
+		dstInt = o.Dst
+	}
+	// Within the dst intersection, keep src slices outside o.Src.
+	for _, s := range m.Src.Subtract(o.Src) {
+		out = append(out, Match{Dst: dstInt, Src: s})
+	}
+	return out
+}
+
+// MergeMatches minimizes a set of match regions that all carry the same
+// action and priority: regions with identical src merge their dst prefixes,
+// regions with identical dst merge their src prefixes, and regions contained
+// in other regions are dropped. The loop runs to a fixpoint.
+func MergeMatches(in []Match) []Match {
+	regions := append([]Match(nil), in...)
+	for {
+		changed := false
+		// Group by src, merge dst.
+		bySrc := make(map[Prefix][]Prefix)
+		for _, r := range regions {
+			bySrc[r.Src] = append(bySrc[r.Src], r.Dst)
+		}
+		var next []Match
+		for src, dsts := range bySrc {
+			merged := MergePrefixes(dsts)
+			if len(merged) < len(dsts) {
+				changed = true
+			}
+			for _, d := range merged {
+				next = append(next, Match{Dst: d, Src: src})
+			}
+		}
+		// Group by dst, merge src.
+		byDst := make(map[Prefix][]Prefix)
+		for _, r := range next {
+			byDst[r.Dst] = append(byDst[r.Dst], r.Src)
+		}
+		next = next[:0]
+		for dst, srcs := range byDst {
+			merged := MergePrefixes(srcs)
+			if len(merged) < len(srcs) {
+				changed = true
+			}
+			for _, s := range merged {
+				next = append(next, Match{Dst: dst, Src: s})
+			}
+		}
+		// Drop regions contained in other regions.
+		kept := make([]Match, 0, len(next))
+		for i, r := range next {
+			contained := false
+			for j, o := range next {
+				if i == j {
+					continue
+				}
+				if o.Contains(r) && !(r.Contains(o) && i < j) {
+					contained = true
+					break
+				}
+			}
+			if !contained {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) < len(next) {
+			changed = true
+		}
+		regions = kept
+		if !changed {
+			return sortMatches(regions)
+		}
+	}
+}
+
+func sortMatches(ms []Match) []Match {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && matchLess(ms[j], ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+	return ms
+}
+
+func matchLess(a, b Match) bool {
+	if a.Dst != b.Dst {
+		return less(a.Dst, b.Dst)
+	}
+	return less(a.Src, b.Src)
+}
+
+// RuleID uniquely identifies a rule across the logical table. IDs are
+// assigned by the caller (the Hermes agent or the test harness).
+type RuleID uint64
+
+// Rule is one logical flow-table entry. Higher Priority wins; ties are
+// broken by insertion order (the earlier rule wins), matching TCAM
+// first-match semantics.
+type Rule struct {
+	ID       RuleID
+	Match    Match
+	Priority int32
+	Action   Action
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("rule#%d{%s prio=%d %s}", r.ID, r.Match, r.Priority, r.Action)
+}
+
+// Overlaps reports whether two rules' match regions intersect.
+func (r Rule) Overlaps(o Rule) bool { return r.Match.Overlaps(o.Match) }

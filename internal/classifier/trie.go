@@ -1,0 +1,145 @@
+package classifier
+
+// Trie is a binary trie over destination prefixes used by Hermes's Gate
+// Keeper as the "efficient data structure to detect overlapping rules"
+// (paper §3, Correctness). Rules are indexed by their destination prefix;
+// because prefixes only nest, every rule whose destination overlaps a query
+// lies either on the trie path down to the query prefix (ancestors, whose
+// dst contains the query) or in the subtree rooted at it (descendants,
+// contained by the query). Source-prefix overlap is then checked per
+// candidate.
+//
+// The zero value is an empty trie.
+type Trie struct {
+	root *trieNode
+	size int
+}
+
+type trieNode struct {
+	children [2]*trieNode
+	rules    []Rule // rules whose Dst ends exactly at this node
+}
+
+// Size reports the number of rules in the trie.
+func (t *Trie) Size() int { return t.size }
+
+// Insert adds a rule to the index. Multiple rules may share a destination
+// prefix.
+func (t *Trie) Insert(r Rule) {
+	if t.root == nil {
+		t.root = &trieNode{}
+	}
+	n := t.root
+	p := r.Match.Dst
+	for depth := uint8(0); depth < p.Len; depth++ {
+		bit := (p.Addr >> (31 - depth)) & 1
+		if n.children[bit] == nil {
+			n.children[bit] = &trieNode{}
+		}
+		n = n.children[bit]
+	}
+	n.rules = append(n.rules, r)
+	t.size++
+}
+
+// Delete removes the rule with the given ID from the node for prefix dst.
+// It reports whether a rule was removed. Empty nodes are left in place;
+// the trie is rebuilt wholesale on migration, which bounds garbage.
+func (t *Trie) Delete(dst Prefix, id RuleID) bool {
+	n := t.node(dst)
+	if n == nil {
+		return false
+	}
+	for i, r := range n.rules {
+		if r.ID == id {
+			n.rules = append(n.rules[:i], n.rules[i+1:]...)
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the rule with the given ID stored under dst, if present.
+func (t *Trie) Get(dst Prefix, id RuleID) (Rule, bool) {
+	n := t.node(dst)
+	if n == nil {
+		return Rule{}, false
+	}
+	for _, r := range n.rules {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+func (t *Trie) node(p Prefix) *trieNode {
+	n := t.root
+	for depth := uint8(0); n != nil && depth < p.Len; depth++ {
+		bit := (p.Addr >> (31 - depth)) & 1
+		n = n.children[bit]
+	}
+	return n
+}
+
+// Overlapping returns every indexed rule whose match region overlaps m.
+func (t *Trie) Overlapping(m Match) []Rule {
+	if t.root == nil {
+		return nil
+	}
+	var out []Rule
+	collect := func(rules []Rule) {
+		for _, r := range rules {
+			if r.Match.Src.Overlaps(m.Src) {
+				out = append(out, r)
+			}
+		}
+	}
+	// Walk the path to m.Dst: ancestors (dst contains m.Dst).
+	n := t.root
+	for depth := uint8(0); depth < m.Dst.Len; depth++ {
+		collect(n.rules)
+		bit := (m.Dst.Addr >> (31 - depth)) & 1
+		n = n.children[bit]
+		if n == nil {
+			return out
+		}
+	}
+	// Subtree at m.Dst: the node itself plus descendants (dst contained in
+	// m.Dst).
+	var walk func(*trieNode)
+	walk = func(nd *trieNode) {
+		collect(nd.rules)
+		if nd.children[0] != nil {
+			walk(nd.children[0])
+		}
+		if nd.children[1] != nil {
+			walk(nd.children[1])
+		}
+	}
+	walk(n)
+	return out
+}
+
+// All returns every rule in the trie in depth-first order.
+func (t *Trie) All() []Rule {
+	var out []Rule
+	var walk func(*trieNode)
+	walk = func(nd *trieNode) {
+		if nd == nil {
+			return
+		}
+		out = append(out, nd.rules...)
+		walk(nd.children[0])
+		walk(nd.children[1])
+	}
+	walk(t.root)
+	return out
+}
+
+// Clear empties the trie.
+func (t *Trie) Clear() {
+	t.root = nil
+	t.size = 0
+}

@@ -1,0 +1,132 @@
+package classifier
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieInsertGetDelete(t *testing.T) {
+	var tr Trie
+	r1 := Rule{ID: 1, Match: m("10.0.0.0/8", "0.0.0.0/0"), Priority: 10}
+	r2 := Rule{ID: 2, Match: m("10.0.0.0/8", "0.0.0.0/0"), Priority: 20}
+	r3 := Rule{ID: 3, Match: m("10.1.0.0/16", "0.0.0.0/0"), Priority: 5}
+	tr.Insert(r1)
+	tr.Insert(r2)
+	tr.Insert(r3)
+
+	if tr.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", tr.Size())
+	}
+	if got, ok := tr.Get(r2.Match.Dst, 2); !ok || got.Priority != 20 {
+		t.Errorf("Get(2) = %v, %v", got, ok)
+	}
+	if !tr.Delete(r1.Match.Dst, 1) {
+		t.Error("Delete(1) failed")
+	}
+	if tr.Delete(r1.Match.Dst, 1) {
+		t.Error("double Delete(1) succeeded")
+	}
+	if tr.Size() != 2 {
+		t.Errorf("Size after delete = %d, want 2", tr.Size())
+	}
+	if _, ok := tr.Get(r1.Match.Dst, 1); ok {
+		t.Error("deleted rule still present")
+	}
+	// Deleting from a prefix that has no node.
+	if tr.Delete(MustParsePrefix("172.16.0.0/12"), 99) {
+		t.Error("Delete on absent prefix succeeded")
+	}
+}
+
+func TestTrieOverlappingAncestorsAndDescendants(t *testing.T) {
+	var tr Trie
+	rules := []Rule{
+		{ID: 1, Match: DstMatch(MustParsePrefix("0.0.0.0/0"))},
+		{ID: 2, Match: DstMatch(MustParsePrefix("192.168.0.0/16"))},
+		{ID: 3, Match: DstMatch(MustParsePrefix("192.168.1.0/24"))},
+		{ID: 4, Match: DstMatch(MustParsePrefix("192.168.1.0/26"))},
+		{ID: 5, Match: DstMatch(MustParsePrefix("192.168.2.0/24"))},
+		{ID: 6, Match: DstMatch(MustParsePrefix("10.0.0.0/8"))},
+	}
+	for _, r := range rules {
+		tr.Insert(r)
+	}
+	got := tr.Overlapping(DstMatch(MustParsePrefix("192.168.1.0/24")))
+	ids := map[RuleID]bool{}
+	for _, r := range got {
+		ids[r.ID] = true
+	}
+	// Overlapping /24: ancestors 0/0, /16; itself /24; descendant /26.
+	for _, want := range []RuleID{1, 2, 3, 4} {
+		if !ids[want] {
+			t.Errorf("missing overlap with rule %d", want)
+		}
+	}
+	for _, not := range []RuleID{5, 6} {
+		if ids[not] {
+			t.Errorf("rule %d must not overlap", not)
+		}
+	}
+}
+
+func TestTrieOverlappingSrcFilter(t *testing.T) {
+	var tr Trie
+	tr.Insert(Rule{ID: 1, Match: m("192.168.1.0/24", "10.0.0.0/8")})
+	tr.Insert(Rule{ID: 2, Match: m("192.168.1.0/24", "172.16.0.0/12")})
+	got := tr.Overlapping(m("192.168.1.0/26", "10.1.0.0/16"))
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("Overlapping with src filter = %v", got)
+	}
+}
+
+func TestTrieOverlappingBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr Trie
+		n := 1 + r.Intn(40)
+		rules := make([]Rule, n)
+		for i := range rules {
+			rules[i] = Rule{ID: RuleID(i + 1), Match: randomMatch(r)}
+			tr.Insert(rules[i])
+		}
+		q := randomMatch(r)
+		want := map[RuleID]bool{}
+		for _, rr := range rules {
+			if rr.Match.Overlaps(q) {
+				want[rr.ID] = true
+			}
+		}
+		got := tr.Overlapping(q)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, rr := range got {
+			if !want[rr.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrieAllAndClear(t *testing.T) {
+	var tr Trie
+	for i := 0; i < 10; i++ {
+		tr.Insert(Rule{ID: RuleID(i), Match: DstMatch(NewPrefix(uint32(i)<<24, 8))})
+	}
+	if got := tr.All(); len(got) != 10 {
+		t.Errorf("All = %d rules, want 10", len(got))
+	}
+	tr.Clear()
+	if tr.Size() != 0 || len(tr.All()) != 0 {
+		t.Error("Clear did not empty trie")
+	}
+	// Overlapping on empty trie.
+	if got := tr.Overlapping(DstMatch(MustParsePrefix("0.0.0.0/0"))); got != nil {
+		t.Errorf("Overlapping on empty trie = %v", got)
+	}
+}

@@ -1,0 +1,169 @@
+// Package controller implements the controller-side half of the §7
+// contract: CreateTCAMQoS returns a maximum burst rate per switch, and a
+// controller that wants its insertions guaranteed must not exceed it. The
+// Pacer turns batches of pending flow-mods into a per-switch send schedule
+// that respects each switch's advertised rate and burst budget, and
+// estimates when a network-wide update will complete — the quantity
+// consistent-update planners (e.g. the B4/SWAN-style TE programs the paper
+// motivates with) need to sequence dependent stages.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+// SwitchLimit is one switch's advertised admission contract (from
+// core.QoSInfo / the ofwire QoS reply).
+type SwitchLimit struct {
+	// Rate is the sustainable insertion rate in rules/second.
+	Rate float64
+	// Burst is the number of back-to-back insertions the switch absorbs
+	// without pacing.
+	Burst float64
+}
+
+// Update is one pending flow-mod addressed to a switch.
+type Update struct {
+	Switch string
+	Rule   classifier.Rule
+}
+
+// Send is one scheduled transmission.
+type Send struct {
+	At     time.Duration
+	Switch string
+	Rule   classifier.Rule
+}
+
+// Pacer schedules controller→switch flow-mods under per-switch limits.
+// The zero value is unusable; create one with NewPacer. Pacer is
+// deterministic and purely computational (no I/O), so plans can be unit
+// tested and replayed.
+type Pacer struct {
+	limits map[string]SwitchLimit
+	// tokens/lastSend persist across Plan calls so consecutive plans
+	// share each switch's budget.
+	tokens map[string]float64
+	last   map[string]time.Duration
+}
+
+// NewPacer returns an empty pacer.
+func NewPacer() *Pacer {
+	return &Pacer{
+		limits: make(map[string]SwitchLimit),
+		tokens: make(map[string]float64),
+		last:   make(map[string]time.Duration),
+	}
+}
+
+// Register records a switch's advertised limit (buckets start full). It
+// panics on a non-positive rate, which indicates the caller skipped QoS
+// negotiation.
+func (p *Pacer) Register(name string, limit SwitchLimit) {
+	if limit.Rate <= 0 {
+		panic(fmt.Sprintf("controller: switch %q rate %v", name, limit.Rate))
+	}
+	if limit.Burst < 1 {
+		limit.Burst = 1
+	}
+	p.limits[name] = limit
+	p.tokens[name] = limit.Burst
+	p.last[name] = 0
+}
+
+// Registered reports whether a switch has a limit on file.
+func (p *Pacer) Registered(name string) bool {
+	_, ok := p.limits[name]
+	return ok
+}
+
+// Plan schedules the updates for transmission at or after now. Updates to
+// the same switch are paced at its advertised rate once its burst budget
+// is spent; updates to different switches are independent. The returned
+// sends are ordered by time (ties by switch then rule ID), and the second
+// result is the completion estimate (the latest send time).
+//
+// Plan returns an error if any update addresses an unregistered switch —
+// sending unpaced traffic to a guaranteed switch silently voids its
+// guarantee, so the mistake must be loud.
+func (p *Pacer) Plan(now time.Duration, updates []Update) ([]Send, time.Duration, error) {
+	perSwitch := make(map[string][]Update)
+	for _, u := range updates {
+		if !p.Registered(u.Switch) {
+			return nil, 0, fmt.Errorf("controller: switch %q has no registered limit", u.Switch)
+		}
+		perSwitch[u.Switch] = append(perSwitch[u.Switch], u)
+	}
+	names := make([]string, 0, len(perSwitch))
+	for n := range perSwitch {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var sends []Send
+	end := now
+	for _, name := range names {
+		limit := p.limits[name]
+		// Refill this switch's bucket for the time elapsed since its last
+		// send.
+		tokens := p.tokens[name] + (now-p.last[name]).Seconds()*limit.Rate
+		if tokens > limit.Burst {
+			tokens = limit.Burst
+		}
+		at := now
+		interval := time.Duration(float64(time.Second) / limit.Rate)
+		for _, u := range perSwitch[name] {
+			if tokens >= 1 {
+				tokens--
+			} else {
+				at += interval
+			}
+			sends = append(sends, Send{At: at, Switch: name, Rule: u.Rule})
+			if at > end {
+				end = at
+			}
+		}
+		p.tokens[name] = tokens
+		p.last[name] = at
+	}
+	sort.Slice(sends, func(i, j int) bool {
+		if sends[i].At != sends[j].At {
+			return sends[i].At < sends[j].At
+		}
+		if sends[i].Switch != sends[j].Switch {
+			return sends[i].Switch < sends[j].Switch
+		}
+		return sends[i].Rule.ID < sends[j].Rule.ID
+	})
+	return sends, end, nil
+}
+
+// EstimateCompletion reports when a batch of the given sizes would finish
+// without committing any budget — the dry-run operators use to decide
+// whether a reconfiguration fits a maintenance window.
+func (p *Pacer) EstimateCompletion(now time.Duration, batch map[string]int) (time.Duration, error) {
+	end := now
+	for name, n := range batch {
+		limit, ok := p.limits[name]
+		if !ok {
+			return 0, fmt.Errorf("controller: switch %q has no registered limit", name)
+		}
+		tokens := p.tokens[name] + (now-p.last[name]).Seconds()*limit.Rate
+		if tokens > limit.Burst {
+			tokens = limit.Burst
+		}
+		paced := float64(n) - tokens
+		if paced < 0 {
+			paced = 0
+		}
+		at := now + time.Duration(paced/limit.Rate*float64(time.Second))
+		if at > end {
+			end = at
+		}
+	}
+	return end, nil
+}

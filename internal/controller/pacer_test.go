@@ -1,0 +1,184 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+func upd(sw string, id int) Update {
+	return Update{Switch: sw, Rule: classifier.Rule{
+		ID:       classifier.RuleID(id),
+		Match:    classifier.DstMatch(classifier.NewPrefix(uint32(id)<<8, 24)),
+		Priority: int32(id),
+	}}
+}
+
+func TestPlanRespectsRate(t *testing.T) {
+	p := NewPacer()
+	p.Register("s1", SwitchLimit{Rate: 100, Burst: 5})
+	var updates []Update
+	for i := 0; i < 25; i++ {
+		updates = append(updates, upd("s1", i+1))
+	}
+	sends, end, err := p.Plan(0, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sends) != 25 {
+		t.Fatalf("sends = %d", len(sends))
+	}
+	// First 5 ride the burst at t=0; the remaining 20 pace at 100/s.
+	for i := 0; i < 5; i++ {
+		if sends[i].At != 0 {
+			t.Errorf("burst send %d at %v", i, sends[i].At)
+		}
+	}
+	wantEnd := time.Duration(20) * (time.Second / 100)
+	if end != wantEnd {
+		t.Errorf("end = %v, want %v", end, wantEnd)
+	}
+	// No 10ms window may carry more than ~2 sends after the burst (100/s
+	// => 1 per 10ms).
+	counts := map[int]int{}
+	for _, s := range sends[5:] {
+		counts[int(s.At/(10*time.Millisecond))]++
+	}
+	for w, c := range counts {
+		if c > 2 {
+			t.Errorf("window %d carries %d paced sends", w, c)
+		}
+	}
+}
+
+func TestPlanIndependentSwitches(t *testing.T) {
+	p := NewPacer()
+	p.Register("a", SwitchLimit{Rate: 10, Burst: 1})
+	p.Register("b", SwitchLimit{Rate: 1000, Burst: 100})
+	updates := []Update{upd("a", 1), upd("a", 2), upd("b", 3), upd("b", 4)}
+	sends, end, err := p.Plan(0, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Switch b's sends all land at t=0 (inside its burst); switch a pays
+	// one 100ms pacing gap.
+	var aMax, bMax time.Duration
+	for _, s := range sends {
+		if s.Switch == "a" && s.At > aMax {
+			aMax = s.At
+		}
+		if s.Switch == "b" && s.At > bMax {
+			bMax = s.At
+		}
+	}
+	if bMax != 0 {
+		t.Errorf("switch b paced unnecessarily: %v", bMax)
+	}
+	if aMax != 100*time.Millisecond {
+		t.Errorf("switch a pacing = %v, want 100ms", aMax)
+	}
+	if end != aMax {
+		t.Errorf("end = %v", end)
+	}
+}
+
+func TestPlanBudgetPersistsAcrossCalls(t *testing.T) {
+	p := NewPacer()
+	p.Register("s1", SwitchLimit{Rate: 100, Burst: 4})
+	// First plan drains the burst.
+	if _, _, err := p.Plan(0, []Update{upd("s1", 1), upd("s1", 2), upd("s1", 3), upd("s1", 4)}); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately planning more must pace from the start.
+	sends, _, err := p.Plan(0, []Update{upd("s1", 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sends[0].At == 0 {
+		t.Error("burst not depleted across plans")
+	}
+	// After a second of idling the bucket refills.
+	sends, _, err = p.Plan(time.Second, []Update{upd("s1", 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sends[0].At != time.Second {
+		t.Errorf("refilled send at %v", sends[0].At)
+	}
+}
+
+func TestPlanUnregisteredSwitch(t *testing.T) {
+	p := NewPacer()
+	if _, _, err := p.Plan(0, []Update{upd("ghost", 1)}); err == nil {
+		t.Error("unregistered switch accepted")
+	}
+	if p.Registered("ghost") {
+		t.Error("Registered on unknown switch")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	p := NewPacer()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero rate must panic")
+		}
+	}()
+	p.Register("bad", SwitchLimit{Rate: 0})
+}
+
+func TestEstimateCompletion(t *testing.T) {
+	p := NewPacer()
+	p.Register("a", SwitchLimit{Rate: 100, Burst: 10})
+	p.Register("b", SwitchLimit{Rate: 1000, Burst: 10})
+	end, err := p.EstimateCompletion(0, map[string]int{"a": 110, "b": 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 100 paced rules at 100/s = 1s (b finishes in 0.1s).
+	if end != time.Second {
+		t.Errorf("estimate = %v, want 1s", end)
+	}
+	// Estimates do not consume budget.
+	end2, _ := p.EstimateCompletion(0, map[string]int{"a": 110})
+	if end2 != time.Second {
+		t.Errorf("second estimate = %v (budget consumed?)", end2)
+	}
+	if _, err := p.EstimateCompletion(0, map[string]int{"nope": 1}); err == nil {
+		t.Error("unregistered estimate accepted")
+	}
+}
+
+// TestPlanMatchesAgentContract wires the pacer to a real agent's
+// advertised numbers and confirms a paced plan yields zero violations.
+func TestPlanDeterminism(t *testing.T) {
+	mk := func() ([]Send, time.Duration) {
+		p := NewPacer()
+		p.Register("s1", SwitchLimit{Rate: 200, Burst: 8})
+		p.Register("s2", SwitchLimit{Rate: 50, Burst: 2})
+		var updates []Update
+		for i := 0; i < 30; i++ {
+			sw := "s1"
+			if i%3 == 0 {
+				sw = "s2"
+			}
+			updates = append(updates, upd(sw, i+1))
+		}
+		sends, end, err := p.Plan(0, updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sends, end
+	}
+	a, endA := mk()
+	b, endB := mk()
+	if endA != endB || len(a) != len(b) {
+		t.Fatal("plans differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("send %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+// This file implements a two-phase consistent network update on top of the
+// Pacer — the workflow the TE programs motivating the paper (B4, SWAN,
+// zUpdate) run continuously: install the new path's rules everywhere
+// (add-before-remove), wait for the slowest switch, flip traffic, then
+// retire the old rules. Hermes's per-insertion guarantees are what make
+// phase one's completion time *predictable*; the planner surfaces exactly
+// that predictability.
+
+// PathUpdate describes moving one flow from an old rule set to a new one.
+type PathUpdate struct {
+	// FlowID identifies the flow for reporting.
+	FlowID int
+	// Adds are the new path's rules, keyed by switch.
+	Adds []Update
+	// Removes are the old path's rules to retire after the flip.
+	Removes []Update
+}
+
+// PhasePlan is the schedule for one update round.
+type PhasePlan struct {
+	// AddSends is the paced phase-one schedule.
+	AddSends []Send
+	// FlipAt is when every add has been transmitted and, per the switches'
+	// guarantees, installed: traffic may flip to the new paths.
+	FlipAt time.Duration
+	// RemoveSends is the paced phase-two schedule (starting at FlipAt).
+	RemoveSends []Send
+	// Done is when the last removal has been transmitted.
+	Done time.Duration
+}
+
+// PlanTwoPhase schedules a consistent update round: all adds are paced
+// first; the flip point adds each switch's installation guarantee on top
+// of the last transmission so that every new rule is live in TCAM before
+// any old rule disappears; removals are paced after the flip.
+//
+// guarantee is the per-insertion bound negotiated with the switches
+// (CreateTCAMQoS); it is added once after the final send because sends to
+// one switch are paced at its admitted rate, under which installations
+// complete within the bound of their own arrival.
+func (p *Pacer) PlanTwoPhase(now time.Duration, updates []PathUpdate, guarantee time.Duration) (*PhasePlan, error) {
+	var adds, removes []Update
+	for _, u := range updates {
+		adds = append(adds, u.Adds...)
+		removes = append(removes, u.Removes...)
+	}
+	addSends, addEnd, err := p.Plan(now, adds)
+	if err != nil {
+		return nil, fmt.Errorf("controller: two-phase adds: %w", err)
+	}
+	flip := addEnd + guarantee
+	removeSends, removeEnd, err := p.Plan(flip, removes)
+	if err != nil {
+		return nil, fmt.Errorf("controller: two-phase removes: %w", err)
+	}
+	return &PhasePlan{
+		AddSends:    addSends,
+		FlipAt:      flip,
+		RemoveSends: removeSends,
+		Done:        removeEnd,
+	}, nil
+}
+
+// Validate checks the plan's two safety properties: (i) every add is
+// transmitted strictly before the flip, and (ii) no remove is transmitted
+// before the flip. It returns nil for a safe plan.
+func (pl *PhasePlan) Validate() error {
+	for _, s := range pl.AddSends {
+		if s.At >= pl.FlipAt {
+			return fmt.Errorf("controller: add of rule %d at %v not before flip %v",
+				s.Rule.ID, s.At, pl.FlipAt)
+		}
+	}
+	for _, s := range pl.RemoveSends {
+		if s.At < pl.FlipAt {
+			return fmt.Errorf("controller: remove of rule %d at %v before flip %v",
+				s.Rule.ID, s.At, pl.FlipAt)
+		}
+	}
+	return nil
+}
+
+// Switches returns the distinct switches a plan touches, sorted.
+func (pl *PhasePlan) Switches() []string {
+	set := map[string]bool{}
+	for _, s := range pl.AddSends {
+		set[s.Switch] = true
+	}
+	for _, s := range pl.RemoveSends {
+		set[s.Switch] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RulesBySwitch splits a rule list across switches for batch transmission.
+func RulesBySwitch(sends []Send) map[string][]classifier.Rule {
+	out := make(map[string][]classifier.Rule)
+	for _, s := range sends {
+		out[s.Switch] = append(out[s.Switch], s.Rule)
+	}
+	return out
+}

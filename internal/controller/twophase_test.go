@@ -1,0 +1,114 @@
+package controller
+
+import (
+	"testing"
+	"time"
+)
+
+func pathUpdate(flow int, addSw, removeSw []string, firstID int) PathUpdate {
+	u := PathUpdate{FlowID: flow}
+	id := firstID
+	for _, sw := range addSw {
+		u.Adds = append(u.Adds, upd(sw, id))
+		id++
+	}
+	for _, sw := range removeSw {
+		u.Removes = append(u.Removes, upd(sw, id))
+		id++
+	}
+	return u
+}
+
+func TestPlanTwoPhaseSafety(t *testing.T) {
+	p := NewPacer()
+	for _, sw := range []string{"s1", "s2", "s3"} {
+		p.Register(sw, SwitchLimit{Rate: 200, Burst: 4})
+	}
+	updates := []PathUpdate{
+		pathUpdate(1, []string{"s1", "s2"}, []string{"s3"}, 100),
+		pathUpdate(2, []string{"s2", "s3"}, []string{"s1"}, 200),
+		pathUpdate(3, []string{"s1", "s2", "s3"}, []string{"s2"}, 300),
+	}
+	guarantee := 5 * time.Millisecond
+	plan, err := p.PlanTwoPhase(0, updates, guarantee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.AddSends) != 7 || len(plan.RemoveSends) != 3 {
+		t.Fatalf("sends = %d adds, %d removes", len(plan.AddSends), len(plan.RemoveSends))
+	}
+	// The flip sits the guarantee after the last add transmission.
+	lastAdd := plan.AddSends[len(plan.AddSends)-1].At
+	if plan.FlipAt != lastAdd+guarantee {
+		t.Errorf("flip = %v, want %v", plan.FlipAt, lastAdd+guarantee)
+	}
+	if plan.Done < plan.FlipAt {
+		t.Error("done before flip")
+	}
+	if got := plan.Switches(); len(got) != 3 || got[0] != "s1" {
+		t.Errorf("switches = %v", got)
+	}
+	by := RulesBySwitch(plan.AddSends)
+	total := 0
+	for _, rules := range by {
+		total += len(rules)
+	}
+	if total != 7 {
+		t.Errorf("RulesBySwitch lost rules: %d", total)
+	}
+}
+
+func TestPlanTwoPhaseUnregistered(t *testing.T) {
+	p := NewPacer()
+	p.Register("s1", SwitchLimit{Rate: 100, Burst: 1})
+	if _, err := p.PlanTwoPhase(0, []PathUpdate{
+		pathUpdate(1, []string{"ghost"}, nil, 1),
+	}, time.Millisecond); err == nil {
+		t.Error("unregistered add switch accepted")
+	}
+	if _, err := p.PlanTwoPhase(0, []PathUpdate{
+		pathUpdate(1, []string{"s1"}, []string{"ghost"}, 1),
+	}, time.Millisecond); err == nil {
+		t.Error("unregistered remove switch accepted")
+	}
+}
+
+func TestPlanTwoPhasePacingStretchesFlip(t *testing.T) {
+	p := NewPacer()
+	p.Register("slow", SwitchLimit{Rate: 10, Burst: 1}) // 100ms between sends
+	var u PathUpdate
+	for i := 0; i < 5; i++ {
+		u.Adds = append(u.Adds, upd("slow", i+1))
+	}
+	plan, err := p.PlanTwoPhase(0, []PathUpdate{u}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 paced sends after the burst: flip at 400ms + 5ms.
+	if plan.FlipAt != 405*time.Millisecond {
+		t.Errorf("flip = %v, want 405ms", plan.FlipAt)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsUnsafePlans(t *testing.T) {
+	bad := &PhasePlan{
+		AddSends: []Send{{At: 10 * time.Millisecond, Switch: "s1"}},
+		FlipAt:   5 * time.Millisecond,
+	}
+	if bad.Validate() == nil {
+		t.Error("late add accepted")
+	}
+	bad = &PhasePlan{
+		FlipAt:      5 * time.Millisecond,
+		RemoveSends: []Send{{At: time.Millisecond, Switch: "s1"}},
+	}
+	if bad.Validate() == nil {
+		t.Error("early remove accepted")
+	}
+}

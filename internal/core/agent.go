@@ -1,0 +1,667 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/predict"
+	"hermes/internal/tcam"
+	"hermes/internal/tokenbucket"
+)
+
+// partIDBase is the first rule ID the agent mints for partition fragments.
+// Controller-assigned rule IDs must stay below it.
+const partIDBase classifier.RuleID = 1 << 40
+
+// Agent errors.
+var (
+	// ErrGuaranteeInfeasible means the requested bound is below even a
+	// shift-free insertion on this switch, so no shadow size can honor it.
+	ErrGuaranteeInfeasible = errors.New("core: guarantee below the switch's floor latency")
+	// ErrUnknownRule is returned for operations on rules the agent never
+	// saw (or already deleted).
+	ErrUnknownRule = errors.New("core: unknown rule")
+	// ErrDuplicateRule is returned when inserting an ID that is live.
+	ErrDuplicateRule = errors.New("core: duplicate rule id")
+	// ErrReservedID is returned for controller rules in the agent's
+	// internal partition-ID space.
+	ErrReservedID = errors.New("core: rule id in reserved partition range")
+)
+
+type placement uint8
+
+const (
+	placeShadow placement = iota
+	placeMain
+)
+
+// ruleState tracks where one controller-visible (original) rule currently
+// lives and which physical entries realize it.
+type ruleState struct {
+	original classifier.Rule
+	// seq is the rule's logical insertion sequence number; ties in
+	// priority are broken by it (earlier wins), exactly as a monolithic
+	// TCAM would order equal-priority entries.
+	seq   uint64
+	place placement
+	// partIDs are the physical entry IDs in the shadow table realizing the
+	// rule (== {original.ID} when not fragmented). For placeMain it is
+	// always {original.ID}.
+	partIDs []classifier.RuleID
+}
+
+// migration is an in-flight background migration (§5.2).
+type migration struct {
+	startedAt  time.Duration
+	completeAt time.Duration
+	// originals are the IDs snapshotted for this migration.
+	originals []classifier.RuleID
+	// naive reports the ablation mode where the shadow was emptied at
+	// start instead of at completion.
+	naive bool
+}
+
+// Agent is one switch's Hermes instance: Gate Keeper + Rule Manager
+// (Fig. 3). It is not safe for concurrent use; the simulator and harness
+// are single-threaded by design, mirroring the single switch-CPU agent.
+type Agent struct {
+	sw     *tcam.Switch
+	shadow *tcam.Table
+	main   *tcam.Table
+	cfg    Config
+
+	shadowSize int
+	maxRate    float64 // Equation 2, rules/second
+	bucket     *tokenbucket.Bucket
+
+	mainIndex  classifier.Trie
+	pmap       *classifier.PartitionMap
+	rules      map[classifier.RuleID]*ruleState
+	nextPartID classifier.RuleID
+	nextSeq    uint64
+
+	arrivals int // shadow entries installed since the last Tick
+	migr     *migration
+	lastTick time.Duration
+	tuner    *autoTuner // non-nil when cfg.AutoTuneSlack
+
+	metrics Metrics
+
+	// logical is the reference monolithic table (insertion-ordered) kept
+	// when cfg.TrackLogical is set; tests use it to verify equivalence.
+	logical []classifier.Rule
+}
+
+// New creates a Hermes agent on the switch: sizes the shadow table from the
+// requested guarantee (the largest occupancy whose worst-case insertion
+// stays within the bound), carves the TCAM, and computes the admissible
+// rate of Equation 2. The switch must be un-carved and empty.
+func New(sw *tcam.Switch, cfg Config) (*Agent, error) {
+	cfg = cfg.withDefaults()
+	prof := sw.Profile()
+	if cfg.Guarantee <= 0 {
+		return nil, fmt.Errorf("core: non-positive guarantee %v", cfg.Guarantee)
+	}
+	size := prof.MaxShiftsWithin(cfg.Guarantee)
+	if size == 0 {
+		return nil, fmt.Errorf("%w: %v < floor %v on %s",
+			ErrGuaranteeInfeasible, cfg.Guarantee, prof.FloorLatency, prof.Name)
+	}
+	if max := prof.Capacity / 2; size > max {
+		size = max
+	}
+	shadow, main, err := sw.Carve(size)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		sw:         sw,
+		shadow:     shadow,
+		main:       main,
+		cfg:        cfg,
+		shadowSize: size,
+		pmap:       classifier.NewPartitionMap(),
+		rules:      make(map[classifier.RuleID]*ruleState),
+		nextPartID: partIDBase,
+	}
+	a.maxRate = a.computeMaxRate()
+	if !cfg.DisableRateLimit {
+		a.bucket = tokenbucket.New(a.maxRate, a.burstBudget())
+	}
+	if cfg.AutoTuneSlack {
+		seed := 1.0
+		if s, ok := cfg.Corrector.(predict.Slack); ok && s.Factor > 0 {
+			seed = s.Factor
+		}
+		a.tuner = newAutoTuner(seed)
+	}
+	return a, nil
+}
+
+// burstBudget sizes the token bucket's burst so that an admitted burst
+// drains through the serial control-plane processor within roughly one
+// guarantee period: B ≈ guarantee / typical-insert-cost. Larger bursts
+// would be installed within the bound individually but complete late due
+// to queueing, silently voiding the guarantee.
+func (a *Agent) burstBudget() float64 {
+	typical := a.sw.Profile().InsertLatency(a.shadowSize / 4)
+	b := a.cfg.Guarantee.Seconds() / typical.Seconds()
+	if b < 4 {
+		b = 4
+	}
+	if max := float64(a.shadowSize) / 2; b > max {
+		b = max
+	}
+	return b
+}
+
+// computeMaxRate evaluates Equation 2 — λ = S_ST / (r_p · t_m), with t_m
+// estimated as the time to migrate a full shadow table at typical main
+// occupancy (half full) using the cheaper of incremental and bulk
+// strategies — and additionally caps λ at the control-plane processor's
+// sustainable service rate at typical shadow occupancy. Equation 2 bounds
+// how fast rules can *leave* the shadow table; the service-rate cap bounds
+// how fast they can *enter* it without queueing past the guarantee.
+func (a *Agent) computeMaxRate() float64 {
+	prof := a.sw.Profile()
+	s := a.shadowSize
+	mainOcc := a.main.Capacity() / 2
+	incremental := time.Duration(s) * prof.InsertLatency(mainOcc)
+	bulk := time.Duration(mainOcc+s) * prof.BulkWriteLatency
+	tm := incremental
+	if bulk < tm {
+		tm = bulk
+	}
+	eq2 := float64(s) / (a.cfg.ExpectedPartitions * tm.Seconds())
+	service := 1.0 / (a.cfg.ExpectedPartitions * prof.InsertLatency(s/4).Seconds())
+	if service < eq2 {
+		return service
+	}
+	return eq2
+}
+
+// MaxRate returns the guaranteed-insertion rate (rules/second) the agent
+// admits — the value CreateTCAMQoS reports to the operator (§7).
+func (a *Agent) MaxRate() float64 { return a.maxRate }
+
+// ShadowSize returns the carved shadow-table capacity.
+func (a *Agent) ShadowSize() int { return a.shadowSize }
+
+// OverheadFraction returns the TCAM fraction sacrificed for the guarantee —
+// the quantity QoSOverheads reports and Figure 14 plots.
+func (a *Agent) OverheadFraction() float64 {
+	return float64(a.shadowSize) / float64(a.sw.Profile().Capacity)
+}
+
+// Guarantee returns the configured insertion bound.
+func (a *Agent) Guarantee() time.Duration { return a.cfg.Guarantee }
+
+// Switch returns the underlying switch (for lookups in tests and the
+// simulator).
+func (a *Agent) Switch() *tcam.Switch { return a.sw }
+
+// Metrics returns a snapshot of the agent's counters.
+func (a *Agent) Metrics() Metrics { return a.metrics }
+
+// ShadowOccupancy reports the live shadow-table entry count.
+func (a *Agent) ShadowOccupancy() int { return a.shadow.Occupancy() }
+
+// MainOccupancy reports the live main-table entry count.
+func (a *Agent) MainOccupancy() int { return a.main.Occupancy() }
+
+// Migrating reports whether a background migration is in flight at now.
+func (a *Agent) Migrating(now time.Duration) bool {
+	a.Advance(now)
+	return a.migr != nil
+}
+
+func (a *Agent) mintPartID() classifier.RuleID {
+	id := a.nextPartID
+	a.nextPartID++
+	return id
+}
+
+// guarded reports whether the rule falls under the configured guarantee
+// predicate.
+func (a *Agent) guarded(r classifier.Rule) bool {
+	return a.cfg.Predicate == nil || a.cfg.Predicate(r)
+}
+
+// Insert is the Gate Keeper's flow-mod insertion entry point.
+func (a *Agent) Insert(now time.Duration, r classifier.Rule) (Result, error) {
+	a.Advance(now)
+	if r.ID >= partIDBase {
+		return Result{}, fmt.Errorf("%w: %d", ErrReservedID, r.ID)
+	}
+	if _, ok := a.rules[r.ID]; ok {
+		return Result{}, fmt.Errorf("%w: %d", ErrDuplicateRule, r.ID)
+	}
+	a.metrics.Inserts++
+	seq := a.nextSeq
+	a.nextSeq++
+
+	if !a.guarded(r) {
+		res, err := a.insertMain(now, r, seq)
+		if err != nil {
+			return res, err
+		}
+		a.trackLogical(r)
+		return res, nil
+	}
+
+	// §4.2 optimization: a rule that is the lowest priority everywhere
+	// appends to the main table shift-free, and cannot shadow anything.
+	if !a.cfg.DisableLowPriorityBypass && a.isGloballyLowestPriority(r.Priority) {
+		res, err := a.insertMainRawLane(now, r, seq, true)
+		if err != nil {
+			return res, err
+		}
+		res.Path = PathBypass
+		res.Guaranteed = true // costs only the floor latency by construction
+		a.metrics.Bypasses++
+		a.observeGuaranteed(now, res)
+		a.trackLogical(r)
+		return res, nil
+	}
+
+	// Admission control (token bucket): overruns go to the main table.
+	if a.bucket != nil && !a.bucket.Allow(now, 1) {
+		a.metrics.RateLimited++
+		res, err := a.insertMain(now, r, seq)
+		if err != nil {
+			return res, err
+		}
+		a.trackLogical(r)
+		return res, nil
+	}
+
+	// Algorithm 1: partition against higher-priority main-table rules.
+	part := a.partition(r, seq)
+	if part.Overflow {
+		// Footnote 5: partitioning abandoned — install into the main table.
+		a.metrics.Oversized++
+		res, err := a.insertMain(now, r, seq)
+		if err != nil {
+			return res, err
+		}
+		a.trackLogical(r)
+		return res, nil
+	}
+	if part.Redundant() {
+		a.rules[r.ID] = &ruleState{original: r, seq: seq, place: placeShadow, partIDs: nil}
+		a.pmap.Record(part)
+		a.metrics.Redundant++
+		a.trackLogical(r)
+		return Result{Path: PathRedundant, Completed: now, Guaranteed: true}, nil
+	}
+	if len(part.Parts) > a.cfg.MaxPartitions {
+		// Footnote 5: pathological fragmentation — install the original
+		// directly in the main table instead.
+		a.metrics.Oversized++
+		res, err := a.insertMain(now, r, seq)
+		if err != nil {
+			return res, err
+		}
+		a.trackLogical(r)
+		return res, nil
+	}
+	if a.shadow.Free() < len(part.Parts) {
+		// Shadow exhausted: fall back to the main table (§5.2 calls this a
+		// potential performance violation).
+		a.metrics.ShadowFull++
+		res, err := a.insertMain(now, r, seq)
+		if err != nil {
+			return res, err
+		}
+		a.trackLogical(r)
+		return res, nil
+	}
+
+	// Guaranteed path: install the fragments in the shadow table.
+	var total time.Duration
+	completed := now
+	ids := make([]classifier.RuleID, 0, len(part.Parts))
+	for _, p := range part.Parts {
+		cost, err := a.shadow.InsertRanked(p, seq)
+		if err != nil {
+			// Capacity was checked above; any failure here is a bug.
+			panic(fmt.Sprintf("core: shadow insert: %v", err))
+		}
+		total += cost
+		completed = a.sw.SubmitGuaranteed(now, cost)
+		ids = append(ids, p.ID)
+	}
+	a.rules[r.ID] = &ruleState{original: r, seq: seq, place: placeShadow, partIDs: ids}
+	a.pmap.Record(part)
+	a.arrivals += len(part.Parts)
+	a.metrics.ShadowInserts++
+	a.metrics.PartitionsInstalled += len(part.Parts)
+	if part.WasCut() {
+		a.metrics.RulesCut++
+	}
+
+	res := Result{
+		Path:       PathShadow,
+		Latency:    total,
+		Completed:  completed,
+		Guaranteed: true,
+		Partitions: len(part.Parts),
+	}
+	a.observeGuaranteed(now, res)
+	a.trackLogical(r)
+	return res, nil
+}
+
+// partition runs Algorithm 1 for a rule with seq-aware tie-breaking: a
+// main-table rule beats r when it has higher priority, or equal priority
+// and an earlier insertion sequence (as in a monolithic TCAM).
+func (a *Agent) partition(r classifier.Rule, seq uint64) classifier.Partition {
+	wins := func(existing classifier.Rule) bool {
+		return a.beats(existing, r.Priority, seq)
+	}
+	// The working-set cap is above MaxPartitions so that merging still has
+	// a chance to bring a busy cut back under the limit, but pathological
+	// rules bail out long before cutting against the whole table.
+	return classifier.PartitionAgainst(r, &a.mainIndex, wins, a.mintPartID,
+		!a.cfg.DisableMergeOptimization, 8*a.cfg.MaxPartitions)
+}
+
+// beats reports whether an installed rule would beat a (priority, seq)
+// contender in a monolithic table.
+func (a *Agent) beats(existing classifier.Rule, priority int32, seq uint64) bool {
+	if existing.Priority != priority {
+		return existing.Priority > priority
+	}
+	st, ok := a.rules[existing.ID]
+	if !ok {
+		return true // unknown provenance: cut conservatively
+	}
+	return st.seq < seq
+}
+
+// isGloballyLowestPriority reports whether priority is ≤ every installed
+// entry's priority in both tables, the §4.2 bypass precondition. (Against
+// the shadow table the comparison guards correctness: a bypassed main rule
+// must not be shadowed by an overlapping lower-priority shadow entry.)
+func (a *Agent) isGloballyLowestPriority(priority int32) bool {
+	if _, shifts := a.main.InsertPosition(priority); shifts != 0 {
+		return false
+	}
+	if _, shifts := a.shadow.InsertPosition(priority); shifts != 0 {
+		return false
+	}
+	return true
+}
+
+// insertMain installs a rule on the unguaranteed main path and repairs any
+// shadow rules the new main rule would be shadowed by.
+func (a *Agent) insertMain(now time.Duration, r classifier.Rule, seq uint64) (Result, error) {
+	res, err := a.insertMainRaw(now, r, seq)
+	if err != nil {
+		return res, err
+	}
+	a.metrics.MainInserts++
+	a.metrics.AllLatenciesMS = append(a.metrics.AllLatenciesMS, res.Latency.Seconds()*1e3)
+	return res, nil
+}
+
+// insertMainRaw physically installs into the main table, updates the
+// overlap index, and re-cuts lower-priority shadow rules that the new rule
+// must win over (otherwise the shadow-first lookup would return them).
+func (a *Agent) insertMainRaw(now time.Duration, r classifier.Rule, seq uint64) (Result, error) {
+	return a.insertMainRawLane(now, r, seq, false)
+}
+
+// insertMainRawLane optionally uses the guaranteed control-plane lane (the
+// §4.2 bypass is a guaranteed action even though it lands in the main
+// table — it is shift-free by construction).
+func (a *Agent) insertMainRawLane(now time.Duration, r classifier.Rule, seq uint64, guaranteed bool) (Result, error) {
+	cost, err := a.main.InsertRanked(r, seq)
+	if err != nil {
+		return Result{}, err
+	}
+	var completed time.Duration
+	if guaranteed {
+		completed = a.sw.SubmitGuaranteed(now, cost)
+	} else {
+		completed = a.sw.Submit(now, cost)
+	}
+	a.mainIndex.Insert(r)
+	a.rules[r.ID] = &ruleState{original: r, seq: seq, place: placeMain, partIDs: []classifier.RuleID{r.ID}}
+	a.repairShadowAfterMainInsert(now, r)
+	return Result{Path: PathMain, Latency: cost, Completed: completed}, nil
+}
+
+// repairShadowAfterMainInsert re-partitions shadow-resident originals that
+// overlap a newly installed main rule with lower-or-equal priority; without
+// the re-cut the shadow-first lookup would let them shadow the new rule.
+func (a *Agent) repairShadowAfterMainInsert(now time.Duration, mainRule classifier.Rule) {
+	// Collect candidates first (sorted for determinism) because the repair
+	// may move rules between tables.
+	var ids []classifier.RuleID
+	for id, st := range a.rules {
+		if st.place != placeShadow || id == mainRule.ID {
+			continue
+		}
+		if !st.original.Match.Overlaps(mainRule.Match) {
+			continue
+		}
+		if !a.beats(mainRule, st.original.Priority, st.seq) {
+			continue // the shadow rule legitimately wins (priority or age)
+		}
+		ids = append(ids, id)
+	}
+	sortRuleIDs(ids)
+	for _, id := range ids {
+		if st, ok := a.rules[id]; ok && st.place == placeShadow {
+			a.reinstallShadowRule(now, st)
+		}
+	}
+}
+
+func sortRuleIDs(ids []classifier.RuleID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// reinstallShadowRule deletes a shadow rule's current fragments and
+// re-installs it freshly partitioned against the current main index. When
+// the shadow table cannot hold the new fragments the rule is moved to the
+// main table instead.
+func (a *Agent) reinstallShadowRule(now time.Duration, st *ruleState) {
+	for _, pid := range st.partIDs {
+		if cost, ok := a.shadow.Delete(pid); ok {
+			a.sw.SubmitGuaranteed(now, cost)
+		}
+	}
+	a.pmap.Remove(st.original.ID)
+	part := a.partition(st.original, st.seq)
+	if !part.Overflow && part.Redundant() {
+		st.partIDs = nil
+		a.pmap.Record(part)
+		return
+	}
+	if part.Overflow || len(part.Parts) > a.cfg.MaxPartitions || a.shadow.Free() < len(part.Parts) {
+		// Out of shadow room: fall back to the main table.
+		cost, err := a.main.InsertRanked(st.original, st.seq)
+		if err == nil {
+			a.sw.Submit(now, cost)
+			a.mainIndex.Insert(st.original)
+			st.place = placeMain
+			st.partIDs = []classifier.RuleID{st.original.ID}
+			a.repairShadowAfterMainInsert(now, st.original)
+		}
+		// A full main table leaves the rule uninstalled; the controller
+		// sees table-full semantics exactly as on a real switch.
+		return
+	}
+	ids := make([]classifier.RuleID, 0, len(part.Parts))
+	for _, p := range part.Parts {
+		cost, err := a.shadow.InsertRanked(p, st.seq)
+		if err != nil {
+			panic(fmt.Sprintf("core: shadow reinstall: %v", err))
+		}
+		a.sw.SubmitGuaranteed(now, cost)
+		ids = append(ids, p.ID)
+	}
+	st.partIDs = ids
+	a.pmap.Record(part)
+	a.metrics.Repartitions++
+}
+
+// Delete removes a rule by its controller-visible ID (§4.1).
+func (a *Agent) Delete(now time.Duration, id classifier.RuleID) (Result, error) {
+	a.Advance(now)
+	st, ok := a.rules[id]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %d", ErrUnknownRule, id)
+	}
+	a.metrics.Deletes++
+	var total time.Duration
+	completed := now
+	switch st.place {
+	case placeShadow:
+		// Delete the rule or all of its partitions — never both exist.
+		for _, pid := range st.partIDs {
+			if cost, ok := a.shadow.Delete(pid); ok {
+				total += cost
+				completed = a.sw.SubmitGuaranteed(now, cost)
+			}
+		}
+		a.pmap.Remove(id)
+	case placeMain:
+		cost, present := a.main.Delete(id)
+		if present {
+			total += cost
+			completed = a.sw.Submit(now, cost)
+		}
+		a.mainIndex.Delete(st.original.Match.Dst, id)
+		// Fig. 6: un-partition the shadow rules this main rule had cut.
+		for _, dep := range a.pmap.DependentsOf(id) {
+			depSt, ok := a.rules[dep]
+			if !ok || depSt.place != placeShadow {
+				continue
+			}
+			a.reinstallShadowRule(now, depSt)
+		}
+	}
+	delete(a.rules, id)
+	a.untrackLogical(id)
+	return Result{Latency: total, Completed: completed, Guaranteed: true}, nil
+}
+
+// Modify updates a live rule. Action-only changes apply in place at
+// constant cost (§2.1); priority or match changes are converted into a
+// delete of the original plus an insertion of the modified rule (§4.1).
+func (a *Agent) Modify(now time.Duration, r classifier.Rule) (Result, error) {
+	a.Advance(now)
+	st, ok := a.rules[r.ID]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %d", ErrUnknownRule, r.ID)
+	}
+	a.metrics.Modifies++
+	if st.original.Priority == r.Priority && st.original.Match == r.Match {
+		// Cheap in-place action rewrite on every physical entry.
+		var total time.Duration
+		completed := now
+		tbl := a.shadow
+		if st.place == placeMain {
+			tbl = a.main
+		}
+		for _, pid := range st.partIDs {
+			if cost, ok := tbl.ModifyAction(pid, r.Action); ok {
+				total += cost
+				completed = a.sw.Submit(now, cost)
+			}
+		}
+		st.original.Action = r.Action
+		if st.place == placeMain {
+			// Keep the overlap index in sync.
+			a.mainIndex.Delete(r.Match.Dst, r.ID)
+			a.mainIndex.Insert(st.original)
+		}
+		a.retrackLogical(st.original)
+		return Result{Latency: total, Completed: completed, Guaranteed: true}, nil
+	}
+	// Priority/match change: delete + insert.
+	if _, err := a.Delete(now, r.ID); err != nil {
+		return Result{}, err
+	}
+	return a.Insert(now, r)
+}
+
+// Lookup resolves a packet against the carved pipeline (shadow first, then
+// main), as the switch data plane would.
+func (a *Agent) Lookup(dst, src uint32) (classifier.Rule, bool) {
+	return a.sw.Lookup(dst, src)
+}
+
+func (a *Agent) observeGuaranteed(now time.Duration, res Result) {
+	lat := res.Completed - now
+	ms := lat.Seconds() * 1e3
+	a.metrics.GuaranteedLatenciesMS = append(a.metrics.GuaranteedLatenciesMS, ms)
+	a.metrics.AllLatenciesMS = append(a.metrics.AllLatenciesMS, ms)
+	if lat > a.cfg.Guarantee {
+		a.metrics.Violations++
+	}
+}
+
+// --- logical reference table (testing aid) -------------------------------
+
+func (a *Agent) trackLogical(r classifier.Rule) {
+	if a.cfg.TrackLogical {
+		a.logical = append(a.logical, r)
+	}
+}
+
+func (a *Agent) untrackLogical(id classifier.RuleID) {
+	if !a.cfg.TrackLogical {
+		return
+	}
+	for i, r := range a.logical {
+		if r.ID == id {
+			a.logical = append(a.logical[:i], a.logical[i+1:]...)
+			return
+		}
+	}
+}
+
+func (a *Agent) retrackLogical(r classifier.Rule) {
+	if !a.cfg.TrackLogical {
+		return
+	}
+	for i := range a.logical {
+		if a.logical[i].ID == r.ID {
+			a.logical[i] = r
+			return
+		}
+	}
+}
+
+// LogicalLookup resolves a packet against the reference monolithic table
+// (highest priority wins, earlier insertion breaks ties). Only valid when
+// cfg.TrackLogical is set.
+func (a *Agent) LogicalLookup(dst, src uint32) (classifier.Rule, bool) {
+	var best classifier.Rule
+	found := false
+	for _, r := range a.logical {
+		if !r.Match.MatchesPacket(dst, src) {
+			continue
+		}
+		if !found || r.Priority > best.Priority {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// LogicalRules returns a copy of the reference table (TrackLogical only).
+func (a *Agent) LogicalRules() []classifier.Rule {
+	return append([]classifier.Rule(nil), a.logical...)
+}
+
+// TracksLogical reports whether the agent maintains the reference
+// monolithic table (Config.TrackLogical).
+func (a *Agent) TracksLogical() bool { return a.cfg.TrackLogical }

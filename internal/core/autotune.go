@@ -1,0 +1,74 @@
+package core
+
+import "hermes/internal/predict"
+
+// Self-tuning slack — the future-work item §8.6 closes with ("we will
+// explore learning techniques to enable Hermes to automatically tune
+// itself"). Instead of a fixed slack factor chosen per deployment, the
+// agent adapts it from observed outcomes with a multiplicative-increase /
+// multiplicative-decrease controller:
+//
+//   - any guarantee violation or shadow-full diversion since the last tick
+//     raises the slack sharply (prediction was too timid);
+//   - a long streak of clean ticks decays it slowly (reclaiming the
+//     migration bandwidth excess slack wastes).
+//
+// The controller is deliberately simple — the same class of mechanism as
+// TCP's AIMD — so its behaviour is analyzable and its state is one float.
+
+const (
+	autoSlackMin      = 0.10 // never fully trust the predictor
+	autoSlackMax      = 4.00 // 400%: beyond this, prediction is useless anyway
+	autoSlackIncrease = 1.5  // multiplicative increase on violation
+	autoSlackDecay    = 0.98 // per-clean-streak decay
+	autoSlackStreak   = 20   // clean ticks before a decay step
+)
+
+// autoTuner adapts the slack factor from violation feedback.
+type autoTuner struct {
+	factor      float64
+	cleanTicks  int
+	lastBadness int // violations + shadow-full diversions at last tick
+}
+
+func newAutoTuner(initial float64) *autoTuner {
+	if initial <= 0 {
+		initial = 1.0
+	}
+	return &autoTuner{factor: initial}
+}
+
+// observe updates the controller with the agent's cumulative badness
+// counter and returns the slack factor to use for the next interval.
+func (t *autoTuner) observe(badness int) float64 {
+	if badness > t.lastBadness {
+		t.factor *= autoSlackIncrease
+		if t.factor > autoSlackMax {
+			t.factor = autoSlackMax
+		}
+		t.cleanTicks = 0
+	} else {
+		t.cleanTicks++
+		if t.cleanTicks >= autoSlackStreak {
+			t.factor *= autoSlackDecay
+			if t.factor < autoSlackMin {
+				t.factor = autoSlackMin
+			}
+			t.cleanTicks = 0
+		}
+	}
+	t.lastBadness = badness
+	return t.factor
+}
+
+// CurrentSlack reports the live slack factor: the configured corrector's
+// static factor, or the auto-tuner's when cfg.AutoTuneSlack is set.
+func (a *Agent) CurrentSlack() float64 {
+	if a.tuner != nil {
+		return a.tuner.factor
+	}
+	if s, ok := a.cfg.Corrector.(predict.Slack); ok {
+		return s.Factor
+	}
+	return 0
+}

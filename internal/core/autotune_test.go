@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/predict"
+	"hermes/internal/tcam"
+)
+
+func TestAutoTunerIncreaseOnViolation(t *testing.T) {
+	tu := newAutoTuner(1.0)
+	f := tu.observe(0)
+	if f != 1.0 {
+		t.Errorf("initial factor = %v", f)
+	}
+	f = tu.observe(1) // one new violation
+	if f <= 1.0 {
+		t.Errorf("factor after violation = %v, want increase", f)
+	}
+	prev := f
+	f = tu.observe(1) // no NEW violations: clean tick
+	if f != prev {
+		t.Errorf("factor changed on clean tick before streak: %v -> %v", prev, f)
+	}
+}
+
+func TestAutoTunerDecayAfterStreak(t *testing.T) {
+	tu := newAutoTuner(2.0)
+	for i := 0; i < autoSlackStreak; i++ {
+		tu.observe(0)
+	}
+	if tu.factor >= 2.0 {
+		t.Errorf("factor did not decay after %d clean ticks: %v", autoSlackStreak, tu.factor)
+	}
+}
+
+func TestAutoTunerBounds(t *testing.T) {
+	tu := newAutoTuner(1.0)
+	for i := 1; i < 40; i++ {
+		tu.observe(i) // violation every tick
+	}
+	if tu.factor > autoSlackMax {
+		t.Errorf("factor %v exceeds max", tu.factor)
+	}
+	tu2 := newAutoTuner(autoSlackMin)
+	for i := 0; i < 40*autoSlackStreak; i++ {
+		tu2.observe(0)
+	}
+	if tu2.factor < autoSlackMin {
+		t.Errorf("factor %v below min", tu2.factor)
+	}
+	if newAutoTuner(-1).factor != 1.0 {
+		t.Error("invalid seed must default to 1.0")
+	}
+}
+
+func TestCurrentSlack(t *testing.T) {
+	a := newTestAgent(t, Config{Corrector: predict.Slack{Factor: 0.4}})
+	if got := a.CurrentSlack(); got != 0.4 {
+		t.Errorf("static slack = %v", got)
+	}
+	a2 := newTestAgent(t, Config{AutoTuneSlack: true, Corrector: predict.Slack{Factor: 0.7}})
+	if got := a2.CurrentSlack(); got != 0.7 {
+		t.Errorf("seeded auto slack = %v", got)
+	}
+	a3 := newTestAgent(t, Config{Corrector: predict.Deadzone{Delta: 5}})
+	if got := a3.CurrentSlack(); got != 0 {
+		t.Errorf("deadzone slack = %v, want 0", got)
+	}
+}
+
+// TestAutoTuneReactsToOverload drives an agent into violations and checks
+// the controller raises slack in response.
+func TestAutoTuneReactsToOverload(t *testing.T) {
+	sw := tcam.NewSwitch("at", tcam.Dell8132F)
+	a, err := New(sw, Config{
+		Guarantee:                5 * time.Millisecond,
+		AutoTuneSlack:            true,
+		DisableRateLimit:         true,
+		DisableLowPriorityBypass: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.CurrentSlack()
+	now := time.Duration(0)
+	id := 1
+	// Blast bursts: many inserts at the same instant queue on the
+	// guaranteed lane and violate the bound, then tick.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 40; i++ {
+			r := dstRule(classifier.RuleID(id), "10.0.0.0/8", int32(id%60+1), id)
+			r.Match = classifier.DstMatch(classifier.NewPrefix(uint32(id)<<8|0x0A000000, 28))
+			a.Insert(now, r) //nolint:errcheck
+			id++
+		}
+		now += 10 * time.Millisecond
+		if end := a.Tick(now); end != 0 {
+			a.Advance(end)
+		}
+	}
+	if a.Metrics().Violations == 0 {
+		t.Skip("workload did not violate; tuner untested")
+	}
+	if got := a.CurrentSlack(); got <= before {
+		t.Errorf("slack %v did not increase from %v under violations", got, before)
+	}
+}

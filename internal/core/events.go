@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hermes/internal/tokenbucket"
+)
+
+// This file implements the §10 "Other Control Plane Actions" direction the
+// paper describes as ongoing work: flow-mods are not the only load on a
+// switch's control CPU — packet-ins, stats polls, port/echo events all
+// compete for it — and guarantees on one class are hollow if another class
+// can starve it. The EventScheduler rate-limits each event class with its
+// own token bucket and accounts per-class CPU budget, so the flow-mod
+// class Hermes guarantees keeps its share no matter how noisy the others
+// get.
+
+// EventClass names one kind of control-plane action.
+type EventClass string
+
+// The control-plane event classes the paper's discussion enumerates.
+const (
+	EventFlowMod  EventClass = "flow-mod"
+	EventPacketIn EventClass = "packet-in"
+	EventStats    EventClass = "stats"
+	EventPort     EventClass = "port"
+	EventEcho     EventClass = "echo"
+)
+
+// ClassBudget configures one event class.
+type ClassBudget struct {
+	// Rate is the admitted events/second for the class.
+	Rate float64
+	// Burst is the class's burst budget.
+	Burst float64
+	// Cost is the CPU time one event of this class consumes.
+	Cost time.Duration
+}
+
+// EventScheduler performs per-class admission control over a shared
+// control CPU. Like the rest of the agent it runs on virtual time and is
+// single-threaded.
+type EventScheduler struct {
+	classes map[EventClass]ClassBudget
+	buckets map[EventClass]*tokenbucket.Bucket
+	// busyUntil is when the shared CPU frees up.
+	busyUntil time.Duration
+	// accounting
+	admitted map[EventClass]int
+	rejected map[EventClass]int
+	busy     map[EventClass]time.Duration
+}
+
+// NewEventScheduler builds a scheduler from per-class budgets. Every class
+// needs a positive rate and cost.
+func NewEventScheduler(budgets map[EventClass]ClassBudget) (*EventScheduler, error) {
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("core: event scheduler needs at least one class")
+	}
+	s := &EventScheduler{
+		classes:  make(map[EventClass]ClassBudget, len(budgets)),
+		buckets:  make(map[EventClass]*tokenbucket.Bucket, len(budgets)),
+		admitted: make(map[EventClass]int),
+		rejected: make(map[EventClass]int),
+		busy:     make(map[EventClass]time.Duration),
+	}
+	for class, b := range budgets {
+		if b.Rate <= 0 || b.Cost <= 0 {
+			return nil, fmt.Errorf("core: class %q: rate %v cost %v", class, b.Rate, b.Cost)
+		}
+		if b.Burst < 1 {
+			b.Burst = 1
+		}
+		s.classes[class] = b
+		s.buckets[class] = tokenbucket.New(b.Rate, b.Burst)
+	}
+	return s, nil
+}
+
+// Admit decides whether an event of the class may run at now. Admitted
+// events occupy the shared CPU for their class cost; the returned
+// completion time includes queueing behind earlier admitted events of any
+// class. Rejected events return ok=false (the caller drops or defers
+// them — for packet-ins that is exactly the policing production switches
+// apply).
+func (s *EventScheduler) Admit(now time.Duration, class EventClass) (completion time.Duration, ok bool) {
+	b, known := s.classes[class]
+	if !known {
+		s.rejected[class]++
+		return 0, false
+	}
+	if !s.buckets[class].Allow(now, 1) {
+		s.rejected[class]++
+		return 0, false
+	}
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	completion = start + b.Cost
+	s.busyUntil = completion
+	s.admitted[class]++
+	s.busy[class] += b.Cost
+	return completion, true
+}
+
+// ClassStats reports one class's counters.
+type ClassStats struct {
+	Class    EventClass
+	Admitted int
+	Rejected int
+	// CPUBusy is the cumulative CPU time the class consumed.
+	CPUBusy time.Duration
+}
+
+// Stats returns per-class counters in stable order.
+func (s *EventScheduler) Stats() []ClassStats {
+	names := make([]EventClass, 0, len(s.classes))
+	for c := range s.classes {
+		names = append(names, c)
+	}
+	// Include rejected-only classes (unknown arrivals).
+	for c := range s.rejected {
+		if _, known := s.classes[c]; !known {
+			names = append(names, c)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	out := make([]ClassStats, 0, len(names))
+	for _, c := range names {
+		out = append(out, ClassStats{
+			Class:    c,
+			Admitted: s.admitted[c],
+			Rejected: s.rejected[c],
+			CPUBusy:  s.busy[c],
+		})
+	}
+	return out
+}
+
+// DefaultEventBudgets is a guarantees-first switch-CPU split: flow-mods
+// get the lion's share (they carry the Hermes guarantee), packet-ins are
+// policed hard (they are attacker-controllable), stats and housekeeping
+// take the remainder. Every non-flow-mod class keeps burst×cost small so
+// that even a simultaneous burst of every class delays a flow-mod by only
+// a few milliseconds.
+func DefaultEventBudgets(flowModRate float64) map[EventClass]ClassBudget {
+	return map[EventClass]ClassBudget{
+		EventFlowMod:  {Rate: flowModRate, Burst: flowModRate / 10, Cost: 200 * time.Microsecond},
+		EventPacketIn: {Rate: 500, Burst: 50, Cost: 100 * time.Microsecond},
+		EventStats:    {Rate: 20, Burst: 2, Cost: 2 * time.Millisecond},
+		EventPort:     {Rate: 50, Burst: 10, Cost: 100 * time.Microsecond},
+		EventEcho:     {Rate: 10, Burst: 2, Cost: 50 * time.Microsecond},
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "time"
+
+// Metrics are the agent's cumulative counters and latency samples. Latency
+// samples are stored in milliseconds to match the units of the paper's
+// figures.
+type Metrics struct {
+	// Inserts counts every controller-issued insertion.
+	Inserts int
+	// ShadowInserts counts insertions that took the guaranteed path.
+	ShadowInserts int
+	// MainInserts counts insertions that took the unguaranteed main path.
+	MainInserts int
+	// Bypasses counts §4.2 lowest-priority appends.
+	Bypasses int
+	// Redundant counts rules subsumed by the main table (Fig. 5a).
+	Redundant int
+	// RateLimited counts insertions diverted by the token bucket.
+	RateLimited int
+	// Oversized counts insertions diverted for exceeding MaxPartitions.
+	Oversized int
+	// ShadowFull counts insertions diverted because the shadow was full.
+	ShadowFull int
+	// Deletes and Modifies count the other flow-mod kinds.
+	Deletes, Modifies int
+
+	// PartitionsInstalled counts physical shadow entries created.
+	PartitionsInstalled int
+	// RulesCut counts rules Algorithm 1 actually fragmented.
+	RulesCut int
+	// Repartitions counts shadow rules re-cut after main-table changes.
+	Repartitions int
+
+	// Violations counts guaranteed insertions that exceeded the bound.
+	Violations int
+
+	// Migrations counts Rule Manager migrations; MigratedRules the rules
+	// they moved; MigrationBusy the total background-copy time.
+	Migrations    int
+	MigratedRules int
+	MigrationBusy time.Duration
+
+	// ExposedRuleSeconds accumulates rule·seconds during which the naive
+	// migration ablation left rules installed in neither table.
+	ExposedRuleSeconds float64
+
+	// GuaranteedLatenciesMS are per-insertion latencies (ms) on the
+	// guaranteed path; AllLatenciesMS includes the unguaranteed paths.
+	GuaranteedLatenciesMS []float64
+	AllLatenciesMS        []float64
+}
+
+// ViolationRate returns violations over guaranteed insertions.
+func (m Metrics) ViolationRate() float64 {
+	n := len(m.GuaranteedLatenciesMS)
+	if n == 0 {
+		return 0
+	}
+	return float64(m.Violations) / float64(n)
+}
+
+// MigrationsPerSecond normalizes the migration count over a run duration.
+func (m Metrics) MigrationsPerSecond(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Migrations) / elapsed.Seconds()
+}

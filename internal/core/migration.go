@@ -1,0 +1,285 @@
+package core
+
+import (
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+// This file implements the Rule Manager (paper §5): the periodic prediction
+// tick, the migration trigger, and the four-step migration workflow of
+// Fig. 7 (copy → optimize → insert into main → empty shadow).
+//
+// Migration runs in the background through the ASIC SDK's bulk interface
+// and does not occupy the control-plane processor that services guaranteed
+// insertions; its cost manifests as the window during which the snapshotted
+// shadow entries still occupy shadow capacity.
+
+// Tick drives the Rule Manager once per cfg.TickInterval: it feeds the
+// predictor with the arrivals of the closing interval and, when the
+// (corrected) forecast indicates the shadow table would overflow before the
+// next tick, starts a migration. It returns the completion time of a
+// migration started by this call, or zero.
+func (a *Agent) Tick(now time.Duration) time.Duration {
+	a.Advance(now)
+	a.lastTick = now
+
+	occ := a.shadow.Occupancy()
+	var migrate bool
+	switch a.cfg.Mode {
+	case MigrationThreshold:
+		// Hermes-SIMPLE (§8.5): occupancy crossing a fixed threshold.
+		migrate = float64(occ) >= a.cfg.Threshold*float64(a.shadowSize) && occ > 0
+	default:
+		// Predictive Hermes (§5.1): forecast next-interval arrivals,
+		// inflate with the corrector (or the self-tuning controller), and
+		// migrate pre-emptively if the shadow would overflow.
+		a.cfg.Predictor.Observe(float64(a.arrivals))
+		predicted := a.cfg.Predictor.Predict()
+		if a.tuner != nil {
+			factor := a.tuner.observe(a.metrics.Violations + a.metrics.ShadowFull)
+			predicted *= 1 + factor
+		} else {
+			predicted = a.cfg.Corrector.Correct(predicted)
+		}
+		migrate = float64(occ)+predicted >= float64(a.shadowSize) && occ > 0
+	}
+	a.arrivals = 0
+
+	if !migrate || a.migr != nil {
+		return 0
+	}
+	return a.startMigration(now)
+}
+
+// ForceMigration starts a migration immediately regardless of prediction
+// (used by ModQoSConfig and by tests). Returns the completion time, or zero
+// if there was nothing to migrate or one is already running.
+func (a *Agent) ForceMigration(now time.Duration) time.Duration {
+	a.Advance(now)
+	if a.migr != nil || a.shadow.Occupancy() == 0 {
+		return 0
+	}
+	return a.startMigration(now)
+}
+
+// startMigration snapshots the shadow table and kicks off the background
+// copy. Steps 1–2 of Fig. 7 (copy and optimize) happen logically here; the
+// physical writes complete at the returned time, when Advance applies steps
+// 3–4.
+func (a *Agent) startMigration(now time.Duration) time.Duration {
+	var originals []classifier.RuleID
+	entries := 0
+	for id, st := range a.rules {
+		if st.place == placeShadow {
+			originals = append(originals, id)
+			entries += len(st.partIDs)
+		}
+	}
+	if len(originals) == 0 {
+		return 0
+	}
+	sortRuleIDs(originals)
+
+	// Optimize (step 2): rules migrate as their un-fragmented originals —
+	// inside a single table the TCAM disambiguates overlaps by priority,
+	// so fragments collapse back to one entry each. The ablation flag
+	// keeps fragments instead.
+	migrated := len(originals)
+	if a.cfg.DisableMergeOptimization {
+		migrated = entries
+	}
+
+	// Choose the cheaper strategy: per-rule incremental inserts versus a
+	// bulk rewrite of the merged main table.
+	prof := a.sw.Profile()
+	mainOcc := a.main.Occupancy()
+	incremental := time.Duration(0)
+	for i := 0; i < migrated; i++ {
+		// Pessimistic: each insert shifts half the (growing) main table.
+		incremental += prof.InsertLatency((mainOcc + i) / 2)
+	}
+	bulk := time.Duration(mainOcc+migrated) * prof.BulkWriteLatency
+	cost := incremental
+	if bulk < cost {
+		cost = bulk
+	}
+
+	m := &migration{
+		startedAt:  now,
+		completeAt: now + cost,
+		originals:  originals,
+		naive:      a.cfg.NaiveMigration,
+	}
+	if m.naive {
+		// Ablation: empty the shadow *first* (violating the step ordering
+		// §5.2 prescribes) and account the window during which the rules
+		// exist in neither table.
+		for _, id := range originals {
+			st := a.rules[id]
+			for _, pid := range st.partIDs {
+				if c, ok := a.shadow.Delete(pid); ok {
+					a.sw.Submit(now, c)
+				}
+			}
+		}
+		a.metrics.ExposedRuleSeconds += float64(len(originals)) * cost.Seconds()
+	}
+	a.migr = m
+	a.metrics.Migrations++
+	a.metrics.MigratedRules += migrated
+	a.metrics.MigrationBusy += cost
+	return m.completeAt
+}
+
+// Advance applies any migration whose background copy has finished by now.
+// Every public entry point calls it, and the simulator also schedules an
+// explicit call at the completion time.
+func (a *Agent) Advance(now time.Duration) {
+	if a.migr == nil || now < a.migr.completeAt {
+		return
+	}
+	m := a.migr
+	a.migr = nil
+	done := m.completeAt
+
+	// Step 3: write the optimized rules into the main table. Rules deleted
+	// while the copy was in flight are skipped.
+	var migrated []classifier.Rule
+	for _, id := range m.originals {
+		st, ok := a.rules[id]
+		if !ok || st.place != placeShadow {
+			continue
+		}
+		if a.cfg.DisableMergeOptimization {
+			// Fragments move as-is.
+			moved := make([]classifier.RuleID, 0, len(st.partIDs))
+			for _, pid := range st.partIDs {
+				frag, ok := a.shadow.Get(pid)
+				if !ok && m.naive {
+					frag, ok = a.fragFromPartition(id, pid)
+				}
+				if !ok {
+					continue
+				}
+				if _, err := a.main.InsertRanked(frag, st.seq); err != nil {
+					continue // main full: fragment stays in shadow
+				}
+				a.mainIndex.Insert(frag)
+				migrated = append(migrated, frag)
+				moved = append(moved, pid)
+				if !m.naive {
+					a.shadow.Delete(pid)
+				}
+			}
+			st.place = placeMain
+			st.partIDs = moved
+			continue
+		}
+		// Merged path: install the original, drop the fragments.
+		if _, err := a.main.InsertRanked(st.original, st.seq); err != nil {
+			continue // main full: leave the rule in the shadow table
+		}
+		a.mainIndex.Insert(st.original)
+		migrated = append(migrated, st.original)
+		if !m.naive {
+			for _, pid := range st.partIDs {
+				a.shadow.Delete(pid)
+			}
+		}
+		a.pmap.Remove(id)
+		st.place = placeMain
+		st.partIDs = []classifier.RuleID{id}
+	}
+
+	// Step 4 happened per-rule above (the shadow copies were removed only
+	// after their main-table counterparts were written).
+	//
+	// Finally, re-partition the rules that arrived in the shadow table
+	// while the migration ran: they were cut against the pre-migration
+	// main table and may now be shadowed-over by freshly migrated
+	// higher-priority rules. The insert-time invariant means only the
+	// rules migrated in *this* round can break a remaining shadow rule,
+	// so only they need checking — not the whole main index.
+	if len(migrated) == 0 {
+		return
+	}
+	var remaining []classifier.RuleID
+	for id, st := range a.rules {
+		if st.place == placeShadow {
+			remaining = append(remaining, id)
+		}
+	}
+	sortRuleIDs(remaining)
+	for _, id := range remaining {
+		st := a.rules[id]
+		if a.shadowRuleCompatibleWith(st, migrated) {
+			continue
+		}
+		a.reinstallShadowRule(done, st)
+	}
+}
+
+// fragFromPartition reconstructs a fragment rule from the partition map
+// when the naive-migration ablation already wiped the shadow copy.
+func (a *Agent) fragFromPartition(original, pid classifier.RuleID) (classifier.Rule, bool) {
+	p, ok := a.pmap.Lookup(original)
+	if !ok {
+		if st, ok2 := a.rules[original]; ok2 && st.original.ID == pid {
+			return st.original, true
+		}
+		return classifier.Rule{}, false
+	}
+	for _, f := range p.Parts {
+		if f.ID == pid {
+			return f, true
+		}
+	}
+	return classifier.Rule{}, false
+}
+
+// shadowRuleCompatibleWith reports whether a shadow rule's fragments stay
+// disjoint from every listed (newly migrated) main rule that would beat it.
+func (a *Agent) shadowRuleCompatibleWith(st *ruleState, added []classifier.Rule) bool {
+	frags := a.shadowFragments(st)
+	for _, mr := range added {
+		if mr.ID == st.original.ID {
+			continue
+		}
+		if !mr.Match.Overlaps(st.original.Match) {
+			continue
+		}
+		if !a.beats(mr, st.original.Priority, st.seq) {
+			continue
+		}
+		for _, fm := range frags {
+			if fm.Overlaps(mr.Match) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// shadowFragments returns the match regions of a shadow rule's physical
+// fragments without scanning the shadow table: cut rules keep their
+// fragment set in the partition map, uncut rules are their original match.
+func (a *Agent) shadowFragments(st *ruleState) []classifier.Match {
+	if p, ok := a.pmap.Lookup(st.original.ID); ok {
+		out := make([]classifier.Match, 0, len(p.Parts))
+		for _, f := range p.Parts {
+			out = append(out, f.Match)
+		}
+		return out
+	}
+	return []classifier.Match{st.original.Match}
+}
+
+// MigrationEndsAt reports the completion time of the in-flight migration
+// (zero when idle).
+func (a *Agent) MigrationEndsAt() time.Duration {
+	if a.migr == nil {
+		return 0
+	}
+	return a.migr.completeAt
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/tcam"
+)
+
+func twoTablePipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline("sw1", tcam.Pica8P3290, []TableSpec{
+		{
+			Name: "acl", Capacity: 1024, Miss: MissGotoNext,
+			Config: Config{Guarantee: time.Millisecond, DisableRateLimit: true},
+		},
+		{
+			Name: "forwarding", Capacity: 4096, Miss: MissDrop,
+			Config: Config{Guarantee: 10 * time.Millisecond, DisableRateLimit: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPipelineConstruction(t *testing.T) {
+	p := twoTablePipeline(t)
+	if len(p.Tables()) != 2 {
+		t.Fatalf("tables = %d", len(p.Tables()))
+	}
+	acl, ok := p.Table("acl")
+	if !ok || !acl.Managed() {
+		t.Fatal("acl table missing or unmanaged")
+	}
+	fwd, _ := p.Table("forwarding")
+	// Independent guarantees: tighter guarantee means a smaller shadow.
+	if acl.Agent.ShadowSize() >= fwd.Agent.ShadowSize() {
+		t.Errorf("acl shadow %d not smaller than forwarding %d (1ms vs 10ms)",
+			acl.Agent.ShadowSize(), fwd.Agent.ShadowSize())
+	}
+	if _, ok := p.Table("nope"); ok {
+		t.Error("unknown table lookup succeeded")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline("p", tcam.Pica8P3290, nil); err == nil {
+		t.Error("empty pipeline must fail")
+	}
+	if _, err := NewPipeline("p", tcam.Pica8P3290, []TableSpec{
+		{Name: "bad", Capacity: 0},
+	}); err == nil {
+		t.Error("zero capacity must fail")
+	}
+	if _, err := NewPipeline("p", tcam.Pica8P3290, []TableSpec{
+		{Name: "bad", Capacity: 64, Config: Config{Guarantee: time.Nanosecond}},
+	}); err == nil {
+		t.Error("infeasible guarantee must fail")
+	}
+}
+
+func TestPipelineUnmanagedTable(t *testing.T) {
+	p, err := NewPipeline("sw1", tcam.Pica8P3290, []TableSpec{
+		{Name: "plain", Capacity: 256, Miss: MissDrop}, // zero Guarantee: unmanaged
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := p.Table("plain")
+	if tbl.Managed() || tbl.Raw == nil {
+		t.Fatal("table should be unmanaged")
+	}
+	res, err := p.Insert(0, "plain", dstRule(1, "10.0.0.0/8", 5, 1))
+	if err != nil || res.Path != PathMain {
+		t.Errorf("unmanaged insert = %+v, %v", res, err)
+	}
+	if _, err := p.Delete(time.Millisecond, "plain", 1); err != nil {
+		t.Errorf("unmanaged delete: %v", err)
+	}
+	if _, err := p.Delete(time.Millisecond, "plain", 99); err == nil {
+		t.Error("unmanaged delete of absent rule must fail")
+	}
+}
+
+func TestPipelineRouting(t *testing.T) {
+	p := twoTablePipeline(t)
+	if _, err := p.Insert(0, "nope", dstRule(1, "10.0.0.0/8", 5, 1)); err == nil {
+		t.Error("insert into unknown table must fail")
+	}
+	if _, err := p.Delete(0, "nope", 1); err == nil {
+		t.Error("delete from unknown table must fail")
+	}
+	res, err := p.Insert(0, "acl", dstRule(1, "10.0.0.0/8", 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed > time.Millisecond {
+		t.Errorf("acl insert %v exceeds its 1ms guarantee", res.Completed)
+	}
+}
+
+func TestPipelineLookupSemantics(t *testing.T) {
+	p := twoTablePipeline(t)
+	now := time.Duration(0)
+
+	// ACL: drop traffic to 192.168.66.0/24, goto-next for a whitelisted
+	// sub-block.
+	drop := classifier.Rule{
+		ID:       1,
+		Match:    classifier.DstMatch(classifier.MustParsePrefix("192.168.66.0/24")),
+		Priority: 10,
+		Action:   classifier.Action{Type: classifier.ActionDrop},
+	}
+	allow := classifier.Rule{
+		ID:       2,
+		Match:    classifier.DstMatch(classifier.MustParsePrefix("192.168.66.128/25")),
+		Priority: 20,
+		Action:   classifier.Action{Type: classifier.ActionGotoNext},
+	}
+	for _, r := range []classifier.Rule{drop, allow} {
+		if _, err := p.Insert(now, "acl", r); err != nil {
+			t.Fatal(err)
+		}
+		now += time.Millisecond
+	}
+	// Forwarding: route the whitelisted block.
+	fwd := classifier.Rule{
+		ID:       3,
+		Match:    classifier.DstMatch(classifier.MustParsePrefix("192.168.66.128/25")),
+		Priority: 5,
+		Action:   classifier.Action{Type: classifier.ActionForward, Port: 7},
+	}
+	if _, err := p.Insert(now, "forwarding", fwd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dropped: matches the ACL drop rule.
+	if _, table, v := p.Lookup(classifier.MustParsePrefix("192.168.66.5/32").Addr, 0); v != VerdictDrop || table != "acl" {
+		t.Errorf("blocked packet: table=%s verdict=%v", table, v)
+	}
+	// Whitelisted: goto-next in ACL, forwarded by the forwarding table.
+	r, table, v := p.Lookup(classifier.MustParsePrefix("192.168.66.200/32").Addr, 0)
+	if v != VerdictForward || table != "forwarding" || r.Action.Port != 7 {
+		t.Errorf("whitelisted packet: rule=%v table=%s verdict=%v", r, table, v)
+	}
+	// ACL miss (goto-next) then forwarding miss (drop).
+	if _, _, v := p.Lookup(classifier.MustParsePrefix("8.8.8.8/32").Addr, 0); v != VerdictDrop {
+		t.Errorf("unknown packet verdict = %v, want drop", v)
+	}
+}
+
+func TestPipelineMissController(t *testing.T) {
+	p, err := NewPipeline("sw1", tcam.Pica8P3290, []TableSpec{
+		{Name: "t0", Capacity: 128, Miss: MissController,
+			Config: Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, table, v := p.Lookup(0x01020304, 0); v != VerdictController || table != "t0" {
+		t.Errorf("miss verdict = %v at %s, want controller", v, table)
+	}
+}
+
+func TestPipelineTick(t *testing.T) {
+	p := twoTablePipeline(t)
+	now := time.Duration(0)
+	// Fill the ACL shadow enough that ticking matters; then tick and check
+	// migration eventually empties it.
+	acl, _ := p.Table("acl")
+	for i := 0; i < 20; i++ {
+		r := dstRule(classifier.RuleID(i+10), "10.0.0.0/8", int32(i+1), i)
+		r.Match = classifier.DstMatch(classifier.NewPrefix(uint32(i)<<8|0x0A000000, 28))
+		if _, err := p.Insert(now, "acl", r); err != nil {
+			t.Fatal(err)
+		}
+		now += time.Millisecond
+	}
+	if end := acl.Agent.ForceMigration(now); end != 0 {
+		acl.Agent.Advance(end)
+	}
+	p.Tick(now + time.Second)
+	if acl.Agent.ShadowOccupancy() != 0 {
+		t.Errorf("acl shadow occupancy = %d after migration", acl.Agent.ShadowOccupancy())
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/tcam"
+)
+
+func TestCreateTCAMQoS(t *testing.T) {
+	reg := NewRegistry()
+	sw := tcam.NewSwitch("s1", tcam.Pica8P3290)
+	id, info, err := reg.CreateTCAMQoS(sw, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.MaxBurstRate <= 0 {
+		t.Error("MaxBurstRate must be positive (Equation 2)")
+	}
+	if info.ShadowEntries <= 0 || info.OverheadFraction <= 0 {
+		t.Errorf("info = %+v", info)
+	}
+	if info.SwitchName != "s1" || info.Guarantee != 5*time.Millisecond {
+		t.Errorf("info = %+v", info)
+	}
+	if a, ok := reg.Agent(id); !ok || a == nil {
+		t.Error("Agent lookup failed")
+	}
+	if got, ok := reg.Info(id); !ok || got != info {
+		t.Error("Info lookup failed")
+	}
+	// Second QoS on the same switch fails.
+	if _, _, err := reg.CreateTCAMQoS(sw, time.Millisecond, nil); err == nil {
+		t.Error("duplicate QoS must fail")
+	}
+}
+
+func TestCreateTCAMQoSInfeasible(t *testing.T) {
+	reg := NewRegistry()
+	sw := tcam.NewSwitch("s1", tcam.Pica8P3290)
+	if _, _, err := reg.CreateTCAMQoS(sw, time.Microsecond, nil); err == nil {
+		t.Error("infeasible guarantee must fail")
+	}
+}
+
+func TestDeleteQoS(t *testing.T) {
+	reg := NewRegistry()
+	sw := tcam.NewSwitch("s1", tcam.Pica8P3290)
+	id, _, err := reg.CreateTCAMQoS(sw, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.DeleteQoS(id) {
+		t.Error("DeleteQoS failed")
+	}
+	if reg.DeleteQoS(id) {
+		t.Error("double DeleteQoS succeeded")
+	}
+	// The switch reverts to a monolithic table.
+	if sw.Table().Capacity() != tcam.Pica8P3290.Capacity {
+		t.Error("switch not uncarved")
+	}
+	// A new QoS can now be created.
+	if _, _, err := reg.CreateTCAMQoS(sw, time.Millisecond, nil); err != nil {
+		t.Errorf("re-create after delete: %v", err)
+	}
+}
+
+func TestModQoSConfig(t *testing.T) {
+	reg := NewRegistry()
+	sw := tcam.NewSwitch("s1", tcam.Pica8P3290)
+	id, before, err := reg.CreateTCAMQoS(sw, time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.ModQoSConfig(id, 10*time.Millisecond) {
+		t.Fatal("ModQoSConfig failed")
+	}
+	after, _ := reg.Info(id)
+	if after.Guarantee != 10*time.Millisecond {
+		t.Errorf("guarantee = %v", after.Guarantee)
+	}
+	if after.ShadowEntries <= before.ShadowEntries {
+		t.Errorf("looser guarantee must grow the shadow: %d -> %d",
+			before.ShadowEntries, after.ShadowEntries)
+	}
+	if reg.ModQoSConfig(999, time.Millisecond) {
+		t.Error("ModQoSConfig on unknown id succeeded")
+	}
+}
+
+func TestModQoSMatch(t *testing.T) {
+	reg := NewRegistry()
+	sw := tcam.NewSwitch("s1", tcam.Pica8P3290)
+	id, _, err := reg.CreateTCAMQoS(sw, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := func(r classifier.Rule) bool { return r.Priority > 10 }
+	if !reg.ModQoSMatch(id, pred) {
+		t.Error("ModQoSMatch failed")
+	}
+	a, _ := reg.Agent(id)
+	if a.guarded(classifier.Rule{Priority: 5}) {
+		t.Error("predicate not applied")
+	}
+	if !a.guarded(classifier.Rule{Priority: 50}) {
+		t.Error("predicate rejects guarded rule")
+	}
+	if reg.ModQoSMatch(999, pred) {
+		t.Error("ModQoSMatch on unknown id succeeded")
+	}
+}
+
+func TestQoSOverheads(t *testing.T) {
+	// Overhead grows with the guarantee and stays < 5% for 5ms on the
+	// Pica8 (the paper's headline number; Figure 14's shape).
+	var prev float64
+	for _, g := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond} {
+		o := QoSOverheads(tcam.Pica8P3290, g)
+		if o <= prev {
+			t.Errorf("overhead at %v = %v, not increasing", g, o)
+		}
+		prev = o
+	}
+	if o := QoSOverheads(tcam.Pica8P3290, 5*time.Millisecond); o >= 0.05 {
+		t.Errorf("5ms overhead = %.3f, want < 5%%", o)
+	}
+	// Infeasible guarantees preview as zero.
+	if o := QoSOverheads(tcam.Pica8P3290, time.Microsecond); o != 0 {
+		t.Errorf("infeasible overhead = %v", o)
+	}
+	// Very loose guarantees are capped at half the TCAM.
+	if o := QoSOverheads(tcam.Pica8P3290, time.Hour); o > 0.5 {
+		t.Errorf("capped overhead = %v", o)
+	}
+}
+
+func TestModQoSConfigInfeasibleRestores(t *testing.T) {
+	reg := NewRegistry()
+	sw := tcam.NewSwitch("s1", tcam.Pica8P3290)
+	id, _, err := reg.CreateTCAMQoS(sw, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.ModQoSConfig(id, time.Nanosecond) {
+		t.Fatal("infeasible ModQoSConfig succeeded")
+	}
+	// The previous configuration must still be live and usable.
+	a, ok := reg.Agent(id)
+	if !ok {
+		t.Fatal("agent gone after failed modify")
+	}
+	if _, err := a.Insert(0, classifier.Rule{
+		ID:       1,
+		Match:    classifier.DstMatch(classifier.MustParsePrefix("10.0.0.0/8")),
+		Priority: 1,
+	}); err != nil {
+		t.Errorf("agent unusable after failed modify: %v", err)
+	}
+	info, _ := reg.Info(id)
+	if info.Guarantee != 5*time.Millisecond {
+		t.Errorf("info mutated after failed modify: %+v", info)
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+	"hermes/internal/workload"
+)
+
+// Ablations exercises the design choices DESIGN.md calls out, each with
+// its corresponding agent flag:
+//
+//   - the §4.2 lowest-priority bypass (DisableLowPriorityBypass);
+//   - the Algorithm-1 merge step (DisableMergeOptimization);
+//   - the atomic migration ordering of §5.2 (NaiveMigration).
+func Ablations(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "ablations", Title: "Design-choice ablations (§4.2, Alg. 1, §5.2)"}
+	res.Tables = append(res.Tables,
+		ablateBypass(scale),
+		ablateMerge(scale),
+		ablateAtomicMigration(scale))
+	res.Notes = append(res.Notes,
+		"each row pair contrasts the design choice enabled vs disabled; the enabled variant should dominate")
+	return res
+}
+
+// ablateBypass measures the §4.2 optimization on a stream that appends
+// many lowest-priority rules (the workload the optimization targets).
+func ablateBypass(scale float64) *stats.Table {
+	tab := &stats.Table{
+		Title:   "(a) lowest-priority bypass (§4.2): descending-priority stream",
+		Headers: []string{"variant", "median RIT", "shadow inserts", "migrations"},
+	}
+	n := scaleInt(2000, scale, 300)
+	for _, disable := range []bool{false, true} {
+		cfg := defaultHermesConfig()
+		cfg.DisableLowPriorityBypass = disable
+		a := newAgent(tcam.Pica8P3290, cfg)
+		run := replayDescendingStream(a, n, cfg.TickInterval)
+		name := "bypass on"
+		if disable {
+			name = "bypass off"
+		}
+		tab.AddRow(name,
+			fmtMS(stats.Summarize(run.latenciesMS).Median()),
+			fmt.Sprintf("%d", run.metrics.ShadowInserts),
+			fmt.Sprintf("%d", run.metrics.Migrations))
+	}
+	return tab
+}
+
+// replayDescendingStream inserts rules in descending priority order so
+// every rule is globally lowest on arrival.
+func replayDescendingStream(a *core.Agent, n int, tick time.Duration) agentRun {
+	run := agentRun{}
+	now := time.Duration(0)
+	nextTick := tick
+	for i := 0; i < n; i++ {
+		now += time.Millisecond
+		for now >= nextTick {
+			if end := a.Tick(nextTick); end != 0 {
+				a.Advance(end)
+			}
+			nextTick += tick
+		}
+		r := newDisjointRule(i, int32(n-i)) // strictly descending priorities
+		res, err := a.Insert(now, r)
+		if err != nil {
+			continue
+		}
+		run.latenciesMS = append(run.latenciesMS, (res.Completed-now).Seconds()*1e3)
+	}
+	run.elapsed = now
+	run.metrics = a.Metrics()
+	run.violations = run.metrics.Violations
+	return run
+}
+
+// ablateMerge contrasts Algorithm 1 with and without the line-7 merge on a
+// workload where merging provably matters: each new rule is cut by a pair
+// of higher-priority main-table rules occupying sibling destination
+// halves with a common source region. Without merging the fragments of the
+// two cuts stay separate (16 per rule); the merge step recombines sibling
+// destination fragments with identical sources (8 per rule), halving
+// shadow-table pressure.
+func ablateMerge(scale float64) *stats.Table {
+	tab := &stats.Table{
+		Title:   "(b) Algorithm 1 merge step: sibling-cut stream",
+		Headers: []string{"variant", "partitions installed", "partitions/rule", "shadow-full diversions", "migrations"},
+	}
+	blocks := scaleInt(300, scale, 60)
+	for _, disable := range []bool{false, true} {
+		run := runMergeAblation(blocks, disable)
+		name := "merge on"
+		if disable {
+			name = "merge off"
+		}
+		perRule := 0.0
+		if run.metrics.RulesCut > 0 {
+			perRule = float64(run.metrics.PartitionsInstalled) / float64(run.metrics.RulesCut)
+		}
+		tab.AddRow(name,
+			fmt.Sprintf("%d", run.metrics.PartitionsInstalled),
+			fmt.Sprintf("%.1f", perRule),
+			fmt.Sprintf("%d", run.metrics.ShadowFull),
+			fmt.Sprintf("%d", run.metrics.Migrations))
+	}
+	return tab
+}
+
+// MergeAblationRun executes the merge ablation workload and returns the
+// agent metrics; exported for the BenchmarkAblationMerge shape metric.
+func MergeAblationRun(blocks int, disableMerge bool) core.Metrics {
+	return runMergeAblation(blocks, disableMerge).metrics
+}
+
+func runMergeAblation(blocks int, disableMerge bool) agentRun {
+	cfg := defaultHermesConfig()
+	cfg.DisableLowPriorityBypass = true
+	cfg.DisableMergeOptimization = disableMerge
+	a := newAgent(tcam.Dell8132F, cfg)
+	src := classifier.MustParsePrefix("10.0.0.0/8")
+	now := time.Duration(0)
+	id := classifier.RuleID(1)
+
+	// Phase 1: blockers — per block, two sibling /25s sharing a /8 source,
+	// at high priority. They migrate into the main table.
+	shadowCap := a.ShadowSize()
+	for i := 0; i < blocks; i++ {
+		dstBase := classifier.NewPrefix(0xC0000000|uint32(i)<<8, 24)
+		lo, hi := dstBase.Children()
+		for _, d := range []classifier.Prefix{lo, hi} {
+			r := classifier.Rule{
+				ID:       id,
+				Match:    classifier.Match{Dst: d, Src: src},
+				Priority: 100,
+				Action:   classifier.Action{Type: classifier.ActionForward, Port: 1},
+			}
+			id++
+			if _, err := a.Insert(now, r); err != nil {
+				panic(err)
+			}
+			now += time.Millisecond
+		}
+		// Keep the shadow from overflowing while loading blockers.
+		if a.ShadowOccupancy() > shadowCap-8 {
+			if end := a.ForceMigration(now); end != 0 {
+				a.Advance(end)
+				now = end
+			}
+		}
+	}
+	if end := a.ForceMigration(now); end != 0 {
+		a.Advance(end)
+		now = end
+	}
+
+	// Phase 2: one low-priority /24-wide rule per block; each is cut by
+	// both blockers.
+	run := agentRun{}
+	base := a.Metrics()
+	for i := 0; i < blocks; i++ {
+		r := classifier.Rule{
+			ID:       id,
+			Match:    classifier.DstMatch(classifier.NewPrefix(0xC0000000|uint32(i)<<8, 24)),
+			Priority: 1,
+			Action:   classifier.Action{Type: classifier.ActionForward, Port: 2},
+		}
+		id++
+		res, err := a.Insert(now, r)
+		if err == nil {
+			run.latenciesMS = append(run.latenciesMS, (res.Completed-now).Seconds()*1e3)
+		}
+		now += 5 * time.Millisecond
+		if end := a.Tick(now); end != 0 {
+			a.Advance(end)
+			now = end
+		}
+	}
+	run.elapsed = now
+	m := a.Metrics()
+	// Report phase-2 deltas only.
+	m.PartitionsInstalled -= base.PartitionsInstalled
+	m.RulesCut -= base.RulesCut
+	m.ShadowFull -= base.ShadowFull
+	m.Migrations -= base.Migrations
+	run.metrics = m
+	run.violations = m.Violations
+	return run
+}
+
+// ablateAtomicMigration contrasts the §5.2 ordering (insert into main,
+// then empty shadow) with the naive reverse ordering, measuring the
+// rule·seconds during which rules were installed in neither table.
+func ablateAtomicMigration(scale float64) *stats.Table {
+	tab := &stats.Table{
+		Title:   "(c) migration atomicity (§5.2)",
+		Headers: []string{"variant", "migrations", "exposed rule-seconds"},
+	}
+	n := scaleInt(2000, scale, 300)
+	for _, naive := range []bool{false, true} {
+		cfg := defaultHermesConfig()
+		cfg.NaiveMigration = naive
+		a := newAgent(tcam.Pica8P3290, cfg)
+		stream := workload.MicroBench(rand.New(rand.NewSource(17)), workload.MicroBenchConfig{
+			Rules: n, RatePerSec: 600, OverlapFrac: 0.3, MaxPriority: 64,
+		})
+		run := replayThroughAgent(a, stream, cfg.TickInterval)
+		name := "atomic (paper)"
+		if naive {
+			name = "naive delete-first"
+		}
+		tab.AddRow(name,
+			fmt.Sprintf("%d", run.metrics.Migrations),
+			fmt.Sprintf("%.4f", run.metrics.ExposedRuleSeconds))
+	}
+	return tab
+}

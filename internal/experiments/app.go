@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hermes/internal/netsim"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+	"hermes/internal/topo"
+	"hermes/internal/workload"
+)
+
+// AppWorkload names one of the paper's application workloads (§8.1.3).
+type AppWorkload string
+
+// The four application workloads the paper evaluates (§8.2).
+const (
+	WorkloadFacebook AppWorkload = "facebook"
+	WorkloadGeant    AppWorkload = "geant"
+	WorkloadAbilene  AppWorkload = "abilene"
+	WorkloadQuest    AppWorkload = "quest"
+)
+
+// buildApp constructs the topology and job trace for a workload. Fat-tree
+// arity and job counts scale with the scale knob; mechanisms do not.
+func buildApp(w AppWorkload, scale float64, seed int64) (*topo.Graph, []workload.Job) {
+	rng := rand.New(rand.NewSource(seed))
+	switch w {
+	case WorkloadFacebook:
+		k := 4
+		if scale >= 1 {
+			k = 8
+		}
+		if scale >= 4 {
+			k = 16 // the paper's full 1024-host fabric
+		}
+		g := topo.FatTree(k, 1e9, 10*time.Microsecond)
+		jobs := workload.FacebookJobs(rng, workload.FacebookConfig{
+			Jobs:     scaleInt(400, scale, 60),
+			Duration: time.Duration(scaleInt(60, scale, 20)) * time.Second,
+			Hosts:    g.Hosts(),
+		})
+		return g, jobs
+	case WorkloadGeant:
+		g := topo.Geant()
+		tm := workload.GravityTM(rng, g.Hosts(), 12e9)
+		return g, workload.FlowsFromTM(rng, tm, time.Duration(scaleInt(20, scale, 6))*time.Second, 40e6)
+	case WorkloadAbilene:
+		g := topo.Abilene()
+		tm := workload.AbileneTM(g.Hosts(), 10e9)
+		return g, workload.FlowsFromTM(rng, tm, time.Duration(scaleInt(20, scale, 6))*time.Second, 40e6)
+	case WorkloadQuest:
+		g := topo.Quest()
+		tm := workload.GravityTM(rng, g.Hosts(), 12e9)
+		return g, workload.FlowsFromTM(rng, tm, time.Duration(scaleInt(20, scale, 6))*time.Second, 40e6)
+	default:
+		panic(fmt.Sprintf("experiments: unknown workload %q", w))
+	}
+}
+
+// appRun is one simulated (workload, installer, switch profile) cell.
+type appRun struct {
+	kind    netsim.InstallerKind
+	profile *tcam.Profile
+	metrics *netsim.Metrics
+}
+
+func runApp(w AppWorkload, kind netsim.InstallerKind, profile *tcam.Profile, scale float64, seed int64) appRun {
+	g, jobs := buildApp(w, scale, seed)
+	sim := netsim.New(netsim.Config{
+		Graph:        g,
+		Profile:      profile,
+		Kind:         kind,
+		PrefillRules: 300,
+		Seed:         seed,
+	})
+	return appRun{kind: kind, profile: profile, metrics: sim.Run(jobs)}
+}
+
+// Figure1 reproduces Fig. 1: CDFs of the JCT increase ratio (relative to a
+// zero-control-latency network) for short and long jobs, comparing a raw
+// switch against Hermes, Tango, and ESPRES.
+func Figure1(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "fig1", Title: "JCT increase ratio vs zero-latency control plane (Fig. 1)"}
+	const seed = 101
+	base := runApp(WorkloadFacebook, netsim.InstallZero, tcam.Pica8P3290, scale, seed)
+
+	systems := []netsim.InstallerKind{netsim.InstallDirect, netsim.InstallHermes, netsim.InstallTango, netsim.InstallESPRES}
+	names := []string{tcam.Pica8P3290.Name, "Hermes", "Tango", "ESPRES"}
+
+	short := map[string][]float64{}
+	long := map[string][]float64{}
+	for i, kind := range systems {
+		run := runApp(WorkloadFacebook, kind, tcam.Pica8P3290, scale, seed)
+		s, l := jctRatios(base.metrics, run.metrics)
+		short[names[i]] = s
+		long[names[i]] = l
+	}
+	res.Tables = append(res.Tables,
+		quantileTable("(a) short jobs (<1GB): JCT increase ratio", "x", short),
+		quantileTable("(b) long jobs: JCT increase ratio", "x", long))
+	res.Notes = append(res.Notes,
+		"expected shape: short jobs inflate far more than long jobs on raw switches; Hermes stays closest to 1.0 (§2.2)")
+	return res
+}
+
+// jctRatios computes per-job JCT ratios (system / zero-latency), split
+// into short (<1GB) and long jobs.
+func jctRatios(base, sys *netsim.Metrics) (short, long []float64) {
+	for job, baseJCT := range base.JCTs {
+		sysJCT, ok := sys.JCTs[job]
+		if !ok || baseJCT <= 0 {
+			continue
+		}
+		ratio := sysJCT / baseJCT
+		if base.JobBytes[job] < 1e9 {
+			short = append(short, ratio)
+		} else {
+			long = append(long, ratio)
+		}
+	}
+	return short, long
+}
+
+// Figure8 reproduces Fig. 8: CDFs of rule installation time for the three
+// switch models and Hermes, on the Facebook and Geant workloads.
+func Figure8(scale float64) *Result {
+	return ritFigure("fig8",
+		"Rule installation time CDFs (Fig. 8)",
+		[]ritLine{
+			{name: tcam.Pica8P3290.Name, kind: netsim.InstallDirect, profile: tcam.Pica8P3290},
+			{name: tcam.Dell8132F.Name, kind: netsim.InstallDirect, profile: tcam.Dell8132F},
+			{name: tcam.HP5406zl.Name, kind: netsim.InstallDirect, profile: tcam.HP5406zl},
+			{name: "Hermes", kind: netsim.InstallHermes, profile: tcam.Pica8P3290},
+		},
+		"expected shape: Hermes's CDF rises sharply below its 5ms guarantee; raw switches spread to tens of ms (§8.2)",
+		scale)
+}
+
+// Figure10 reproduces Fig. 10: rule installation time CDFs for Hermes
+// versus Tango and ESPRES.
+func Figure10(scale float64) *Result {
+	return ritFigure("fig10",
+		"Hermes vs Tango vs ESPRES rule installation time (Fig. 10)",
+		[]ritLine{
+			{name: "Tango", kind: netsim.InstallTango, profile: tcam.Pica8P3290},
+			{name: "ESPRES", kind: netsim.InstallESPRES, profile: tcam.Pica8P3290},
+			{name: "Hermes", kind: netsim.InstallHermes, profile: tcam.Pica8P3290},
+		},
+		"expected shape: Hermes beats both by >50% at the median; Tango edges out ESPRES at the tail (§8.3)",
+		scale)
+}
+
+type ritLine struct {
+	name    string
+	kind    netsim.InstallerKind
+	profile *tcam.Profile
+}
+
+func ritFigure(id, title string, lines []ritLine, note string, scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: id, Title: title}
+	for _, w := range []AppWorkload{WorkloadFacebook, WorkloadGeant} {
+		series := map[string][]float64{}
+		for _, l := range lines {
+			run := runApp(w, l.kind, l.profile, scale, 202)
+			series[l.name] = run.metrics.RITms
+		}
+		res.Tables = append(res.Tables, quantileTable(fmt.Sprintf("%s: RIT quantiles", w), "ms", series))
+	}
+	res.Notes = append(res.Notes, note)
+	return res
+}
+
+// Figure9 reproduces Fig. 9: flow completion time CDFs — Facebook all
+// jobs, Facebook short jobs, and Geant.
+func Figure9(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "fig9", Title: "Flow completion time CDFs (Fig. 9)"}
+	lines := []ritLine{
+		{name: tcam.Pica8P3290.Name, kind: netsim.InstallDirect, profile: tcam.Pica8P3290},
+		{name: tcam.Dell8132F.Name, kind: netsim.InstallDirect, profile: tcam.Dell8132F},
+		{name: tcam.HP5406zl.Name, kind: netsim.InstallDirect, profile: tcam.HP5406zl},
+		{name: "Hermes", kind: netsim.InstallHermes, profile: tcam.Pica8P3290},
+	}
+	const seed = 303
+
+	// Facebook: all jobs and short jobs.
+	all := map[string][]float64{}
+	shortOnly := map[string][]float64{}
+	for _, l := range lines {
+		run := runApp(WorkloadFacebook, l.kind, l.profile, scale, seed)
+		var fa, fs []float64
+		for flowID, fct := range run.metrics.FCTs {
+			fa = append(fa, fct)
+			if job, ok := run.metrics.FlowJob[flowID]; ok && run.metrics.JobBytes[job] < 1e9 {
+				fs = append(fs, fct)
+			}
+		}
+		all[l.name] = fa
+		shortOnly[l.name] = fs
+	}
+	res.Tables = append(res.Tables,
+		quantileTable("(a) Facebook, all jobs: FCT quantiles", "s", all),
+		quantileTable("(b) Facebook, short jobs: FCT quantiles", "s", shortOnly))
+
+	// Geant.
+	geant := map[string][]float64{}
+	for _, l := range lines {
+		run := runApp(WorkloadGeant, l.kind, l.profile, scale, seed)
+		var f []float64
+		for _, fct := range run.metrics.FCTs {
+			f = append(f, fct)
+		}
+		geant[l.name] = f
+	}
+	res.Tables = append(res.Tables, quantileTable("(c) Geant: FCT quantiles", "s", geant))
+	res.Notes = append(res.Notes,
+		"expected shape: Hermes improves tails most on short jobs, where transfer time cannot mask control latency (§8.2)")
+	return res
+}
+
+// Figure11 reproduces Fig. 11: a time series of rule installation times
+// for the first N rules, Hermes vs Tango vs ESPRES, on structured
+// (Facebook-like) and unstructured (Geant-like) rule streams.
+func Figure11(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "fig11", Title: "Time series of rule installation time (Fig. 11)"}
+	n := scaleInt(1000, scale, 200)
+	for _, structured := range []bool{true, false} {
+		label := "(a) Facebook-like (structured prefixes)"
+		if !structured {
+			label = "(b) Geant-like (unstructured prefixes)"
+		}
+		series := installSeries(n, structured)
+		tab := &stats.Table{Title: label, Headers: []string{"rule #", "Tango", "ESPRES", "Hermes"}}
+		step := n / 10
+		if step < 1 {
+			step = 1
+		}
+		for i := step - 1; i < n; i += step {
+			tab.AddRow(fmt.Sprintf("%d", i+1),
+				fmtMS(series["Tango"][i]), fmtMS(series["ESPRES"][i]), fmtMS(series["Hermes"][i]))
+		}
+		res.Tables = append(res.Tables, tab)
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: Tango/ESPRES grow with table occupancy (Tango slower to degrade on structured prefixes); Hermes stays flat under its guarantee (§8.3)")
+	return res
+}

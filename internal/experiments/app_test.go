@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+
+	"hermes/internal/netsim"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+)
+
+// TestBuildAppAllWorkloads exercises every §8.1.3 workload end to end,
+// including the two (Abilene, Quest) the paper evaluates but does not plot.
+func TestBuildAppAllWorkloads(t *testing.T) {
+	for _, w := range []AppWorkload{WorkloadFacebook, WorkloadGeant, WorkloadAbilene, WorkloadQuest} {
+		g, jobs := buildApp(w, 0.05, 7)
+		if g == nil || len(jobs) == 0 {
+			t.Fatalf("%s: empty workload", w)
+		}
+		run := runApp(w, netsim.InstallHermes, tcam.Pica8P3290, 0.05, 7)
+		if len(run.metrics.JCTs) != len(jobs) {
+			t.Errorf("%s: completed %d/%d jobs", w, len(run.metrics.JCTs), len(jobs))
+		}
+	}
+}
+
+func TestBuildAppUnknownWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown workload must panic")
+		}
+	}()
+	buildApp(AppWorkload("nope"), 1, 1)
+}
+
+// TestFigure8HermesDominates runs the fig8 cells at smoke scale and checks
+// the central claim: Hermes's median RIT beats every raw switch by a wide
+// margin (the paper reports 80–94%).
+func TestFigure8HermesDominates(t *testing.T) {
+	const seed = 202
+	hermesRun := runApp(WorkloadFacebook, netsim.InstallHermes, tcam.Pica8P3290, testScale, seed)
+	if len(hermesRun.metrics.RITms) == 0 {
+		t.Skip("no installs at this scale")
+	}
+	hermesMed := stats.Summarize(hermesRun.metrics.RITms).Median()
+	for _, p := range tcam.Profiles() {
+		raw := runApp(WorkloadFacebook, netsim.InstallDirect, p, testScale, seed)
+		if len(raw.metrics.RITms) == 0 {
+			continue
+		}
+		rawMed := stats.Summarize(raw.metrics.RITms).Median()
+		improvement := 1 - hermesMed/rawMed
+		if improvement < 0.5 {
+			t.Errorf("%s: Hermes median improvement only %.0f%% (hermes %.2fms vs raw %.2fms)",
+				p.Name, improvement*100, hermesMed, rawMed)
+		}
+	}
+}
+
+// TestFigure10Shape verifies the §8.3 ordering on the Geant workload:
+// Hermes < Tango ≤ ESPRES at the tail.
+func TestFigure10Shape(t *testing.T) {
+	const seed = 202
+	tail := func(kind netsim.InstallerKind) float64 {
+		run := runApp(WorkloadGeant, kind, tcam.Pica8P3290, testScale, seed)
+		if len(run.metrics.RITms) == 0 {
+			t.Skip("no installs")
+		}
+		return stats.Summarize(run.metrics.RITms).P95()
+	}
+	hermes := tail(netsim.InstallHermes)
+	tango := tail(netsim.InstallTango)
+	espres := tail(netsim.InstallESPRES)
+	if hermes >= tango || hermes >= espres {
+		t.Errorf("Hermes p95 %.2fms not below Tango %.2fms / ESPRES %.2fms", hermes, tango, espres)
+	}
+	if tango > espres {
+		t.Errorf("Tango p95 %.2fms above ESPRES %.2fms on unstructured prefixes", tango, espres)
+	}
+}
+
+// TestFigure1HermesStaysAtOne checks Fig. 1's Hermes property: the JCT
+// increase ratio stays pinned near 1.0.
+func TestFigure1HermesStaysAtOne(t *testing.T) {
+	const seed = 101
+	base := runApp(WorkloadFacebook, netsim.InstallZero, tcam.Pica8P3290, testScale, seed)
+	hermes := runApp(WorkloadFacebook, netsim.InstallHermes, tcam.Pica8P3290, testScale, seed)
+	short, long := jctRatios(base.metrics, hermes.metrics)
+	all := append(short, long...)
+	if len(all) == 0 {
+		t.Skip("no comparable jobs")
+	}
+	s := stats.Summarize(all)
+	if s.Quantile(0.9) > 1.1 {
+		t.Errorf("Hermes p90 JCT ratio = %.3f, want ≈1.0", s.Quantile(0.9))
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/predict"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+	"hermes/internal/workload"
+)
+
+// AutoTune evaluates the self-tuning slack controller (the future work
+// §8.6 proposes) on a regime-shift workload: a calm phase at 200 updates/s
+// followed by a hot phase at 1000 updates/s with full overlap. A fixed,
+// calm-tuned slack (20%) under-provisions the hot phase; the auto-tuner
+// starts from the same 20% and raises itself when violations appear.
+func AutoTune(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "autotune", Title: "Self-tuning slack vs fixed slack (§8.6 future work)"}
+	tab := &stats.Table{
+		Headers: []string{"variant", "violations+diversions", "p95 RIT", "final slack", "migrations"},
+	}
+	calm := scaleInt(1000, scale, 200)
+	hot := scaleInt(4000, scale, 800)
+
+	type variant struct {
+		name string
+		cfg  core.Config
+	}
+	base := defaultHermesConfig()
+	base.Corrector = predict.Slack{Factor: 0.2}
+	auto := base
+	auto.AutoTuneSlack = true
+	paper := defaultHermesConfig() // fixed 100%, the paper's manual choice
+	variants := []variant{
+		{"fixed 20% (calm-tuned)", base},
+		{"auto-tuned (seed 20%)", auto},
+		{"fixed 100% (paper)", paper},
+	}
+
+	for _, v := range variants {
+		a := newAgent(tcam.Dell8132F, v.cfg)
+		stream := regimeShiftStream(calm, hot)
+		run := replayThroughAgent(a, stream, v.cfg.TickInterval)
+		bad := run.violations + run.metrics.ShadowFull
+		tab.AddRow(v.name,
+			fmt.Sprintf("%d", bad),
+			fmtMS(stats.Summarize(run.latenciesMS).P95()),
+			fmt.Sprintf("%.0f%%", a.CurrentSlack()*100),
+			fmt.Sprintf("%d", run.metrics.Migrations))
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Notes = append(res.Notes,
+		"expected shape: the auto-tuner matches the calm-tuned variant early and converges toward the paper's manual 100% setting after the regime shift")
+	return res
+}
+
+// regimeShiftStream concatenates a calm 200/s zero-overlap phase with a
+// hot 1000/s full-overlap phase.
+func regimeShiftStream(calm, hot int) []workload.TimedRule {
+	rng := rand.New(rand.NewSource(21))
+	first := workload.MicroBench(rng, workload.MicroBenchConfig{
+		Rules: calm, RatePerSec: 200, OverlapFrac: 0, MaxPriority: 64,
+	})
+	second := workload.MicroBench(rng, workload.MicroBenchConfig{
+		Rules: hot, RatePerSec: 1000, OverlapFrac: 1.0, MaxPriority: 64,
+		FirstID: classifier.RuleID(calm + 1),
+	})
+	offset := time.Duration(0)
+	if len(first) > 0 {
+		offset = first[len(first)-1].At
+	}
+	out := append([]workload.TimedRule(nil), first...)
+	for _, tr := range second {
+		tr.At += offset
+		out = append(out, tr)
+	}
+	return out
+}

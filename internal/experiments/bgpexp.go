@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"hermes/internal/bgp"
+	"hermes/internal/classifier"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+)
+
+// BGPExperiment reproduces §8.4/§2.3: four BGPStream-shaped update traces
+// run through a real best-path/FIB pipeline; the resulting FIB operations
+// drive a raw switch and a Hermes(5ms) switch. It reports per-router update
+// rates (including the >1000 upd/s burst tails), FIB-visible operation
+// counts, and installation latency with and without Hermes.
+func BGPExperiment(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "bgp", Title: "Hermes on traditional BGP routers (§8.4, §2.3)"}
+
+	rates := &stats.Table{
+		Title:   "BGP update stream (per router)",
+		Headers: []string{"router", "updates", "mean upd/s", "peak upd/s (100ms window)", "FIB ops", "RIB-only updates"},
+	}
+	install := &stats.Table{
+		Title:   "FIB installation latency (raw switch vs Hermes 5ms, Dell 8132F; Hermes column covers admitted/guaranteed insertions)",
+		Headers: []string{"router", "raw median", "raw p99", "hermes median", "hermes p99", "hermes violations", "rate-limited"},
+	}
+
+	for i, prof := range bgp.Profiles() {
+		cfg := prof.Cfg
+		cfg.Duration = time.Duration(float64(cfg.Duration) * scale / 4)
+		if cfg.Duration < 5*time.Second {
+			cfg.Duration = 5 * time.Second
+		}
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		trace := bgp.GenerateTrace(rng, cfg)
+		router := bgp.NewRouter(prof.Name)
+		var ops []bgp.FIBOp
+		for _, u := range trace {
+			ops = append(ops, router.Process(u)...)
+		}
+
+		// Update-rate statistics.
+		windows := map[int]int{}
+		for _, u := range trace {
+			windows[int(u.At/(100*time.Millisecond))]++
+		}
+		peak := 0
+		for _, c := range windows {
+			if c > peak {
+				peak = c
+			}
+		}
+		rates.AddRow(prof.Name,
+			fmt.Sprintf("%d", len(trace)),
+			fmt.Sprintf("%.0f", float64(len(trace))/cfg.Duration.Seconds()),
+			fmt.Sprintf("%d", peak*10),
+			fmt.Sprintf("%d", len(ops)),
+			fmt.Sprintf("%d", len(trace)-len(ops)))
+
+		raw := replayFIBRaw(tcam.Dell8132F, ops)
+		hermes := replayFIBHermes(tcam.Dell8132F, ops)
+		rawSum := stats.Summarize(raw)
+		hSum := stats.Summarize(hermes.latenciesMS)
+		install.AddRow(prof.Name,
+			fmtMS(rawSum.Median()), fmtMS(rawSum.P99()),
+			fmtMS(hSum.Median()), fmtMS(hSum.P99()),
+			fmt.Sprintf("%d", hermes.violations+hermes.metrics.ShadowFull),
+			fmt.Sprintf("%d", hermes.metrics.RateLimited))
+	}
+	res.Tables = append(res.Tables, rates, install)
+	res.Notes = append(res.Notes,
+		"expected shape: calm base rates with >1000 upd/s burst tails; Hermes caps installation latency through the bursts (§2.3, §8.4)")
+	return res
+}
+
+// replayFIBRaw drives FIB operations into a monolithic switch table,
+// returning per-insert latencies in ms.
+func replayFIBRaw(profile *tcam.Profile, ops []bgp.FIBOp) []float64 {
+	sw := tcam.NewSwitch("bgp-raw", profile)
+	tbl := sw.Table()
+	var out []float64
+	for _, op := range ops {
+		switch op.Type {
+		case bgp.FIBInsert:
+			cost, err := tbl.Insert(op.Rule())
+			if err != nil {
+				continue
+			}
+			done := sw.Submit(op.At, cost)
+			out = append(out, (done-op.At).Seconds()*1e3)
+		case bgp.FIBDelete:
+			if cost, ok := tbl.Delete(bgp.PrefixRuleID(op.Prefix)); ok {
+				sw.Submit(op.At, cost)
+			}
+		case bgp.FIBModify:
+			if cost, ok := tbl.ModifyAction(bgp.PrefixRuleID(op.Prefix), op.Rule().Action); ok {
+				sw.Submit(op.At, cost)
+			}
+		}
+	}
+	return out
+}
+
+// replayFIBHermes drives FIB operations through a Hermes agent.
+func replayFIBHermes(profile *tcam.Profile, ops []bgp.FIBOp) agentRun {
+	cfg := defaultHermesConfig()
+	// The paper notes BGP needs high slack inflation (>80%) for zero
+	// violations; the default 100% satisfies that. Unlike the paced
+	// microbenchmarks, BGP bursts exceed the admissible rate, so the Gate
+	// Keeper's token bucket is active: overruns go to the main table and
+	// only admitted insertions carry the guarantee.
+	cfg.DisableRateLimit = false
+	a := newAgent(profile, cfg)
+	run := agentRun{}
+	tick := cfg.TickInterval
+	nextTick := tick
+	for _, op := range ops {
+		for op.At >= nextTick {
+			if end := a.Tick(nextTick); end != 0 {
+				a.Advance(end)
+			}
+			nextTick += tick
+		}
+		switch op.Type {
+		case bgp.FIBInsert:
+			res, err := a.Insert(op.At, op.Rule())
+			if err != nil {
+				continue
+			}
+			if res.Guaranteed {
+				run.latenciesMS = append(run.latenciesMS, (res.Completed-op.At).Seconds()*1e3)
+			}
+		case bgp.FIBDelete:
+			a.Delete(op.At, bgp.PrefixRuleID(op.Prefix)) //nolint:errcheck // idempotent replay
+		case bgp.FIBModify:
+			a.Modify(op.At, op.Rule()) //nolint:errcheck // idempotent replay
+		}
+	}
+	if n := len(ops); n > 0 {
+		run.elapsed = ops[n-1].At
+	}
+	run.metrics = a.Metrics()
+	run.violations = run.metrics.Violations
+	return run
+}
+
+// Figure15 reproduces Fig. 15: the CPU cost of Hermes's own algorithms as
+// the rule count grows — per-insert partitioning (≈ constant) versus
+// migration optimization (superlinear) — plus memory footprint.
+//
+// Substitution note: the paper measures CPU% and memory% of a Python
+// implementation on an Edge-Core AS5712's management CPU. We measure the Go
+// implementation's wall-clock algorithm runtimes and heap usage directly,
+// which preserves the growth-shape comparison the figure makes.
+func Figure15(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "fig15", Title: "Algorithm runtime and memory vs rule count (Fig. 15)"}
+	tab := &stats.Table{
+		Headers: []string{"rules", "insert algo (µs/rule)", "migration algo (ms total)", "heap (MB)"},
+	}
+	sizes := []int{1000, 2000, 5000, 10000, 20000}
+	if scale < 1 {
+		sizes = []int{500, 1000, 2000, 4000}
+	}
+	for _, n := range sizes {
+		insertPer, migTotal, heapMB := measureAlgorithms(n)
+		tab.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", insertPer),
+			fmt.Sprintf("%.1f", migTotal),
+			fmt.Sprintf("%.1f", heapMB),
+		)
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Notes = append(res.Notes,
+		"expected shape: insertion cost ≈ flat; migration cost grows superlinearly; both scale to 20k rules/s (§8.7)")
+	return res
+}
+
+// measureAlgorithms measures (a) per-rule partitioning time against an
+// n-rule main index, (b) total migration-optimization time for n rules,
+// and (c) heap usage for the structures.
+func measureAlgorithms(n int) (insertMicros, migrateMillis, heapMB float64) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	// Build an n-rule main index (the dominant live structure).
+	var idx classifier.Trie
+	rules := make([]classifier.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		r := classifier.Rule{
+			ID:       classifier.RuleID(i + 1),
+			Match:    classifier.DstMatch(classifier.NewPrefix(rng.Uint32(), uint8(12+rng.Intn(13)))),
+			Priority: int32(rng.Intn(64)),
+			Action:   classifier.Action{Type: classifier.ActionForward, Port: i % 48},
+		}
+		rules = append(rules, r)
+		idx.Insert(r)
+	}
+	runtime.ReadMemStats(&after)
+	heapMB = float64(after.HeapAlloc-before.HeapAlloc) / (1 << 20)
+	if heapMB < 0 {
+		heapMB = 0
+	}
+
+	// (a) insertion algorithm: partition a probe rule against the index.
+	// Best of three rounds, so a GC pause in one round cannot masquerade
+	// as algorithmic cost.
+	const probes = 200
+	nextID := classifier.RuleID(1 << 20)
+	insertMicros = 0
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		for i := 0; i < probes; i++ {
+			probe := classifier.Rule{
+				ID:       classifier.RuleID(1<<19 + i),
+				Match:    classifier.DstMatch(classifier.NewPrefix(rng.Uint32(), 24)),
+				Priority: 1,
+			}
+			classifier.PartitionNewRule(probe, &idx, func() classifier.RuleID {
+				nextID++
+				return nextID
+			})
+		}
+		per := float64(time.Since(start).Microseconds()) / probes
+		if round == 0 || per < insertMicros {
+			insertMicros = per
+		}
+	}
+
+	// (b) migration algorithm: group and merge the full rule set, the
+	// optimize step of Fig. 7.
+	start := time.Now()
+	groups := make(map[int64][]classifier.Match)
+	for _, r := range rules {
+		key := int64(r.Priority)<<32 | int64(r.Action.Port)
+		groups[key] = append(groups[key], r.Match)
+	}
+	for _, ms := range groups {
+		classifier.MergeMatches(ms)
+	}
+	migrateMillis = float64(time.Since(start).Microseconds()) / 1e3
+	return insertMicros, migrateMillis, heapMB
+}

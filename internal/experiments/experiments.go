@@ -1,0 +1,157 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§8), shared by the hermes-bench command and the
+// testing.B benchmarks in the repository root. Each driver returns a
+// Result whose String renders paper-style rows; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Every driver accepts a Scale knob so the same code runs as a quick bench
+// (scale < 1) or at full size from the CLI. Scaling changes sample counts,
+// never the mechanisms, so the *shape* of each result is preserved.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/predict"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+	"hermes/internal/workload"
+)
+
+// Result is one experiment's rendered outcome.
+type Result struct {
+	// ID is the experiment identifier (e.g. "table1", "fig8").
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Tables hold the rendered data.
+	Tables []*stats.Table
+	// Notes are free-form observations (e.g. which line wins where).
+	Notes []string
+}
+
+// String renders the full result.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// clampScale keeps scales sane.
+func clampScale(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	if s > 16 {
+		return 16
+	}
+	return s
+}
+
+// scaleInt scales a count, keeping a floor.
+func scaleInt(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// agentRun is the outcome of replaying a rule stream through one agent.
+type agentRun struct {
+	latenciesMS []float64
+	violations  int
+	elapsed     time.Duration
+	metrics     core.Metrics
+}
+
+// violationPercent counts guarantee misses: guaranteed-path overruns plus
+// inserts that were forced to the unguaranteed main table because the
+// shadow was full.
+func (r agentRun) violationPercent() float64 {
+	total := r.metrics.Inserts
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.violations+r.metrics.ShadowFull) / float64(total)
+}
+
+// replayThroughAgent drives a timed rule stream into a Hermes agent,
+// ticking the Rule Manager at the agent's configured interval.
+func replayThroughAgent(a *core.Agent, stream []workload.TimedRule, tick time.Duration) agentRun {
+	run := agentRun{}
+	nextTick := tick
+	for _, tr := range stream {
+		for tr.At >= nextTick {
+			if end := a.Tick(nextTick); end != 0 {
+				a.Advance(end)
+			}
+			nextTick += tick
+		}
+		res, err := a.Insert(tr.At, tr.Rule)
+		if err != nil {
+			continue
+		}
+		run.latenciesMS = append(run.latenciesMS, (res.Completed-tr.At).Seconds()*1e3)
+	}
+	if len(stream) > 0 {
+		run.elapsed = stream[len(stream)-1].At
+		if end := a.Tick(run.elapsed + tick); end != 0 {
+			a.Advance(end)
+		}
+	}
+	run.metrics = a.Metrics()
+	run.violations = run.metrics.Violations
+	return run
+}
+
+// newAgent builds a Hermes agent on a fresh switch, panicking on
+// configuration errors (experiment configs are static).
+func newAgent(profile *tcam.Profile, cfg core.Config) *core.Agent {
+	sw := tcam.NewSwitch("bench-"+profile.Name, profile)
+	a, err := core.New(sw, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return a
+}
+
+// defaultHermesConfig is the paper's default: Cubic Spline prediction with
+// 100% slack (§8.6) and a 5ms guarantee.
+func defaultHermesConfig() core.Config {
+	return core.Config{
+		Guarantee:        5 * time.Millisecond,
+		Predictor:        predict.NewCubicSpline(16),
+		Corrector:        predict.Slack{Factor: 1.0},
+		TickInterval:     10 * time.Millisecond,
+		DisableRateLimit: true, // experiments shape their own arrival rates
+	}
+}
+
+// newDisjointRule builds the i-th rule of a non-overlapping stream.
+func newDisjointRule(i int, prio int32) classifier.Rule {
+	return classifier.Rule{
+		ID:       classifier.RuleID(i + 1),
+		Match:    classifier.DstMatch(classifier.NewPrefix(0x0A000000|uint32(i)<<8, 24)),
+		Priority: prio,
+		Action:   classifier.Action{Type: classifier.ActionForward, Port: i % 48},
+	}
+}
+
+func fmtMS(v float64) string { return fmt.Sprintf("%.3fms", v) }
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// tcamPica returns the Pica8 profile (test convenience).
+func tcamPica() *tcam.Profile { return tcam.Pica8P3290 }

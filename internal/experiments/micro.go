@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/predict"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+	"hermes/internal/workload"
+)
+
+// Table1 reproduces Table 1: rule update rate versus flow-table occupancy
+// for the Pica8 P-3290 and Dell 8132F. The harness fills a table to each
+// occupancy and measures the sustained rate of top-priority insertions
+// (each shifting the whole table), exactly the benchmark behind the
+// published numbers.
+func Table1() *Result {
+	res := &Result{ID: "table1", Title: "Rule update rate vs. table occupancy (Table 1)"}
+	cases := []struct {
+		profile     *tcam.Profile
+		occupancies []int
+		paper       []float64
+	}{
+		{tcam.Pica8P3290, []int{50, 200, 1000, 2000}, []float64{1266, 114, 23, 12}},
+		{tcam.Dell8132F, []int{50, 250, 500, 750}, []float64{970, 494, 42, 29}},
+	}
+	for _, c := range cases {
+		tab := &stats.Table{
+			Title:   fmt.Sprintf("%s (%s)", c.profile.Name, c.profile.ASIC),
+			Headers: []string{"occupancy", "updates/s (measured)", "updates/s (paper)"},
+		}
+		for i, occ := range c.occupancies {
+			measured := measureUpdateRate(c.profile, occ)
+			tab.AddRow(
+				fmt.Sprintf("%d", occ),
+				fmt.Sprintf("%.0f", measured),
+				fmt.Sprintf("%.0f", c.paper[i]),
+			)
+		}
+		res.Tables = append(res.Tables, tab)
+	}
+	res.Notes = append(res.Notes,
+		"measured rates are produced by the TCAM shift-cost model; matching the paper column validates calibration")
+	return res
+}
+
+// measureUpdateRate fills a table to the target occupancy and measures the
+// update rate for inserting batchSize top-priority rules.
+func measureUpdateRate(profile *tcam.Profile, occupancy int) float64 {
+	tbl := tcam.NewTable("t1", profile.Capacity, profile)
+	for i := 0; i < occupancy; i++ {
+		r := classifier.Rule{
+			ID:       classifier.RuleID(i + 1),
+			Match:    classifier.DstMatch(classifier.NewPrefix(uint32(i)<<8, 24)),
+			Priority: 10,
+		}
+		if _, err := tbl.Insert(r); err != nil {
+			panic(err)
+		}
+	}
+	const batch = 10
+	var total time.Duration
+	for i := 0; i < batch; i++ {
+		r := classifier.Rule{
+			ID:       classifier.RuleID(100000 + i),
+			Match:    classifier.DstMatch(classifier.NewPrefix(0xF0000000|uint32(i)<<8, 24)),
+			Priority: 1000, // top priority: shifts the whole table
+		}
+		cost, err := tbl.Insert(r)
+		if err != nil {
+			panic(err)
+		}
+		total += cost
+		// Keep occupancy constant for a steady-state rate.
+		tbl.Delete(r.ID)
+	}
+	return float64(batch) / total.Seconds()
+}
+
+// Figure12 reproduces Fig. 12: Hermes-SIMPLE (threshold-triggered
+// migration) swept over threshold values at 1000 updates/s with 100%
+// overlap, against predictive Hermes — violations (a) and migration
+// frequency (b).
+func Figure12(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "fig12", Title: "Hermes-SIMPLE under different thresholds (Fig. 12)"}
+	thresholds := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	rules := scaleInt(6000, scale, 800)
+
+	viol := &stats.Table{
+		Title:   "(a) percentage of violations vs threshold",
+		Headers: []string{"threshold", tcam.Dell8132F.Name, tcam.Pica8P3290.Name, tcam.HP5406zl.Name},
+	}
+	freq := &stats.Table{
+		Title:   "(b) migrations per second vs threshold",
+		Headers: []string{"threshold", tcam.Dell8132F.Name, tcam.Pica8P3290.Name, tcam.HP5406zl.Name, "Hermes(Dell)", "Hermes(Pica8)", "Hermes(HP)"},
+	}
+
+	profiles := []*tcam.Profile{tcam.Dell8132F, tcam.Pica8P3290, tcam.HP5406zl}
+
+	// Predictive Hermes reference rates (threshold-independent).
+	hermesRates := make([]float64, len(profiles))
+	for i, p := range profiles {
+		stream := workload.MicroBench(rand.New(rand.NewSource(42)), workload.MicroBenchConfig{
+			Rules: rules, RatePerSec: 1000, OverlapFrac: 1.0, MaxPriority: 64,
+		})
+		cfg := defaultHermesConfig()
+		run := replayThroughAgent(newAgent(p, cfg), stream, cfg.TickInterval)
+		hermesRates[i] = run.metrics.MigrationsPerSecond(run.elapsed)
+	}
+
+	for _, th := range thresholds {
+		vrow := []string{fmtPct(th * 100)}
+		frow := []string{fmtPct(th * 100)}
+		for _, p := range profiles {
+			stream := workload.MicroBench(rand.New(rand.NewSource(42)), workload.MicroBenchConfig{
+				Rules: rules, RatePerSec: 1000, OverlapFrac: 1.0, MaxPriority: 64,
+			})
+			cfg := defaultHermesConfig()
+			cfg.Mode = core.MigrationThreshold
+			cfg.Threshold = th
+			run := replayThroughAgent(newAgent(p, cfg), stream, cfg.TickInterval)
+			vrow = append(vrow, fmtPct(run.violationPercent()))
+			frow = append(frow, fmt.Sprintf("%.1f", run.metrics.MigrationsPerSecond(run.elapsed)))
+		}
+		viol.AddRow(vrow...)
+		for _, hr := range hermesRates {
+			frow = append(frow, fmt.Sprintf("%.1f", hr))
+		}
+		freq.AddRow(frow...)
+	}
+	res.Tables = append(res.Tables, viol, freq)
+	res.Notes = append(res.Notes,
+		"expected shape: zero violations only at low thresholds, at the cost of roughly double the migration rate of predictive Hermes (§8.5)")
+	return res
+}
+
+// Figure13 reproduces Fig. 13: rule insertion latency versus slack factor
+// at 200 and 1000 updates/s across overlap rates, on the Dell 8132F.
+func Figure13(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "fig13", Title: "Insertion latency vs slack factor (Fig. 13, Dell 8132F)"}
+	overlaps := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	slacks := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, rate := range []float64{200, 1000} {
+		rules := scaleInt(int(rate*4), scale, 400)
+		tab := &stats.Table{
+			Title:   fmt.Sprintf("p95 insertion latency at %.0f updates/s", rate),
+			Headers: []string{"slack"},
+		}
+		for _, ov := range overlaps {
+			tab.Headers = append(tab.Headers, fmtPct(ov*100)+" overlap")
+		}
+		for _, slack := range slacks {
+			row := []string{fmtPct(slack * 100)}
+			for _, ov := range overlaps {
+				stream := workload.MicroBench(rand.New(rand.NewSource(7)), workload.MicroBenchConfig{
+					Rules: rules, RatePerSec: rate, OverlapFrac: ov, MaxPriority: 64,
+				})
+				cfg := defaultHermesConfig()
+				cfg.Corrector = predict.Slack{Factor: slack}
+				run := replayThroughAgent(newAgent(tcam.Dell8132F, cfg), stream, cfg.TickInterval)
+				row = append(row, fmtMS(stats.Summarize(run.latenciesMS).P95()))
+			}
+			tab.AddRow(row...)
+		}
+		res.Tables = append(res.Tables, tab)
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: at 1000 updates/s high overlap needs aggressive (100%) slack; at 200 updates/s slack matters little (§8.6)")
+	return res
+}
+
+// Figure14 reproduces Fig. 14: ASIC (TCAM space) overhead versus the
+// requested performance guarantee, per switch.
+func Figure14() *Result {
+	res := &Result{ID: "fig14", Title: "ASIC overhead vs performance guarantee (Fig. 14)"}
+	tab := &stats.Table{Headers: []string{"guarantee", tcam.Dell8132F.Name, tcam.HP5406zl.Name, tcam.Pica8P3290.Name}}
+	for _, g := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond} {
+		row := []string{g.String()}
+		for _, p := range []*tcam.Profile{tcam.Dell8132F, tcam.HP5406zl, tcam.Pica8P3290} {
+			row = append(row, fmtPct(core.QoSOverheads(p, g)*100))
+		}
+		tab.AddRow(row...)
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Notes = append(res.Notes,
+		"expected shape: overhead grows with the guarantee and stays small; a 5ms guarantee costs <5% on the Pica8 (§8.7)")
+	return res
+}
+
+// PredictorSweep reproduces the §8.6 sensitivity analysis: predictors
+// (EWMA, Cubic Spline, ARMA) crossed with correctors (Slack, Deadzone) on
+// the MicroBench workload; Cubic Spline + Slack should dominate.
+func PredictorSweep(scale float64) *Result {
+	scale = clampScale(scale)
+	res := &Result{ID: "predsweep", Title: "Prediction algorithm sensitivity (§8.6)"}
+	rules := scaleInt(5000, scale, 600)
+	tab := &stats.Table{Headers: []string{"predictor+corrector", "median RIT", "p95 RIT", "violations", "migrations/s"}}
+	type combo struct {
+		name string
+		cfg  func() core.Config
+	}
+	mk := func(pname string, corr string) combo {
+		return combo{
+			name: pname + "+" + corr,
+			cfg: func() core.Config {
+				cfg := defaultHermesConfig()
+				pr, err := predict.NewByName(pname)
+				if err != nil {
+					panic(err)
+				}
+				cfg.Predictor = pr
+				if corr == "Slack" {
+					cfg.Corrector = predict.Slack{Factor: 1.0}
+				} else {
+					cfg.Corrector = predict.Deadzone{Delta: 100}
+				}
+				return cfg
+			},
+		}
+	}
+	combos := []combo{
+		mk("CubicSpline", "Slack"), mk("CubicSpline", "Deadzone"),
+		mk("EWMA", "Slack"), mk("EWMA", "Deadzone"),
+		mk("ARMA", "Slack"), mk("ARMA", "Deadzone"),
+	}
+	// "Best" balances the guarantee (violations) against the migration
+	// bandwidth the combo burns: among combinations whose violations are
+	// within 20% of the achievable minimum, the one migrating least wins —
+	// the same trade-off Fig. 12 quantifies for Hermes-SIMPLE.
+	type outcome struct {
+		name string
+		bad  int
+		migr float64
+	}
+	var outcomes []outcome
+	for _, c := range combos {
+		stream := workload.MicroBench(rand.New(rand.NewSource(11)), workload.MicroBenchConfig{
+			Rules: rules, RatePerSec: 800, OverlapFrac: 0.6, MaxPriority: 64,
+		})
+		run := replayThroughAgent(newAgent(tcam.Pica8P3290, c.cfg()), stream, 10*time.Millisecond)
+		sum := stats.Summarize(run.latenciesMS)
+		bad := run.violations + run.metrics.ShadowFull
+		migr := run.metrics.MigrationsPerSecond(run.elapsed)
+		tab.AddRow(c.name, fmtMS(sum.Median()), fmtMS(sum.P95()),
+			fmt.Sprintf("%d", bad),
+			fmt.Sprintf("%.1f", migr))
+		outcomes = append(outcomes, outcome{c.name, bad, migr})
+	}
+	minBad := outcomes[0].bad
+	for _, o := range outcomes {
+		if o.bad < minBad {
+			minBad = o.bad
+		}
+	}
+	best := ""
+	bestMigr := 0.0
+	for _, o := range outcomes {
+		if float64(o.bad) <= 1.2*float64(minBad)+1 {
+			if best == "" || o.migr < bestMigr {
+				best, bestMigr = o.name, o.migr
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("best (fewest migrations among lowest-violation combos): %s — the paper finds Cubic Spline + Slack most effective", best))
+	return res
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment at a given scale.
+type Runner func(scale float64) *Result
+
+// registry maps experiment IDs to their drivers, in the order DESIGN.md
+// lists them (E1–E12 plus the ablation suite).
+var registry = map[string]Runner{
+	"table1":       func(float64) *Result { return Table1() },
+	"fig1":         Figure1,
+	"fig8":         Figure8,
+	"fig9":         Figure9,
+	"fig10":        Figure10,
+	"fig11":        Figure11,
+	"fig12":        Figure12,
+	"fig13":        Figure13,
+	"fig14":        func(float64) *Result { return Figure14() },
+	"fig15":        Figure15,
+	"predsweep":    PredictorSweep,
+	"bgp":          BGPExperiment,
+	"ablations":    Ablations,
+	"autotune":     AutoTune,
+	"shadowswitch": ShadowSwitchComparison,
+}
+
+// IDs returns the known experiment IDs in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, scale float64) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(scale), nil
+}
+
+// Order returns the experiment IDs in presentation order (the order the
+// paper's evaluation section walks its artifacts).
+func Order() []string {
+	return []string{
+		"table1", "fig1", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "predsweep", "bgp",
+		"ablations", "autotune", "shadowswitch",
+	}
+}

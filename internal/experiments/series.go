@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"hermes/internal/baseline"
+	"hermes/internal/classifier"
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+)
+
+// quantileTable renders one CDF-style comparison: rows are quantiles,
+// columns the named series.
+func quantileTable(title, unit string, series map[string][]float64) *stats.Table {
+	rendered := stats.RenderCDFs(title, unit, series)
+	// RenderCDFs already returns aligned text; wrap it in a single-cell
+	// table so Result.String composes uniformly.
+	t := &stats.Table{Title: ""}
+	t.AddRow(rendered)
+	return t
+}
+
+// seriesBatch is one TE-cycle-like batch of rules arriving together.
+type seriesBatch struct {
+	at    time.Duration
+	rules []classifier.Rule
+}
+
+// makeSeriesStream builds n rules in batches of batchSize every interval.
+// Structured streams mimic data-center allocations: each batch covers
+// sibling prefixes under one /24 with a common action, which Tango can
+// aggregate. Unstructured streams mimic ISP prefixes: scattered lengths,
+// actions, and priorities.
+func makeSeriesStream(rng *rand.Rand, n int, structured bool) []seriesBatch {
+	const batchSize = 10
+	var out []seriesBatch
+	id := classifier.RuleID(1)
+	at := time.Duration(0)
+	for len(out)*batchSize < n {
+		b := seriesBatch{at: at}
+		if structured {
+			base := rng.Uint32() & 0xFFFFFF00
+			prio := int32(10 + rng.Intn(40))
+			action := classifier.Action{Type: classifier.ActionForward, Port: rng.Intn(48)}
+			for i := 0; i < batchSize; i++ {
+				// /27 slices of a shared /24 (8 siblings) plus extras.
+				addr := base | uint32((i%8)*32)
+				b.rules = append(b.rules, classifier.Rule{
+					ID: id, Match: classifier.DstMatch(classifier.NewPrefix(addr, 27)),
+					Priority: prio, Action: action,
+				})
+				id++
+			}
+		} else {
+			for i := 0; i < batchSize; i++ {
+				plen := uint8(16 + rng.Intn(15))
+				b.rules = append(b.rules, classifier.Rule{
+					ID: id, Match: classifier.DstMatch(classifier.NewPrefix(rng.Uint32(), plen)),
+					Priority: int32(rng.Intn(64)),
+					Action:   classifier.Action{Type: classifier.ActionForward, Port: rng.Intn(48)},
+				})
+				id++
+			}
+		}
+		out = append(out, b)
+		at += 10 * time.Millisecond
+	}
+	return out
+}
+
+// installSeries replays the same stream through Tango, ESPRES and Hermes
+// and returns per-rule installation latency (ms) in arrival order.
+func installSeries(n int, structured bool) map[string][]float64 {
+	out := make(map[string][]float64, 3)
+
+	for _, name := range []string{"Tango", "ESPRES", "Hermes"} {
+		rng := rand.New(rand.NewSource(77))
+		batches := makeSeriesStream(rng, n, structured)
+		var inst baseline.Installer
+		switch name {
+		case "Tango":
+			inst = baseline.NewTango(tcam.NewSwitch("tango", tcam.Pica8P3290))
+		case "ESPRES":
+			inst = baseline.NewESPRES(tcam.NewSwitch("espres", tcam.Pica8P3290))
+		case "Hermes":
+			inst = baseline.NewHermes(newAgent(tcam.Pica8P3290, defaultHermesConfig()))
+		}
+		series := make([]float64, 0, n)
+		for _, b := range batches {
+			inst.Tick(b.at)
+			results := inst.InsertBatch(b.at, b.rules)
+			// Attribute latencies back to the original rules: strategies
+			// may reorder or merge, so average the batch when the result
+			// count differs (Tango) and map by ID otherwise.
+			// Per-rule hardware service time: the paper's Fig. 11 plots the
+			// per-rule installation cost as the table fills, not cumulative
+			// batch queueing.
+			if len(results) == len(b.rules) {
+				byID := make(map[classifier.RuleID]float64, len(results))
+				for _, r := range results {
+					byID[r.ID] = r.Latency.Seconds() * 1e3
+				}
+				for _, r := range b.rules {
+					series = append(series, byID[r.ID])
+				}
+			} else {
+				var sum float64
+				for _, r := range results {
+					sum += r.Latency.Seconds() * 1e3
+				}
+				mean := 0.0
+				if len(results) > 0 {
+					mean = sum / float64(len(results))
+				}
+				for range b.rules {
+					series = append(series, mean)
+				}
+			}
+		}
+		if len(series) > n {
+			series = series[:n]
+		}
+		out[name] = series
+	}
+	return out
+}

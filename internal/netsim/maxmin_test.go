@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hermes/internal/tcam"
+	"hermes/internal/topo"
+	"hermes/internal/workload"
+)
+
+// TestMaxMinTextbookScenario checks the allocator against the classic
+// hand-computed example: two links L1 (10 B/s) and L2 (4 B/s); flow f1
+// crosses L1 only, f2 crosses L1+L2, f3 crosses L2 only. Max-min fairness
+// gives f2 = f3 = 2 (L2 bottleneck, fair share 4/2) and f1 = 8 (L1's
+// remainder).
+func TestMaxMinTextbookScenario(t *testing.T) {
+	g := topo.NewGraph()
+	hA := g.AddNode("A", topo.KindHost)
+	hB := g.AddNode("B", topo.KindHost)
+	hC := g.AddNode("C", topo.KindHost)
+	hD := g.AddNode("D", topo.KindHost)
+	s1 := g.AddNode("S1", topo.KindSwitch)
+	s2 := g.AddNode("S2", topo.KindSwitch)
+
+	big := 1e12
+	g.AddLink(hA, s1, big, time.Microsecond)
+	g.AddLink(hB, s2, big, time.Microsecond)
+	g.AddLink(hD, s2, big, time.Microsecond)
+	g.AddLink(s1, s2, 80, time.Microsecond) // L1: 10 bytes/s
+	g.AddLink(s2, hC, 32, time.Microsecond) // L2: 4 bytes/s
+
+	sim := New(Config{Graph: g, Profile: tcam.Pica8P3290, Kind: InstallZero, Seed: 1})
+	sim.startFlow(0, 0, workload.FlowSpec{Src: hA, Dst: hB, Bytes: 1e9}) // f1: L1
+	sim.startFlow(0, 1, workload.FlowSpec{Src: hA, Dst: hC, Bytes: 1e9}) // f2: L1+L2
+	sim.startFlow(0, 2, workload.FlowSpec{Src: hD, Dst: hC, Bytes: 1e9}) // f3: L2
+
+	want := map[int]float64{0: 8, 1: 2, 2: 2}
+	for id, rate := range want {
+		got := sim.flows[id].rate
+		if math.Abs(got-rate) > 1e-6 {
+			t.Errorf("flow %d rate = %v, want %v", id, got, rate)
+		}
+	}
+}
+
+// TestMaxMinInvariants drives a congested run and asserts the fairness
+// invariants hold at every reallocation: no link over capacity, no starved
+// active flow.
+func TestMaxMinInvariants(t *testing.T) {
+	g := topo.FatTree(4, 1e9, 10*time.Microsecond)
+	jobs := hotspotJobs(g, 24, 100e6)
+	sim := New(Config{Graph: g, Profile: tcam.Pica8P3290, Kind: InstallZero, Seed: 3})
+
+	// Run step by step, checking after each event.
+	for _, job := range jobs {
+		job := job
+		for i := range job.Flows {
+			fl := job.Flows[i]
+			jobID := job.ID
+			at := job.Arrival
+			sim.engine.Schedule(at, func(now time.Duration) { sim.startFlow(now, jobID, fl) })
+		}
+		sim.jobFlowsLeft[job.ID] = len(job.Flows)
+		sim.jobArrival[job.ID] = job.Arrival
+	}
+	checks := 0
+	for sim.engine.Step() {
+		for lid, flows := range sim.byLink {
+			var sum float64
+			for _, f := range flows {
+				if !f.completed {
+					sum += f.rate
+				}
+			}
+			cap := sim.g.Links[lid].CapacityBps / 8
+			if sum > cap*1.0001 {
+				t.Fatalf("link %d oversubscribed: %v > %v", lid, sum, cap)
+			}
+		}
+		for id, f := range sim.active {
+			if !f.completed && f.rate <= 0 {
+				t.Fatalf("active flow %d starved", id)
+			}
+		}
+		checks++
+		if checks > 500 {
+			break
+		}
+	}
+	if checks < 50 {
+		t.Fatalf("only %d events checked", checks)
+	}
+}

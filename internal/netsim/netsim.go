@@ -1,0 +1,486 @@
+// Package netsim is the Varys flow-level network simulator of §8.1.1,
+// re-implemented in Go: a discrete-event, flow-level simulator with
+// max-min fair bandwidth sharing, per-switch TCAM control-plane latency
+// models, and the proactive traffic-engineering SDNApp [Das et al.,
+// HotCloud'13] that periodically moves flows off congested links.
+//
+// The SDNApp is proactive: flows start immediately on pre-installed
+// default (min-hop) routes, so there is no packet-in startup latency; the
+// control plane only acts when the TE application reconfigures paths. A
+// reconfiguration installs per-flow rules on every switch of the new path,
+// and the flow switches over only when the slowest switch finishes — slow
+// TCAM actions therefore prolong congestion, inflating FCT and JCT exactly
+// as §2.2 describes.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hermes/internal/baseline"
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/sim"
+	"hermes/internal/tcam"
+	"hermes/internal/topo"
+	"hermes/internal/workload"
+)
+
+// InstallerKind selects the per-switch rule installation strategy.
+type InstallerKind int
+
+// Installer strategies.
+const (
+	// InstallZero is the idealized zero-control-latency switch.
+	InstallZero InstallerKind = iota
+	// InstallDirect is an unmodified switch.
+	InstallDirect
+	// InstallESPRES reorders update batches.
+	InstallESPRES
+	// InstallTango reorders and rewrites update batches.
+	InstallTango
+	// InstallHermes runs a Hermes agent on every switch.
+	InstallHermes
+)
+
+func (k InstallerKind) String() string {
+	switch k {
+	case InstallZero:
+		return "ZeroLatency"
+	case InstallDirect:
+		return "Direct"
+	case InstallESPRES:
+		return "ESPRES"
+	case InstallTango:
+		return "Tango"
+	case InstallHermes:
+		return "Hermes"
+	default:
+		return fmt.Sprintf("installer(%d)", int(k))
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Graph is the topology; flows run between its host nodes.
+	Graph *topo.Graph
+	// Profile is the switch model used by every switch.
+	Profile *tcam.Profile
+	// Kind selects the installation strategy.
+	Kind InstallerKind
+	// HermesConfig configures per-switch agents for InstallHermes; its
+	// Guarantee defaults to 5ms.
+	HermesConfig core.Config
+	// TEInterval is the traffic-engineering period (default 100ms).
+	TEInterval time.Duration
+	// CongestionThreshold is the link-utilization fraction above which the
+	// TE app tries to move flows away (default 0.9).
+	CongestionThreshold float64
+	// KPaths is the number of alternative paths considered (default 4).
+	KPaths int
+	// MaxMovesPerCycle bounds reconfigurations per TE cycle (default 64).
+	MaxMovesPerCycle int
+	// PrefillRules loads this many disjoint background rules into every
+	// switch before the run, modeling a production switch's steady-state
+	// occupancy — the dimension Table 1 shows dominates insertion latency.
+	PrefillRules int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TEInterval <= 0 {
+		c.TEInterval = 100 * time.Millisecond
+	}
+	if c.CongestionThreshold <= 0 {
+		c.CongestionThreshold = 0.9
+	}
+	if c.KPaths <= 0 {
+		c.KPaths = 4
+	}
+	if c.MaxMovesPerCycle <= 0 {
+		c.MaxMovesPerCycle = 64
+	}
+	if c.HermesConfig.Guarantee <= 0 {
+		c.HermesConfig.Guarantee = 5 * time.Millisecond
+	}
+	// The TE SDNApp is a cooperating controller: CreateTCAMQoS tells it the
+	// admissible burst rate (§7) and its reconfiguration batches respect
+	// it, so per-switch agents run without the defensive token bucket. The
+	// BGP experiments, whose update source cannot be paced, keep it on.
+	c.HermesConfig.DisableRateLimit = true
+	return c
+}
+
+// flow is one in-flight transfer.
+type flow struct {
+	id        int
+	job       int
+	src, dst  topo.NodeID
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, set by the max-min allocator
+	path      topo.Path
+	started   time.Duration
+	lastSet   time.Duration // when remaining was last advanced
+	completed bool
+	moving    bool // a path change is in flight
+	newPath   topo.Path
+	moveRules []pendingRule // rules installed for the in-flight move
+	liveRules []pendingRule // rules backing the current path
+	activeIdx int           // position in Simulator.active
+	frozen    bool          // scratch flag for the max-min allocator
+}
+
+type pendingRule struct {
+	sw topo.NodeID
+	id classifier.RuleID
+}
+
+// Metrics aggregates a run's outcomes.
+type Metrics struct {
+	// RITms are per-rule installation times in milliseconds across all
+	// switches (completion minus issue, including control-plane queueing).
+	RITms []float64
+	// FCTs maps flow ID to its completion time in seconds.
+	FCTs map[int]float64
+	// JCTs maps job ID to its completion time in seconds.
+	JCTs map[int]float64
+	// JobBytes maps job ID to its total bytes (for the short/long split).
+	JobBytes map[int]float64
+	// FlowJob maps flow ID to its job ID.
+	FlowJob map[int]int
+	// Moves counts TE path reconfigurations; MoveLatencies the time from
+	// decision to switchover in ms.
+	Moves           int
+	MoveLatenciesMS []float64
+	// InstallErrors counts rules rejected by full tables.
+	InstallErrors int
+}
+
+// Simulator runs one configuration over one job trace.
+type Simulator struct {
+	cfg     Config
+	g       *topo.Graph
+	engine  *sim.Engine
+	rng     *rand.Rand
+	flows   map[int]*flow
+	active  []*flow
+	byLink  [][]*flow // indexed by LinkID
+	install map[topo.NodeID]baseline.Installer
+	agents  []*core.Agent
+	hostIP  map[topo.NodeID]uint32
+
+	jobFlowsLeft map[int]int
+	jobArrival   map[int]time.Duration
+
+	nextRuleID classifier.RuleID
+	metrics    Metrics
+
+	// pathCache memoizes k-shortest paths per (src,dst); topology is
+	// static, and Yen's algorithm is far too expensive to run per TE
+	// candidate per cycle.
+	pathCache map[[2]topo.NodeID][]topo.Path
+
+	// Allocator scratch (indexed by LinkID) and the epoch that invalidates
+	// the outstanding next-completion event.
+	linkResidual []float64
+	linkCount    []int
+	allocEpoch   uint64
+}
+
+// New builds a simulator for the config.
+func New(cfg Config) *Simulator {
+	cfg = cfg.withDefaults()
+	s := &Simulator{
+		cfg:          cfg,
+		g:            cfg.Graph,
+		engine:       sim.New(),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		flows:        make(map[int]*flow),
+		byLink:       make([][]*flow, len(cfg.Graph.Links)),
+		install:      make(map[topo.NodeID]baseline.Installer),
+		hostIP:       make(map[topo.NodeID]uint32),
+		jobFlowsLeft: make(map[int]int),
+		jobArrival:   make(map[int]time.Duration),
+		nextRuleID:   1,
+		pathCache:    make(map[[2]topo.NodeID][]topo.Path),
+		linkResidual: make([]float64, len(cfg.Graph.Links)),
+		linkCount:    make([]int, len(cfg.Graph.Links)),
+	}
+	s.metrics.FCTs = make(map[int]float64)
+	s.metrics.JCTs = make(map[int]float64)
+	s.metrics.JobBytes = make(map[int]float64)
+	s.metrics.FlowJob = make(map[int]int)
+	for i, h := range cfg.Graph.Hosts() {
+		s.hostIP[h] = 0x0A000000 | uint32(i+1) // 10.0.0.0/8 host space
+	}
+	for _, sw := range cfg.Graph.Switches() {
+		inst := s.newInstaller(fmt.Sprintf("sw%d", sw))
+		if cfg.PrefillRules > 0 {
+			inst.Prefill(backgroundRules(cfg.PrefillRules))
+		}
+		s.install[sw] = inst
+	}
+	return s
+}
+
+// backgroundRules builds disjoint low-priority filler rules in a dedicated
+// address range (172.16/12) that never collides with host traffic.
+func backgroundRules(n int) []classifier.Rule {
+	out := make([]classifier.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, classifier.Rule{
+			ID:       classifier.RuleID(1<<30 + i),
+			Match:    classifier.DstMatch(classifier.NewPrefix(0xAC100000|uint32(i)<<8, 24)),
+			Priority: 1,
+			Action:   classifier.Action{Type: classifier.ActionForward, Port: i % 48},
+		})
+	}
+	return out
+}
+
+func (s *Simulator) newInstaller(name string) baseline.Installer {
+	hw := tcam.NewSwitch(name, s.cfg.Profile)
+	switch s.cfg.Kind {
+	case InstallZero:
+		return baseline.NewZeroLatency(s.cfg.Profile)
+	case InstallDirect:
+		return baseline.NewDirect(hw)
+	case InstallESPRES:
+		return baseline.NewESPRES(hw)
+	case InstallTango:
+		return baseline.NewTango(hw)
+	case InstallHermes:
+		agent, err := core.New(hw, s.cfg.HermesConfig)
+		if err != nil {
+			panic(fmt.Sprintf("netsim: hermes agent: %v", err))
+		}
+		s.agents = append(s.agents, agent)
+		return baseline.NewHermes(agent)
+	default:
+		panic(fmt.Sprintf("netsim: unknown installer kind %d", s.cfg.Kind))
+	}
+}
+
+// Agents returns the per-switch Hermes agents (InstallHermes only).
+func (s *Simulator) Agents() []*core.Agent { return s.agents }
+
+// Run replays the job trace until every flow completes and returns the
+// collected metrics.
+func (s *Simulator) Run(jobs []workload.Job) *Metrics {
+	for _, job := range jobs {
+		job := job
+		s.jobFlowsLeft[job.ID] = len(job.Flows)
+		s.jobArrival[job.ID] = job.Arrival
+		s.metrics.JobBytes[job.ID] = job.TotalBytes()
+		for i := range job.Flows {
+			fl := job.Flows[i]
+			at := job.Arrival + fl.StartDelay
+			jobID := job.ID
+			s.engine.Schedule(at, func(now time.Duration) {
+				s.startFlow(now, jobID, fl)
+			})
+		}
+	}
+	// TE application tick.
+	s.engine.Schedule(s.cfg.TEInterval, s.teTick)
+	s.engine.Run(0)
+	return &s.metrics
+}
+
+// paths returns the cached k-shortest paths between two hosts.
+func (s *Simulator) paths(src, dst topo.NodeID) []topo.Path {
+	key := [2]topo.NodeID{src, dst}
+	if p, ok := s.pathCache[key]; ok {
+		return p
+	}
+	p := s.g.KShortestPaths(src, dst, s.cfg.KPaths)
+	s.pathCache[key] = p
+	return p
+}
+
+func (s *Simulator) startFlow(now time.Duration, jobID int, spec workload.FlowSpec) {
+	all := s.paths(spec.Src, spec.Dst)
+	if len(all) == 0 {
+		panic(fmt.Sprintf("netsim: no path %d->%d", spec.Src, spec.Dst))
+	}
+	path := all[0]
+	f := &flow{
+		id:        len(s.flows),
+		job:       jobID,
+		src:       spec.Src,
+		dst:       spec.Dst,
+		remaining: spec.Bytes,
+		path:      path,
+		started:   now,
+		lastSet:   now,
+	}
+	s.flows[f.id] = f
+	f.activeIdx = len(s.active)
+	s.active = append(s.active, f)
+	s.metrics.FlowJob[f.id] = jobID
+	s.attach(f, f.path)
+	s.reallocate(now)
+}
+
+func (s *Simulator) attach(f *flow, p topo.Path) {
+	for _, l := range p.Links {
+		s.byLink[l] = append(s.byLink[l], f)
+	}
+}
+
+func (s *Simulator) detach(f *flow, p topo.Path) {
+	for _, l := range p.Links {
+		flows := s.byLink[l]
+		for i, g := range flows {
+			if g == f {
+				flows[i] = flows[len(flows)-1]
+				s.byLink[l] = flows[:len(flows)-1]
+				break
+			}
+		}
+	}
+}
+
+// advanceProgress charges elapsed transfer at the current rates before any
+// rate change.
+func (s *Simulator) advanceProgress(now time.Duration) {
+	for _, f := range s.active {
+		dt := (now - f.lastSet).Seconds()
+		if dt > 0 {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.lastSet = now
+	}
+}
+
+// reallocate recomputes max-min fair rates (progressive filling) and
+// schedules the single next-completion event. All scratch state lives in
+// pre-allocated per-link slices; per-flow completion events are avoided
+// entirely (an epoch counter invalidates the outstanding one), which keeps
+// the event queue O(1) per reallocation instead of O(active flows).
+func (s *Simulator) reallocate(now time.Duration) {
+	s.advanceProgress(now)
+
+	unfrozen := 0
+	var touched []topo.LinkID
+	for _, f := range s.active {
+		f.frozen = false
+		f.rate = 0
+		unfrozen++
+		for _, l := range f.path.Links {
+			if s.linkCount[l] == 0 {
+				touched = append(touched, l)
+				s.linkResidual[l] = s.g.Links[l].CapacityBps / 8 // bytes/sec
+			}
+			s.linkCount[l]++
+		}
+	}
+	for unfrozen > 0 {
+		// Find the bottleneck link: minimal fair share.
+		var bottleneck topo.LinkID = -1
+		share := 0.0
+		for _, lid := range touched {
+			n := s.linkCount[lid]
+			if n <= 0 {
+				continue
+			}
+			fs := s.linkResidual[lid] / float64(n)
+			if bottleneck == -1 || fs < share {
+				bottleneck, share = lid, fs
+			}
+		}
+		if bottleneck == -1 {
+			// Flows with no constrained link (cannot happen: every path
+			// has links) — give them effectively unconstrained rate.
+			for _, f := range s.active {
+				if !f.frozen {
+					f.rate = 1e12
+					f.frozen = true
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow on the bottleneck at the fair share.
+		for _, f := range s.byLink[bottleneck] {
+			if f.frozen || f.completed {
+				continue
+			}
+			f.rate = share
+			f.frozen = true
+			unfrozen--
+			// Release this flow's claim on its other links.
+			for _, l := range f.path.Links {
+				if l != bottleneck {
+					s.linkResidual[l] -= share
+					s.linkCount[l]--
+				}
+			}
+		}
+		s.linkCount[bottleneck] = 0
+	}
+	// Reset scratch for the next call.
+	for _, lid := range touched {
+		s.linkCount[lid] = 0
+		s.linkResidual[lid] = 0
+	}
+
+	s.scheduleNextCompletion(now)
+}
+
+// scheduleNextCompletion arms one event for the earliest-finishing active
+// flow; any state change bumps the epoch and re-arms.
+func (s *Simulator) scheduleNextCompletion(now time.Duration) {
+	s.allocEpoch++
+	var next *flow
+	var bestETA float64
+	for _, f := range s.active {
+		if f.rate <= 0 {
+			continue
+		}
+		eta := f.remaining / f.rate
+		if next == nil || eta < bestETA {
+			next, bestETA = f, eta
+		}
+	}
+	if next == nil {
+		return
+	}
+	epoch := s.allocEpoch
+	fl := next
+	at := now + time.Duration(bestETA*float64(time.Second))
+	s.engine.Schedule(at, func(t time.Duration) {
+		if s.allocEpoch == epoch && !fl.completed {
+			s.completeFlow(t, fl)
+		}
+	})
+}
+
+func (s *Simulator) completeFlow(now time.Duration, f *flow) {
+	s.advanceProgress(now)
+	f.completed = true
+	f.remaining = 0
+	f.rate = 0
+	s.detach(f, f.path)
+	if f.moving {
+		// The pending move is moot; its rules are cleaned when the
+		// switchover event fires.
+		f.moving = false
+	}
+	s.retireRules(now, &f.liveRules)
+	// Swap-remove from the active list.
+	last := len(s.active) - 1
+	s.active[f.activeIdx] = s.active[last]
+	s.active[f.activeIdx].activeIdx = f.activeIdx
+	s.active = s.active[:last]
+	s.metrics.FCTs[f.id] = (now - f.started).Seconds()
+	s.jobFlowsLeft[f.job]--
+	if s.jobFlowsLeft[f.job] == 0 {
+		s.metrics.JCTs[f.job] = (now - s.jobArrival[f.job]).Seconds()
+	}
+	s.reallocate(now)
+}

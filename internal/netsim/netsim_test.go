@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/stats"
+	"hermes/internal/tcam"
+	"hermes/internal/topo"
+	"hermes/internal/workload"
+)
+
+// hotspotJobs builds a workload that congests inter-pod links: bursts of
+// flows from pod-0 hosts to pod-1 hosts that all share the deterministic
+// shortest path until TE spreads them.
+func hotspotJobs(g *topo.Graph, n int, bytes float64) []workload.Job {
+	hosts := g.Hosts()
+	jobs := make([]workload.Job, 0, n)
+	for i := 0; i < n; i++ {
+		src := hosts[i%4]                // pod 0
+		dst := hosts[len(hosts)/2+(i%4)] // a later pod
+		if src == dst {
+			dst = hosts[len(hosts)-1]
+		}
+		jobs = append(jobs, workload.Job{
+			ID:      i,
+			Arrival: time.Duration(i) * time.Millisecond,
+			Flows:   []workload.FlowSpec{{Src: src, Dst: dst, Bytes: bytes}},
+		})
+	}
+	return jobs
+}
+
+func runSim(t *testing.T, kind InstallerKind, jobs []workload.Job) *Metrics {
+	t.Helper()
+	g := topo.FatTree(4, 1e9, 10*time.Microsecond) // 16 hosts, 1 Gbps links
+	sim := New(Config{
+		Graph:        g,
+		Profile:      tcam.Pica8P3290,
+		Kind:         kind,
+		PrefillRules: 300, // realistic steady-state occupancy (Table 1)
+		Seed:         1,
+	})
+	m := sim.Run(jobs)
+	return m
+}
+
+func TestZeroLatencyCompletesAllFlows(t *testing.T) {
+	g := topo.FatTree(4, 1e9, 10*time.Microsecond)
+	jobs := hotspotJobs(g, 20, 50e6)
+	m := runSim(t, InstallZero, jobs)
+	if len(m.JCTs) != 20 {
+		t.Fatalf("completed %d jobs, want 20", len(m.JCTs))
+	}
+	if len(m.FCTs) != 20 {
+		t.Fatalf("completed %d flows, want 20", len(m.FCTs))
+	}
+	for id, fct := range m.FCTs {
+		if fct <= 0 {
+			t.Errorf("flow %d FCT = %v", id, fct)
+		}
+	}
+	if m.InstallErrors != 0 {
+		t.Errorf("install errors = %d", m.InstallErrors)
+	}
+}
+
+func TestCongestionTriggersTEMoves(t *testing.T) {
+	g := topo.FatTree(4, 1e9, 10*time.Microsecond)
+	jobs := hotspotJobs(g, 24, 200e6)
+	m := runSim(t, InstallZero, jobs)
+	if m.Moves == 0 {
+		t.Fatal("TE never moved a flow despite the hotspot")
+	}
+	if len(m.RITms) == 0 {
+		t.Fatal("no rule installations recorded")
+	}
+}
+
+func TestTEImprovesOverNoTE(t *testing.T) {
+	// With TE disabled (threshold > 1 means nothing is ever congested),
+	// the hotspot serializes flows; with TE they spread over alternate
+	// paths and finish sooner in aggregate.
+	g := topo.FatTree(4, 1e9, 10*time.Microsecond)
+	jobs := hotspotJobs(g, 24, 200e6)
+
+	noTE := New(Config{Graph: g, Profile: tcam.Pica8P3290, Kind: InstallZero, CongestionThreshold: 10, Seed: 1})
+	mNo := noTE.Run(jobs)
+	withTE := New(Config{Graph: topo.FatTree(4, 1e9, 10*time.Microsecond), Profile: tcam.Pica8P3290, Kind: InstallZero, Seed: 1})
+	mTE := withTE.Run(jobs)
+
+	meanNo := stats.Summarize(jctValues(mNo)).Mean()
+	meanTE := stats.Summarize(jctValues(mTE)).Mean()
+	if meanTE >= meanNo {
+		t.Errorf("TE mean JCT %.3fs not better than no-TE %.3fs", meanTE, meanNo)
+	}
+}
+
+func jctValues(m *Metrics) []float64 {
+	out := make([]float64, 0, len(m.JCTs))
+	for _, v := range m.JCTs {
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestControlLatencyInflatesJCT(t *testing.T) {
+	// The §2.2 experiment in miniature: realistic TCAM latency vs an
+	// idealized switch on the same workload — median JCT must inflate.
+	g := topo.FatTree(4, 1e9, 10*time.Microsecond)
+	jobs := hotspotJobs(g, 48, 25e6) // short flows: ~200ms transfers
+
+	ideal := runSim(t, InstallZero, jobs)
+	real := runSim(t, InstallDirect, jobs)
+
+	if real.Moves == 0 || ideal.Moves == 0 {
+		t.Skip("workload did not trigger TE on both runs")
+	}
+	medIdeal := stats.Summarize(jctValues(ideal)).Median()
+	medReal := stats.Summarize(jctValues(real)).Median()
+	if medReal <= medIdeal {
+		t.Errorf("realistic switch median JCT %.3f not above ideal %.3f", medReal, medIdeal)
+	}
+	// Rule installations must actually cost time on the real switch.
+	if stats.Summarize(real.RITms).Mean() <= stats.Summarize(ideal.RITms).Mean() {
+		t.Error("Direct RIT not above ZeroLatency RIT")
+	}
+}
+
+func TestHermesBoundsRIT(t *testing.T) {
+	g := topo.FatTree(4, 1e9, 10*time.Microsecond)
+	jobs := hotspotJobs(g, 24, 200e6)
+	m := runSim(t, InstallHermes, jobs)
+	if len(m.RITms) == 0 {
+		t.Skip("no rule installs")
+	}
+	sum := stats.Summarize(m.RITms)
+	if sum.P95() > 5.0 {
+		t.Errorf("Hermes p95 RIT = %.2fms exceeds 5ms guarantee", sum.P95())
+	}
+	// Direct on the same workload must be visibly slower at the tail.
+	d := runSim(t, InstallDirect, jobs)
+	if len(d.RITms) > 0 && stats.Summarize(d.RITms).P95() <= sum.P95() {
+		t.Error("Direct p95 RIT not above Hermes")
+	}
+}
+
+func TestESPRESAndTangoRun(t *testing.T) {
+	g := topo.FatTree(4, 1e9, 10*time.Microsecond)
+	jobs := hotspotJobs(g, 24, 200e6)
+	for _, kind := range []InstallerKind{InstallESPRES, InstallTango} {
+		m := runSim(t, kind, jobs)
+		if len(m.JCTs) != 24 {
+			t.Errorf("%v: %d jobs completed", kind, len(m.JCTs))
+		}
+	}
+}
+
+func TestInstallerKindString(t *testing.T) {
+	for _, k := range []InstallerKind{InstallZero, InstallDirect, InstallESPRES, InstallTango, InstallHermes} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+	if InstallerKind(99).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g := topo.FatTree(4, 1e9, 10*time.Microsecond)
+	jobs := hotspotJobs(g, 16, 100e6)
+	m1 := runSim(t, InstallDirect, jobs)
+	m2 := runSim(t, InstallDirect, jobs)
+	if len(m1.JCTs) != len(m2.JCTs) || m1.Moves != m2.Moves {
+		t.Fatal("runs not deterministic")
+	}
+	for id, v := range m1.JCTs {
+		if m2.JCTs[id] != v {
+			t.Fatalf("JCT for job %d differs: %v vs %v", id, v, m2.JCTs[id])
+		}
+	}
+}
+
+func TestISPWorkloadRuns(t *testing.T) {
+	g := topo.Abilene()
+	hosts := g.Hosts()
+	var jobs []workload.Job
+	for i := 0; i < 30; i++ {
+		jobs = append(jobs, workload.Job{
+			ID:      i,
+			Arrival: time.Duration(i*20) * time.Millisecond,
+			Flows: []workload.FlowSpec{{
+				Src: hosts[i%len(hosts)], Dst: hosts[(i+3)%len(hosts)], Bytes: 100e6,
+			}},
+		})
+	}
+	sim := New(Config{Graph: g, Profile: tcam.Dell8132F, Kind: InstallHermes, Seed: 2})
+	m := sim.Run(jobs)
+	if len(m.JCTs) != 30 {
+		t.Fatalf("completed %d jobs", len(m.JCTs))
+	}
+	// Per-switch Hermes agents exist for every Abilene PoP.
+	if got := len(sim.Agents()); got != 11 {
+		t.Errorf("agents = %d, want 11", got)
+	}
+}

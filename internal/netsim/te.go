@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"sort"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/topo"
+)
+
+// This file implements the proactive traffic-engineering SDNApp (§8.1.1):
+// every TEInterval it measures link utilization, picks flows on congested
+// links, and moves them to the least-loaded alternative path. Each move
+// installs per-flow rules on every switch of the new path through that
+// switch's Installer; the flow switches over when the slowest switch
+// finishes, so control-plane latency directly extends the time the flow
+// spends on the congested path.
+
+func (s *Simulator) teTick(now time.Duration) {
+	s.advanceProgress(now)
+
+	// Give periodic strategies CPU time (Hermes Rule Manager ticks).
+	ticked := make([]topo.NodeID, 0, len(s.install))
+	for sw := range s.install {
+		ticked = append(ticked, sw)
+	}
+	sort.Slice(ticked, func(i, j int) bool { return ticked[i] < ticked[j] })
+	for _, sw := range ticked {
+		s.install[sw].Tick(now)
+	}
+
+	moves := s.planMoves()
+	if len(moves) > 0 {
+		s.executeMoves(now, moves)
+	}
+
+	if len(s.active) > 0 || s.engine.Pending() > 0 {
+		s.engine.Schedule(now+s.cfg.TEInterval, s.teTick)
+	}
+}
+
+type move struct {
+	f       *flow
+	newPath topo.Path
+}
+
+// linkUtilization returns current utilization fractions.
+func (s *Simulator) linkUtilization() map[topo.LinkID]float64 {
+	util := make(map[topo.LinkID]float64)
+	for lid, flows := range s.byLink {
+		var sum float64
+		for _, f := range flows {
+			if !f.completed {
+				sum += f.rate
+			}
+		}
+		if sum > 0 {
+			util[topo.LinkID(lid)] = sum / (s.g.Links[lid].CapacityBps / 8)
+		}
+	}
+	return util
+}
+
+// planMoves selects flows on congested links and better paths for them.
+func (s *Simulator) planMoves() []move {
+	util := s.linkUtilization()
+	var congested []topo.LinkID
+	for lid, u := range util {
+		if u >= s.cfg.CongestionThreshold {
+			congested = append(congested, lid)
+		}
+	}
+	if len(congested) == 0 {
+		return nil
+	}
+	sort.Slice(congested, func(i, j int) bool {
+		if util[congested[i]] != util[congested[j]] {
+			return util[congested[i]] > util[congested[j]]
+		}
+		return congested[i] < congested[j]
+	})
+
+	var moves []move
+	seen := make(map[int]bool)
+	for _, lid := range congested {
+		if len(moves) >= s.cfg.MaxMovesPerCycle {
+			break
+		}
+		// Largest flows first: moving elephants relieves the link fastest.
+		var candidates []*flow
+		for _, f := range s.byLink[lid] {
+			if !f.completed && !f.moving && !seen[f.id] {
+				candidates = append(candidates, f)
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].remaining != candidates[j].remaining {
+				return candidates[i].remaining > candidates[j].remaining
+			}
+			return candidates[i].id < candidates[j].id
+		})
+		for _, f := range candidates {
+			if len(moves) >= s.cfg.MaxMovesPerCycle {
+				break
+			}
+			alt, ok := s.bestAlternative(f, util)
+			if !ok {
+				continue
+			}
+			seen[f.id] = true
+			moves = append(moves, move{f: f, newPath: alt})
+			// Account the planned shift so subsequent picks see it.
+			for _, l := range f.path.Links {
+				util[l] -= f.rate / (s.g.Links[l].CapacityBps / 8)
+			}
+			for _, l := range alt.Links {
+				util[l] += f.rate / (s.g.Links[l].CapacityBps / 8)
+			}
+		}
+	}
+	return moves
+}
+
+// bestAlternative returns the alternative path minimizing the maximum
+// utilization along it, if it improves on the current path.
+func (s *Simulator) bestAlternative(f *flow, util map[topo.LinkID]float64) (topo.Path, bool) {
+	paths := s.paths(f.src, f.dst)
+	if len(paths) <= 1 {
+		return topo.Path{}, false
+	}
+	flowShare := func(l topo.LinkID) float64 { return f.rate / (s.g.Links[l].CapacityBps / 8) }
+	maxUtil := func(p topo.Path, withFlow bool) float64 {
+		m := 0.0
+		for _, l := range p.Links {
+			u := util[l]
+			if withFlow {
+				u += flowShare(l)
+			}
+			if u > m {
+				m = u
+			}
+		}
+		return m
+	}
+	current := maxUtil(f.path, false)
+	best := f.path
+	bestScore := current
+	for _, p := range paths {
+		if p.Equal(f.path) {
+			continue
+		}
+		// Utilization the path would see with this flow on it, minus the
+		// flow's own contribution on shared links (approximated by adding
+		// the share everywhere; conservative).
+		score := maxUtil(p, true)
+		if score < bestScore-0.05 { // hysteresis: only clearly better paths
+			best, bestScore = p, score
+		}
+	}
+	if best.Equal(f.path) {
+		return topo.Path{}, false
+	}
+	return best, true
+}
+
+// executeMoves batches the per-switch rule insertions for this TE cycle
+// and schedules each flow's switchover at its slowest rule completion.
+func (s *Simulator) executeMoves(now time.Duration, moves []move) {
+	// Group rules by switch so reordering strategies (ESPRES/Tango) get a
+	// batch to optimize.
+	perSwitch := make(map[topo.NodeID][]classifier.Rule)
+	ruleOwner := make(map[classifier.RuleID]*flow)
+	for _, mv := range moves {
+		f := mv.f
+		f.moving = true
+		f.newPath = mv.newPath
+		f.moveRules = f.moveRules[:0]
+		for _, sw := range mv.newPath.SwitchNodes(s.g) {
+			r := classifier.Rule{
+				ID:       s.nextRuleID,
+				Match:    classifier.Match{Dst: classifier.NewPrefix(s.hostIP[f.dst], 32), Src: classifier.NewPrefix(s.hostIP[f.src], 32)},
+				Priority: 100, // flow rules override default routes
+				Action:   classifier.Action{Type: classifier.ActionForward, Port: int(sw) % 48},
+			}
+			s.nextRuleID++
+			perSwitch[sw] = append(perSwitch[sw], r)
+			ruleOwner[r.ID] = f
+			f.moveRules = append(f.moveRules, pendingRule{sw: sw, id: r.ID})
+		}
+	}
+
+	completion := make(map[int]time.Duration) // flow id -> switchover time
+	switches := make([]topo.NodeID, 0, len(perSwitch))
+	for sw := range perSwitch {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	for _, sw := range switches {
+		results := s.install[sw].InsertBatch(now, perSwitch[sw])
+		for _, res := range results {
+			if res.Err != nil {
+				s.metrics.InstallErrors++
+				continue
+			}
+			s.metrics.RITms = append(s.metrics.RITms, (res.Completed-now).Seconds()*1e3)
+			f := ruleOwner[res.ID]
+			if f == nil {
+				continue
+			}
+			if res.Completed > completion[f.id] {
+				completion[f.id] = res.Completed
+			}
+		}
+	}
+
+	for _, mv := range moves {
+		f := mv.f
+		at, ok := completion[f.id]
+		if !ok {
+			at = now
+		}
+		s.metrics.Moves++
+		s.metrics.MoveLatenciesMS = append(s.metrics.MoveLatenciesMS, (at-now).Seconds()*1e3)
+		fl := f
+		s.engine.Schedule(at, func(t time.Duration) {
+			s.switchover(t, fl)
+		})
+	}
+}
+
+// switchover moves the flow onto its new path and retires the old rules.
+func (s *Simulator) switchover(now time.Duration, f *flow) {
+	if !f.moving || f.completed {
+		s.cleanupMoveRules(now, f)
+		return
+	}
+	s.advanceProgress(now)
+	s.detach(f, f.path)
+	f.path = f.newPath
+	f.moving = false
+	s.attach(f, f.path)
+	// Retire the previous path's per-flow rules and promote the new ones.
+	s.retireRules(now, &f.liveRules)
+	f.liveRules = append(f.liveRules[:0], f.moveRules...)
+	f.moveRules = f.moveRules[:0]
+	s.reallocate(now)
+}
+
+// retireRules deletes a rule set from its switches and empties the slice.
+func (s *Simulator) retireRules(now time.Duration, rules *[]pendingRule) {
+	for _, pr := range *rules {
+		s.install[pr.sw].Delete(now, pr.id)
+	}
+	*rules = (*rules)[:0]
+}
+
+// cleanupMoveRules deletes rules installed for a move that no longer
+// matters (flow finished before switchover).
+func (s *Simulator) cleanupMoveRules(now time.Duration, f *flow) {
+	for _, pr := range f.moveRules {
+		s.install[pr.sw].Delete(now, pr.id)
+	}
+	f.moveRules = f.moveRules[:0]
+}

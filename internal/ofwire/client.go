@@ -1,0 +1,181 @@
+package ofwire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+)
+
+// Client is the controller side of the channel: a synchronous RPC-style
+// wrapper over the wire protocol. It is safe for concurrent use; requests
+// are serialized on the connection (the agent executes them serially
+// anyway — it models a single switch CPU).
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	nextXID uint32
+}
+
+// Dial connects to an agent daemon and performs the hello exchange.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in
+// tests) and performs the hello exchange.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn}
+	// Server speaks first.
+	hello, err := ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ofwire: waiting for hello: %w", err)
+	}
+	if hello.Header.Type != TypeHello {
+		conn.Close()
+		return nil, fmt.Errorf("ofwire: expected hello, got %s", hello.Header.Type)
+	}
+	if err := WriteMessage(conn, &Message{Header: Header{Type: TypeHello}}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the channel.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and waits for its reply.
+func (c *Client) roundTrip(req *Message) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextXID++
+	req.Header.XID = c.nextXID
+	if err := WriteMessage(c.conn, req); err != nil {
+		return nil, err
+	}
+	for {
+		resp, err := ReadMessage(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Header.Type == TypeHello {
+			continue // tolerate late hellos
+		}
+		if resp.Header.XID != req.Header.XID {
+			return nil, fmt.Errorf("ofwire: xid mismatch: sent %d, got %d",
+				req.Header.XID, resp.Header.XID)
+		}
+		if resp.Header.Type == TypeError {
+			return nil, resp.Error
+		}
+		return resp, nil
+	}
+}
+
+// FlowModResult is the controller-visible outcome of a flow-mod.
+type FlowModResult struct {
+	Latency    time.Duration
+	Path       core.InsertPath
+	Guaranteed bool
+	Violation  bool
+	Partitions int
+}
+
+// Insert installs a rule on the remote switch.
+func (c *Client) Insert(r classifier.Rule) (FlowModResult, error) {
+	return c.flowMod(FlowAdd, r)
+}
+
+// Delete removes a rule by ID.
+func (c *Client) Delete(id classifier.RuleID) (FlowModResult, error) {
+	return c.flowMod(FlowDelete, classifier.Rule{ID: id})
+}
+
+// Modify updates a live rule.
+func (c *Client) Modify(r classifier.Rule) (FlowModResult, error) {
+	return c.flowMod(FlowModify, r)
+}
+
+func (c *Client) flowMod(cmd FlowModCommand, r classifier.Rule) (FlowModResult, error) {
+	resp, err := c.roundTrip(&Message{
+		Header:  Header{Type: TypeFlowMod},
+		FlowMod: FlowModFromRule(cmd, r),
+	})
+	if err != nil {
+		return FlowModResult{}, err
+	}
+	if resp.Header.Type != TypeFlowModReply || resp.FlowModReply == nil {
+		return FlowModResult{}, fmt.Errorf("ofwire: unexpected reply %s", resp.Header.Type)
+	}
+	rep := resp.FlowModReply
+	return FlowModResult{
+		Latency:    time.Duration(rep.LatencyNS),
+		Path:       core.InsertPath(rep.Path),
+		Guaranteed: rep.Guaranteed,
+		Violation:  rep.Violation,
+		Partitions: int(rep.Partitions),
+	}, nil
+}
+
+// Barrier blocks until all previously issued flow-mods have been applied,
+// like OpenFlow's barrier.
+func (c *Client) Barrier() error {
+	resp, err := c.roundTrip(&Message{Header: Header{Type: TypeBarrierRequest}})
+	if err != nil {
+		return err
+	}
+	if resp.Header.Type != TypeBarrierReply {
+		return fmt.Errorf("ofwire: unexpected reply %s", resp.Header.Type)
+	}
+	return nil
+}
+
+// Echo round-trips a payload (liveness probe).
+func (c *Client) Echo(payload []byte) ([]byte, error) {
+	resp, err := c.roundTrip(&Message{Header: Header{Type: TypeEchoRequest}, Raw: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Type != TypeEchoReply {
+		return nil, fmt.Errorf("ofwire: unexpected reply %s", resp.Header.Type)
+	}
+	return resp.Raw, nil
+}
+
+// Stats fetches the agent's counters.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.roundTrip(&Message{Header: Header{Type: TypeStatsRequest}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Type != TypeStatsReply || resp.Stats == nil {
+		return nil, fmt.Errorf("ofwire: unexpected reply %s", resp.Header.Type)
+	}
+	return resp.Stats, nil
+}
+
+// RequestQoS negotiates a new insertion guarantee on the remote switch
+// (CreateTCAMQoS over the wire). The switch re-carves its TCAM; installed
+// rules are discarded, exactly as slice reconfiguration does on hardware.
+func (c *Client) RequestQoS(guarantee time.Duration) (*QoSReply, error) {
+	resp, err := c.roundTrip(&Message{
+		Header:     Header{Type: TypeQoSRequest},
+		QoSRequest: &QoSRequest{GuaranteeNS: uint64(guarantee)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Type != TypeQoSReply || resp.QoSReply == nil {
+		return nil, fmt.Errorf("ofwire: unexpected reply %s", resp.Header.Type)
+	}
+	return resp.QoSReply, nil
+}

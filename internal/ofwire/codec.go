@@ -1,0 +1,269 @@
+package ofwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file implements the binary codec: fixed-layout, big-endian bodies
+// behind the 8-byte header, mirroring OpenFlow's framing discipline.
+
+const (
+	flowModLen      = 28
+	flowModReplyLen = 24
+	statsLen        = 64
+	qosRequestLen   = 8
+	qosReplyLen     = 24
+	errorFixedLen   = 2
+)
+
+// WriteMessage encodes and writes one frame.
+func WriteMessage(w io.Writer, m *Message) error {
+	body, err := encodeBody(m)
+	if err != nil {
+		return err
+	}
+	total := headerLen + len(body)
+	if total > MaxMessageLen {
+		return ErrTooLarge
+	}
+	var hdr [headerLen]byte
+	hdr[0] = Version
+	hdr[1] = byte(m.Header.Type)
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(total))
+	binary.BigEndian.PutUint32(hdr[4:8], m.Header.XID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeBody(m *Message) ([]byte, error) {
+	switch m.Header.Type {
+	case TypeHello, TypeBarrierRequest, TypeBarrierReply, TypeStatsRequest:
+		return nil, nil
+	case TypeEchoRequest, TypeEchoReply:
+		return m.Raw, nil
+	case TypeFlowMod:
+		if m.FlowMod == nil {
+			return nil, fmt.Errorf("ofwire: flow-mod frame without body")
+		}
+		return encodeFlowModFixed(m.FlowMod), nil
+	case TypeFlowModReply:
+		r := m.FlowModReply
+		if r == nil {
+			return nil, fmt.Errorf("ofwire: flow-mod-reply frame without body")
+		}
+		b := make([]byte, flowModReplyLen)
+		binary.BigEndian.PutUint64(b[0:8], r.RuleID)
+		binary.BigEndian.PutUint64(b[8:16], r.LatencyNS)
+		b[16] = r.Path
+		b[17] = boolByte(r.Guaranteed)
+		b[18] = boolByte(r.Violation)
+		b[19] = r.Partitions
+		return b, nil
+	case TypeStatsReply:
+		s := m.Stats
+		if s == nil {
+			return nil, fmt.Errorf("ofwire: stats-reply frame without body")
+		}
+		b := make([]byte, statsLen)
+		binary.BigEndian.PutUint64(b[0:8], s.Inserts)
+		binary.BigEndian.PutUint64(b[8:16], s.ShadowInserts)
+		binary.BigEndian.PutUint64(b[16:24], s.MainInserts)
+		binary.BigEndian.PutUint64(b[24:32], s.Bypasses)
+		binary.BigEndian.PutUint64(b[32:40], s.Violations)
+		binary.BigEndian.PutUint64(b[40:48], s.Migrations)
+		binary.BigEndian.PutUint32(b[48:52], s.ShadowOcc)
+		binary.BigEndian.PutUint32(b[52:56], s.MainOcc)
+		binary.BigEndian.PutUint32(b[56:60], s.ShadowSize)
+		binary.BigEndian.PutUint32(b[60:64], s.OverheadPPM)
+		// MaxRateMilli rides in a trailing extension to keep the fixed
+		// layout stable.
+		ext := make([]byte, 8)
+		binary.BigEndian.PutUint64(ext, s.MaxRateMilli)
+		return append(b, ext...), nil
+	case TypeQoSRequest:
+		q := m.QoSRequest
+		if q == nil {
+			return nil, fmt.Errorf("ofwire: qos-request frame without body")
+		}
+		b := make([]byte, qosRequestLen)
+		binary.BigEndian.PutUint64(b, q.GuaranteeNS)
+		return b, nil
+	case TypeQoSReply:
+		q := m.QoSReply
+		if q == nil {
+			return nil, fmt.Errorf("ofwire: qos-reply frame without body")
+		}
+		b := make([]byte, qosReplyLen)
+		binary.BigEndian.PutUint32(b[0:4], q.ShadowEntries)
+		binary.BigEndian.PutUint32(b[4:8], q.OverheadPPM)
+		binary.BigEndian.PutUint64(b[8:16], q.MaxRateMilli)
+		binary.BigEndian.PutUint64(b[16:24], q.GuaranteeNS)
+		return b, nil
+	case TypeError:
+		e := m.Error
+		if e == nil {
+			return nil, fmt.Errorf("ofwire: error frame without body")
+		}
+		b := make([]byte, errorFixedLen+len(e.Reason))
+		binary.BigEndian.PutUint16(b[0:2], uint16(e.Code))
+		copy(b[2:], e.Reason)
+		return b, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, m.Header.Type)
+	}
+}
+
+// encodeFlowModFixed lays out the 28-byte flow-mod body:
+//
+//	0      command
+//	1-3    pad
+//	4-11   rule id
+//	12-15  priority
+//	16-19  dst addr   20 dst len
+//	21-24  src addr   25 src len
+//	26     action     27 pad
+//	— port is packed into bytes 2-3 of the pad for compactness.
+func encodeFlowModFixed(f *FlowMod) []byte {
+	b := make([]byte, flowModLen)
+	b[0] = byte(f.Command)
+	binary.BigEndian.PutUint16(b[2:4], f.Port)
+	binary.BigEndian.PutUint64(b[4:12], f.RuleID)
+	binary.BigEndian.PutUint32(b[12:16], uint32(f.Priority))
+	binary.BigEndian.PutUint32(b[16:20], f.DstAddr)
+	b[20] = f.DstLen
+	binary.BigEndian.PutUint32(b[21:25], f.SrcAddr)
+	b[25] = f.SrcLen
+	b[26] = f.Action
+	return b
+}
+
+func decodeFlowModFixed(b []byte) (*FlowMod, error) {
+	if len(b) < flowModLen {
+		return nil, ErrTruncated
+	}
+	return &FlowMod{
+		Command:  FlowModCommand(b[0]),
+		Port:     binary.BigEndian.Uint16(b[2:4]),
+		RuleID:   binary.BigEndian.Uint64(b[4:12]),
+		Priority: int32(binary.BigEndian.Uint32(b[12:16])),
+		DstAddr:  binary.BigEndian.Uint32(b[16:20]),
+		DstLen:   b[20],
+		SrcAddr:  binary.BigEndian.Uint32(b[21:25]),
+		SrcLen:   b[25],
+		Action:   b[26],
+	}, nil
+}
+
+// ReadMessage reads and decodes one frame.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[0])
+	}
+	m := &Message{Header: Header{
+		Version: hdr[0],
+		Type:    MsgType(hdr[1]),
+		Length:  binary.BigEndian.Uint16(hdr[2:4]),
+		XID:     binary.BigEndian.Uint32(hdr[4:8]),
+	}}
+	if int(m.Header.Length) < headerLen {
+		return nil, ErrTruncated
+	}
+	body := make([]byte, int(m.Header.Length)-headerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return m, decodeBody(m, body)
+}
+
+func decodeBody(m *Message, body []byte) error {
+	switch m.Header.Type {
+	case TypeHello, TypeBarrierRequest, TypeBarrierReply, TypeStatsRequest:
+		return nil
+	case TypeEchoRequest, TypeEchoReply:
+		m.Raw = body
+		return nil
+	case TypeFlowMod:
+		f, err := decodeFlowModFixed(body)
+		m.FlowMod = f
+		return err
+	case TypeFlowModReply:
+		if len(body) < flowModReplyLen {
+			return ErrTruncated
+		}
+		m.FlowModReply = &FlowModReply{
+			RuleID:     binary.BigEndian.Uint64(body[0:8]),
+			LatencyNS:  binary.BigEndian.Uint64(body[8:16]),
+			Path:       body[16],
+			Guaranteed: body[17] != 0,
+			Violation:  body[18] != 0,
+			Partitions: body[19],
+		}
+		return nil
+	case TypeStatsReply:
+		if len(body) < statsLen+8 {
+			return ErrTruncated
+		}
+		m.Stats = &Stats{
+			Inserts:       binary.BigEndian.Uint64(body[0:8]),
+			ShadowInserts: binary.BigEndian.Uint64(body[8:16]),
+			MainInserts:   binary.BigEndian.Uint64(body[16:24]),
+			Bypasses:      binary.BigEndian.Uint64(body[24:32]),
+			Violations:    binary.BigEndian.Uint64(body[32:40]),
+			Migrations:    binary.BigEndian.Uint64(body[40:48]),
+			ShadowOcc:     binary.BigEndian.Uint32(body[48:52]),
+			MainOcc:       binary.BigEndian.Uint32(body[52:56]),
+			ShadowSize:    binary.BigEndian.Uint32(body[56:60]),
+			OverheadPPM:   binary.BigEndian.Uint32(body[60:64]),
+			MaxRateMilli:  binary.BigEndian.Uint64(body[64:72]),
+		}
+		return nil
+	case TypeQoSRequest:
+		if len(body) < qosRequestLen {
+			return ErrTruncated
+		}
+		m.QoSRequest = &QoSRequest{GuaranteeNS: binary.BigEndian.Uint64(body)}
+		return nil
+	case TypeQoSReply:
+		if len(body) < qosReplyLen {
+			return ErrTruncated
+		}
+		m.QoSReply = &QoSReply{
+			ShadowEntries: binary.BigEndian.Uint32(body[0:4]),
+			OverheadPPM:   binary.BigEndian.Uint32(body[4:8]),
+			MaxRateMilli:  binary.BigEndian.Uint64(body[8:16]),
+			GuaranteeNS:   binary.BigEndian.Uint64(body[16:24]),
+		}
+		return nil
+	case TypeError:
+		if len(body) < errorFixedLen {
+			return ErrTruncated
+		}
+		m.Error = &ErrorBody{
+			Code:   ErrorCode(binary.BigEndian.Uint16(body[0:2])),
+			Reason: string(body[2:]),
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrBadType, m.Header.Type)
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,228 @@
+// Package ofwire implements a compact OpenFlow-inspired control channel
+// between an SDN controller and a Hermes-managed switch agent (the
+// deployment of Fig. 2: controller → OF agent → Hermes agent → ASIC).
+//
+// The protocol is intentionally minimal but wire-realistic: fixed 8-byte
+// headers (version, type, length, transaction id) followed by fixed-layout
+// bodies, big-endian like OpenFlow. Beyond the classic message types
+// (Hello, Echo, FlowMod, Barrier, Error, Stats) it carries the Hermes QoS
+// extension — CreateTCAMQoS over the wire — so a controller can negotiate
+// guarantees remotely (§7).
+//
+// Framing and codecs use only the standard library (encoding/binary, net).
+package ofwire
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+// Version is the protocol version carried in every header.
+const Version = 1
+
+// MaxMessageLen bounds a frame; anything larger is a protocol error.
+const MaxMessageLen = 1 << 16
+
+// MsgType enumerates message kinds.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeEchoRequest
+	TypeEchoReply
+	TypeFlowMod
+	TypeFlowModReply
+	TypeBarrierRequest
+	TypeBarrierReply
+	TypeStatsRequest
+	TypeStatsReply
+	TypeQoSRequest
+	TypeQoSReply
+	TypeError
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeEchoRequest:
+		return "echo-request"
+	case TypeEchoReply:
+		return "echo-reply"
+	case TypeFlowMod:
+		return "flow-mod"
+	case TypeFlowModReply:
+		return "flow-mod-reply"
+	case TypeBarrierRequest:
+		return "barrier-request"
+	case TypeBarrierReply:
+		return "barrier-reply"
+	case TypeStatsRequest:
+		return "stats-request"
+	case TypeStatsReply:
+		return "stats-reply"
+	case TypeQoSRequest:
+		return "qos-request"
+	case TypeQoSReply:
+		return "qos-reply"
+	case TypeError:
+		return "error"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Protocol errors.
+var (
+	ErrBadVersion = errors.New("ofwire: bad protocol version")
+	ErrTooLarge   = errors.New("ofwire: frame exceeds maximum length")
+	ErrTruncated  = errors.New("ofwire: truncated body")
+	ErrBadType    = errors.New("ofwire: unknown message type")
+)
+
+// Header is the fixed 8-byte frame prefix.
+type Header struct {
+	Version uint8
+	Type    MsgType
+	Length  uint16 // total frame length including the header
+	XID     uint32 // transaction id echoed in replies
+}
+
+const headerLen = 8
+
+// Message is one decoded frame.
+type Message struct {
+	Header Header
+	// Body is exactly one of the pointers below, matching Header.Type;
+	// Hello, Echo and Barrier frames have nil bodies (Echo payload rides
+	// in Raw).
+	FlowMod      *FlowMod
+	FlowModReply *FlowModReply
+	Stats        *Stats
+	QoSRequest   *QoSRequest
+	QoSReply     *QoSReply
+	Error        *ErrorBody
+	Raw          []byte // echo payloads and unrecognized-but-valid bodies
+}
+
+// FlowModCommand selects the flow-mod operation.
+type FlowModCommand uint8
+
+// Flow-mod commands.
+const (
+	FlowAdd FlowModCommand = iota + 1
+	FlowDelete
+	FlowModify
+)
+
+// FlowMod is the rule-change request (fixed 28-byte body).
+type FlowMod struct {
+	Command  FlowModCommand
+	RuleID   uint64
+	Priority int32
+	DstAddr  uint32
+	DstLen   uint8
+	SrcAddr  uint32
+	SrcLen   uint8
+	Action   uint8 // classifier.ActionType
+	Port     uint16
+}
+
+// Rule converts the wire form to the classifier form.
+func (f *FlowMod) Rule() classifier.Rule {
+	return classifier.Rule{
+		ID: classifier.RuleID(f.RuleID),
+		Match: classifier.Match{
+			Dst: classifier.NewPrefix(f.DstAddr, f.DstLen),
+			Src: classifier.NewPrefix(f.SrcAddr, f.SrcLen),
+		},
+		Priority: f.Priority,
+		Action:   classifier.Action{Type: classifier.ActionType(f.Action), Port: int(f.Port)},
+	}
+}
+
+// FlowModFromRule builds the wire form of a rule change.
+func FlowModFromRule(cmd FlowModCommand, r classifier.Rule) *FlowMod {
+	return &FlowMod{
+		Command:  cmd,
+		RuleID:   uint64(r.ID),
+		Priority: r.Priority,
+		DstAddr:  r.Match.Dst.Addr,
+		DstLen:   r.Match.Dst.Len,
+		SrcAddr:  r.Match.Src.Addr,
+		SrcLen:   r.Match.Src.Len,
+		Action:   uint8(r.Action.Type),
+		Port:     uint16(r.Action.Port),
+	}
+}
+
+// FlowModReply reports the outcome of one flow-mod (fixed 24-byte body).
+type FlowModReply struct {
+	RuleID     uint64
+	LatencyNS  uint64 // modeled hardware latency
+	Path       uint8  // core.InsertPath for adds; 0 otherwise
+	Guaranteed bool
+	Violation  bool
+	Partitions uint8
+}
+
+// Stats is the agent-counter snapshot (fixed 64-byte body).
+type Stats struct {
+	Inserts       uint64
+	ShadowInserts uint64
+	MainInserts   uint64
+	Bypasses      uint64
+	Violations    uint64
+	Migrations    uint64
+	ShadowOcc     uint32
+	MainOcc       uint32
+	ShadowSize    uint32
+	// OverheadPPM is the TCAM overhead in parts-per-million.
+	OverheadPPM uint32
+	// MaxRateMilli is the admissible rate in milli-rules/second.
+	MaxRateMilli uint64
+}
+
+// QoSRequest asks the agent to (re)configure its guarantee (fixed 8-byte
+// body) — CreateTCAMQoS over the wire.
+type QoSRequest struct {
+	GuaranteeNS uint64
+}
+
+// Guarantee returns the requested bound.
+func (q *QoSRequest) Guarantee() time.Duration { return time.Duration(q.GuaranteeNS) }
+
+// QoSReply carries the negotiated configuration (fixed 24-byte body).
+type QoSReply struct {
+	ShadowEntries uint32
+	OverheadPPM   uint32
+	MaxRateMilli  uint64
+	GuaranteeNS   uint64
+}
+
+// ErrorCode classifies protocol and execution failures.
+type ErrorCode uint16
+
+// Error codes.
+const (
+	ErrCodeBadRequest ErrorCode = iota + 1
+	ErrCodeTableFull
+	ErrCodeUnknownRule
+	ErrCodeDuplicateRule
+	ErrCodeQoSInfeasible
+	ErrCodeInternal
+)
+
+// ErrorBody is the error frame body: a code plus a short reason.
+type ErrorBody struct {
+	Code   ErrorCode
+	Reason string
+}
+
+func (e *ErrorBody) Error() string {
+	return fmt.Sprintf("ofwire: remote error %d: %s", e.Code, e.Reason)
+}

@@ -1,0 +1,304 @@
+package ofwire
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"hermes/internal/core"
+	"hermes/internal/tcam"
+)
+
+// AgentServer is the switch-resident daemon: it terminates control
+// channels, maps wall-clock time onto the agent's virtual clock, applies
+// flow-mods, runs the Rule Manager tick loop, and answers the Hermes QoS
+// extension. It corresponds to the "Hermes Agent" box of Fig. 2.
+//
+// The embedded core.Agent is single-threaded by design; the server
+// serializes all access behind one mutex, which also matches the single
+// switch-CPU deployment the paper targets.
+type AgentServer struct {
+	profile *tcam.Profile
+	cfg     core.Config
+
+	mu    sync.Mutex
+	sw    *tcam.Switch
+	agent *core.Agent
+	start time.Time
+
+	lis    net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	// Logf receives connection-level errors; defaults to log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+// NewAgentServer builds the daemon for one modeled switch.
+func NewAgentServer(name string, profile *tcam.Profile, cfg core.Config) (*AgentServer, error) {
+	sw := tcam.NewSwitch(name, profile)
+	agent, err := core.New(sw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AgentServer{
+		profile: profile,
+		cfg:     cfg,
+		sw:      sw,
+		agent:   agent,
+		start:   time.Now(),
+		closed:  make(chan struct{}),
+		Logf:    log.Printf,
+	}, nil
+}
+
+// Agent exposes the wrapped agent (tests and stats).
+func (s *AgentServer) Agent() *core.Agent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agent
+}
+
+// now maps wall time to the agent's virtual clock.
+func (s *AgentServer) now() time.Duration { return time.Since(s.start) }
+
+// Serve accepts control connections on lis until Close. It also drives the
+// Rule Manager tick loop at the configured interval.
+func (s *AgentServer) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+
+	// Rule Manager tick loop.
+	tick := s.cfg.TickInterval
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.closed:
+				return
+			case <-t.C:
+				s.mu.Lock()
+				s.agent.Tick(s.now())
+				s.mu.Unlock()
+			}
+		}
+	}()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.Logf("ofwire: connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops the server and waits for connection handlers to finish.
+func (s *AgentServer) Close() error {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one control connection: hello exchange, then a
+// request/response loop.
+func (s *AgentServer) handle(conn net.Conn) error {
+	defer conn.Close()
+	// Hello exchange: server speaks first, client must answer.
+	if err := WriteMessage(conn, &Message{Header: Header{Type: TypeHello}}); err != nil {
+		return err
+	}
+	first, err := ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	if first.Header.Type != TypeHello {
+		return errors.New("ofwire: peer did not hello")
+	}
+	for {
+		req, err := ReadMessage(conn)
+		if err != nil {
+			return err
+		}
+		resp := s.dispatch(req)
+		if resp == nil {
+			continue
+		}
+		resp.Header.XID = req.Header.XID
+		if err := WriteMessage(conn, resp); err != nil {
+			return err
+		}
+	}
+}
+
+// dispatch executes one request against the agent and builds the reply.
+func (s *AgentServer) dispatch(req *Message) *Message {
+	switch req.Header.Type {
+	case TypeEchoRequest:
+		return &Message{Header: Header{Type: TypeEchoReply}, Raw: req.Raw}
+	case TypeBarrierRequest:
+		// All processing is synchronous under the lock; reaching here
+		// means every prior flow-mod on this channel is complete.
+		return &Message{Header: Header{Type: TypeBarrierReply}}
+	case TypeFlowMod:
+		return s.doFlowMod(req)
+	case TypeStatsRequest:
+		return s.doStats()
+	case TypeQoSRequest:
+		return s.doQoS(req)
+	case TypeHello:
+		return nil // tolerated mid-stream
+	default:
+		return errorMsg(ErrCodeBadRequest, "unexpected "+req.Header.Type.String())
+	}
+}
+
+func (s *AgentServer) doFlowMod(req *Message) *Message {
+	if req.FlowMod == nil {
+		return errorMsg(ErrCodeBadRequest, "empty flow-mod")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	rule := req.FlowMod.Rule()
+	var res core.Result
+	var err error
+	switch req.FlowMod.Command {
+	case FlowAdd:
+		res, err = s.agent.Insert(now, rule)
+	case FlowDelete:
+		res, err = s.agent.Delete(now, rule.ID)
+	case FlowModify:
+		res, err = s.agent.Modify(now, rule)
+	default:
+		return errorMsg(ErrCodeBadRequest, "unknown flow-mod command")
+	}
+	if err != nil {
+		return errorMsg(errCodeFor(err), err.Error())
+	}
+	return &Message{
+		Header: Header{Type: TypeFlowModReply},
+		FlowModReply: &FlowModReply{
+			RuleID:     req.FlowMod.RuleID,
+			LatencyNS:  uint64(res.Latency),
+			Path:       uint8(res.Path),
+			Guaranteed: res.Guaranteed,
+			Violation:  res.Violation,
+			Partitions: uint8(min(res.Partitions, 255)),
+		},
+	}
+}
+
+func (s *AgentServer) doStats() *Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.agent.Metrics()
+	return &Message{
+		Header: Header{Type: TypeStatsReply},
+		Stats: &Stats{
+			Inserts:       uint64(m.Inserts),
+			ShadowInserts: uint64(m.ShadowInserts),
+			MainInserts:   uint64(m.MainInserts),
+			Bypasses:      uint64(m.Bypasses),
+			Violations:    uint64(m.Violations),
+			Migrations:    uint64(m.Migrations),
+			ShadowOcc:     uint32(s.agent.ShadowOccupancy()),
+			MainOcc:       uint32(s.agent.MainOccupancy()),
+			ShadowSize:    uint32(s.agent.ShadowSize()),
+			OverheadPPM:   uint32(s.agent.OverheadFraction() * 1e6),
+			MaxRateMilli:  uint64(s.agent.MaxRate() * 1e3),
+		},
+	}
+}
+
+// doQoS re-carves the switch for a new guarantee — ModQoSConfig over the
+// wire. Installed rules are discarded, as on hardware.
+func (s *AgentServer) doQoS(req *Message) *Message {
+	if req.QoSRequest == nil {
+		return errorMsg(ErrCodeBadRequest, "empty qos-request")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg := s.cfg
+	cfg.Guarantee = req.QoSRequest.Guarantee()
+	s.sw.Uncarve()
+	agent, err := core.New(s.sw, cfg)
+	if err != nil {
+		// Restore the previous configuration.
+		s.sw.Uncarve()
+		if prev, err2 := core.New(s.sw, s.cfg); err2 == nil {
+			s.agent = prev
+		}
+		return errorMsg(ErrCodeQoSInfeasible, err.Error())
+	}
+	s.cfg = cfg
+	s.agent = agent
+	return &Message{
+		Header: Header{Type: TypeQoSReply},
+		QoSReply: &QoSReply{
+			ShadowEntries: uint32(agent.ShadowSize()),
+			OverheadPPM:   uint32(agent.OverheadFraction() * 1e6),
+			MaxRateMilli:  uint64(agent.MaxRate() * 1e3),
+			GuaranteeNS:   uint64(cfg.Guarantee),
+		},
+	}
+}
+
+func errorMsg(code ErrorCode, reason string) *Message {
+	if len(reason) > 512 {
+		reason = reason[:512]
+	}
+	return &Message{Header: Header{Type: TypeError}, Error: &ErrorBody{Code: code, Reason: reason}}
+}
+
+func errCodeFor(err error) ErrorCode {
+	switch {
+	case errors.Is(err, core.ErrUnknownRule):
+		return ErrCodeUnknownRule
+	case errors.Is(err, core.ErrDuplicateRule):
+		return ErrCodeDuplicateRule
+	case errors.Is(err, tcam.ErrTableFull):
+		return ErrCodeTableFull
+	default:
+		return ErrCodeInternal
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,379 @@
+// Package predict implements the workload-prediction algorithms Hermes's
+// Rule Manager uses to decide when to migrate rules out of the shadow table
+// (paper §5.1): Exponentially Weighted Moving Average, natural Cubic Spline
+// extrapolation, and an AutoRegressive Moving Average model — plus the two
+// control-theoretic correctors (Slack and Deadzone) that compensate for
+// prediction error.
+//
+// A Predictor consumes a time series of per-interval rule-arrival counts
+// via Observe and produces the expected count for the next interval via
+// Predict. Predictions are never negative.
+package predict
+
+import "fmt"
+
+// Predictor forecasts the next value of a time series.
+type Predictor interface {
+	// Observe feeds the value measured for the most recent interval.
+	Observe(v float64)
+	// Predict returns the forecast for the next interval. Predictors with
+	// no observations yet return 0.
+	Predict() float64
+	// Name identifies the algorithm for reports.
+	Name() string
+	// Reset clears history.
+	Reset()
+}
+
+// Corrector inflates a prediction to absorb forecast error (§5.1).
+type Corrector interface {
+	Correct(pred float64) float64
+	Name() string
+}
+
+// --- EWMA ---------------------------------------------------------------
+
+// EWMA is an exponentially weighted moving average predictor [Lucas &
+// Saccucci 1990].
+type EWMA struct {
+	// Alpha is the smoothing weight of the newest observation, in (0, 1].
+	Alpha float64
+
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA predictor with the given smoothing factor. It
+// panics when alpha is out of (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("predict: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{Alpha: alpha}
+}
+
+// Observe implements Predictor.
+func (e *EWMA) Observe(v float64) {
+	if !e.seen {
+		e.value, e.seen = v, true
+		return
+	}
+	e.value = e.Alpha*v + (1-e.Alpha)*e.value
+}
+
+// Predict implements Predictor.
+func (e *EWMA) Predict() float64 { return clampNonNeg(e.value) }
+
+// Name implements Predictor.
+func (e *EWMA) Name() string { return "EWMA" }
+
+// Reset implements Predictor.
+func (e *EWMA) Reset() { e.value, e.seen = 0, false }
+
+// --- Cubic spline --------------------------------------------------------
+
+// CubicSpline fits a cubic spline with not-a-knot boundary conditions
+// through the most recent Window observations (at integer abscissae) and
+// extrapolates one step ahead using the final polynomial segment
+// [de Boor 1978]. Not-a-knot (rather than natural) boundaries matter here:
+// a natural spline forces zero curvature at the last knot, which collapses
+// one-step extrapolation to a straight line and loses exactly the
+// trend-anticipation the paper relies on (§5.1, §8.6: Cubic Spline + Slack
+// was the most effective configuration).
+type CubicSpline struct {
+	// Window is the number of trailing observations used for the fit.
+	Window int
+
+	history []float64
+}
+
+// NewCubicSpline returns a spline predictor over the given window; windows
+// below 4 are raised to 4 (a cubic needs at least that many knots to be
+// meaningfully constrained).
+func NewCubicSpline(window int) *CubicSpline {
+	if window < 4 {
+		window = 4
+	}
+	return &CubicSpline{Window: window}
+}
+
+// Observe implements Predictor.
+func (c *CubicSpline) Observe(v float64) {
+	c.history = append(c.history, v)
+	if len(c.history) > c.Window {
+		c.history = c.history[len(c.history)-c.Window:]
+	}
+}
+
+// Predict implements Predictor.
+func (c *CubicSpline) Predict() float64 {
+	n := len(c.history)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return clampNonNeg(c.history[0])
+	case 2:
+		// Linear extrapolation from the last two points.
+		return clampNonNeg(2*c.history[n-1] - c.history[n-2])
+	case 3:
+		// Quadratic (second-difference) extrapolation.
+		return clampNonNeg(3*c.history[2] - 3*c.history[1] + c.history[0])
+	}
+	m := notAKnotSecondDerivs(c.history)
+	// Evaluate the last segment's cubic at x = n (one past the last knot
+	// at n-1). With h = 1 the segment between knots n-2 and n-1 is:
+	//   S(x) = y1 + b·t + c·t² + d·t³, t = x - (n-2)
+	// where the coefficients derive from the second derivatives m.
+	y0, y1 := c.history[n-2], c.history[n-1]
+	m0, m1 := m[n-2], m[n-1]
+	b := (y1 - y0) - (2*m0+m1)/6
+	cc := m0 / 2
+	d := (m1 - m0) / 6
+	t := 2.0 // x = n is two units past knot n-2
+	val := y0 + b*t + cc*t*t + d*t*t*t
+	return clampNonNeg(val)
+}
+
+// Name implements Predictor.
+func (c *CubicSpline) Name() string { return "CubicSpline" }
+
+// Reset implements Predictor.
+func (c *CubicSpline) Reset() { c.history = c.history[:0] }
+
+// notAKnotSecondDerivs solves for the second derivatives M of a cubic
+// spline through y at unit-spaced knots with not-a-knot boundary
+// conditions. The system is
+//
+//	M[i-1] + 4 M[i] + M[i+1] = 6 (y[i-1] - 2y[i] + y[i+1])   i = 1..n-2
+//	M[0] - 2 M[1] + M[2] = 0                                 (not-a-knot)
+//	M[n-3] - 2 M[n-2] + M[n-1] = 0                           (not-a-knot)
+//
+// which is solved by dense Gaussian elimination; windows are small (≤ a few
+// dozen knots) so the cubic cost is irrelevant.
+func notAKnotSecondDerivs(y []float64) []float64 {
+	n := len(y)
+	if n < 4 {
+		return make([]float64, n)
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+	}
+	a[0][0], a[0][1], a[0][2] = 1, -2, 1
+	for i := 1; i <= n-2; i++ {
+		a[i][i-1], a[i][i], a[i][i+1] = 1, 4, 1
+		a[i][n] = 6 * (y[i-1] - 2*y[i] + y[i+1])
+	}
+	a[n-1][n-3], a[n-1][n-2], a[n-1][n-1] = 1, -2, 1
+	m, ok := solveGauss(a, n)
+	if !ok {
+		return make([]float64, n)
+	}
+	return m
+}
+
+// --- ARMA ----------------------------------------------------------------
+
+// ARMA is an ARMA(p, 1) predictor [Whittle 1951]: the autoregressive
+// coefficients are re-fit by ordinary least squares over a sliding window
+// each time a prediction is requested, and a single moving-average term
+// corrects with the latest forecast residual.
+type ARMA struct {
+	// P is the autoregressive order.
+	P int
+	// Window is the number of trailing observations used for the fit.
+	Window int
+
+	history  []float64
+	lastPred float64
+	lastErr  float64
+	theta    float64
+	havePred bool
+}
+
+// NewARMA returns an ARMA(p,1) predictor fit over the given window.
+func NewARMA(p, window int) *ARMA {
+	if p < 1 {
+		p = 1
+	}
+	if window < 4*p {
+		window = 4 * p
+	}
+	return &ARMA{P: p, Window: window, theta: 0.5}
+}
+
+// Observe implements Predictor.
+func (a *ARMA) Observe(v float64) {
+	if a.havePred {
+		a.lastErr = v - a.lastPred
+	}
+	a.history = append(a.history, v)
+	if len(a.history) > a.Window {
+		a.history = a.history[len(a.history)-a.Window:]
+	}
+}
+
+// Predict implements Predictor.
+func (a *ARMA) Predict() float64 {
+	n := len(a.history)
+	if n == 0 {
+		return 0
+	}
+	if n <= a.P+1 {
+		a.lastPred = a.history[n-1]
+		a.havePred = true
+		return clampNonNeg(a.lastPred)
+	}
+	phi := fitAR(a.history, a.P)
+	pred := phi[0] // intercept
+	for i := 1; i <= a.P; i++ {
+		pred += phi[i] * a.history[n-i]
+	}
+	pred += a.theta * a.lastErr
+	a.lastPred = pred
+	a.havePred = true
+	return clampNonNeg(pred)
+}
+
+// Name implements Predictor.
+func (a *ARMA) Name() string { return "ARMA" }
+
+// Reset implements Predictor.
+func (a *ARMA) Reset() {
+	a.history = a.history[:0]
+	a.lastPred, a.lastErr = 0, 0
+	a.havePred = false
+}
+
+// fitAR fits y_t = c + Σ φ_i y_{t-i} by ordinary least squares and returns
+// [c, φ_1..φ_p]. Falls back to a persistence model when the normal
+// equations are singular.
+func fitAR(y []float64, p int) []float64 {
+	n := len(y)
+	rows := n - p
+	dim := p + 1
+	// Normal equations: (XᵀX) β = Xᵀy with X = [1, y_{t-1}, ..., y_{t-p}].
+	xtx := make([][]float64, dim)
+	for i := range xtx {
+		xtx[i] = make([]float64, dim+1) // augmented with Xᵀy
+	}
+	for t := p; t < n; t++ {
+		row := make([]float64, dim)
+		row[0] = 1
+		for i := 1; i <= p; i++ {
+			row[i] = y[t-i]
+		}
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xtx[i][dim] += row[i] * y[t]
+		}
+	}
+	beta, ok := solveGauss(xtx, dim)
+	if !ok || rows < dim {
+		// Persistence fallback: predict the last value.
+		beta = make([]float64, dim)
+		beta[1] = 1
+	}
+	return beta
+}
+
+// solveGauss solves the augmented system in place with partial pivoting.
+func solveGauss(a [][]float64, dim int) ([]float64, bool) {
+	for col := 0; col < dim; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < dim; r++ {
+			if abs(a[r][col]) > abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if abs(a[piv][col]) < 1e-9 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := 0; r < dim; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= dim; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	out := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		out[i] = a[i][dim] / a[i][i]
+	}
+	return out, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// --- Correctors -----------------------------------------------------------
+
+// Slack inflates predictions by a constant factor: a 40% slack turns a
+// prediction of 1000 rules into 1400 (§5.1). The paper's default Hermes
+// configuration is Cubic Spline with 100% slack (§8.6).
+type Slack struct {
+	// Factor is the inflation fraction (0.4 = 40%).
+	Factor float64
+}
+
+// Correct implements Corrector.
+func (s Slack) Correct(pred float64) float64 { return pred * (1 + s.Factor) }
+
+// Name implements Corrector.
+func (s Slack) Name() string { return fmt.Sprintf("Slack(%.0f%%)", s.Factor*100) }
+
+// Deadzone inflates predictions by a constant count: a deadzone of 100
+// turns a prediction of 1000 rules into 1100 (§5.1).
+type Deadzone struct {
+	// Delta is the constant additive headroom in rules.
+	Delta float64
+}
+
+// Correct implements Corrector.
+func (d Deadzone) Correct(pred float64) float64 { return pred + d.Delta }
+
+// Name implements Corrector.
+func (d Deadzone) Name() string { return fmt.Sprintf("Deadzone(%.0f)", d.Delta) }
+
+// Identity applies no correction; used for ablations.
+type Identity struct{}
+
+// Correct implements Corrector.
+func (Identity) Correct(pred float64) float64 { return pred }
+
+// Name implements Corrector.
+func (Identity) Name() string { return "Identity" }
+
+// NewByName constructs a predictor from its report name; the experiment
+// harness uses it to sweep algorithms.
+func NewByName(name string) (Predictor, error) {
+	switch name {
+	case "EWMA":
+		return NewEWMA(0.3), nil
+	case "CubicSpline":
+		return NewCubicSpline(16), nil
+	case "ARMA":
+		return NewARMA(2, 32), nil
+	default:
+		return nil, fmt.Errorf("predict: unknown predictor %q", name)
+	}
+}

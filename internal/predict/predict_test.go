@@ -1,0 +1,216 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Predict() != 0 {
+		t.Error("empty EWMA must predict 0")
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(100)
+	}
+	if math.Abs(e.Predict()-100) > 1e-6 {
+		t.Errorf("EWMA on constant series = %v, want 100", e.Predict())
+	}
+	e.Reset()
+	if e.Predict() != 0 {
+		t.Error("Reset EWMA must predict 0")
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(0)
+	e.Observe(100)
+	if got := e.Predict(); got != 50 {
+		t.Errorf("EWMA(0.5) after 0,100 = %v, want 50", got)
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) must panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestCubicSplineLinearTrend(t *testing.T) {
+	// A spline through a perfectly linear series extrapolates the line.
+	c := NewCubicSpline(8)
+	for i := 0; i < 8; i++ {
+		c.Observe(float64(10 * i))
+	}
+	got := c.Predict()
+	if math.Abs(got-80) > 1e-6 {
+		t.Errorf("spline on linear series = %v, want 80", got)
+	}
+}
+
+func TestCubicSplineQuadraticTrend(t *testing.T) {
+	// On an accelerating series the spline must predict above linear
+	// extrapolation — this anticipation is why the paper prefers it.
+	c := NewCubicSpline(8)
+	var last, prev float64
+	for i := 0; i < 8; i++ {
+		v := float64(i * i)
+		prev, last = last, v
+		c.Observe(v)
+	}
+	linear := 2*last - prev
+	if got := c.Predict(); got <= linear {
+		t.Errorf("spline on quadratic series = %v, want > linear %v", got, linear)
+	}
+}
+
+func TestCubicSplineSmallHistory(t *testing.T) {
+	c := NewCubicSpline(8)
+	if c.Predict() != 0 {
+		t.Error("empty spline must predict 0")
+	}
+	c.Observe(5)
+	if c.Predict() != 5 {
+		t.Error("1-point spline must persist")
+	}
+	c.Observe(7)
+	if c.Predict() != 9 {
+		t.Errorf("2-point spline = %v, want linear 9", c.Predict())
+	}
+	c.Reset()
+	if c.Predict() != 0 {
+		t.Error("Reset spline must predict 0")
+	}
+}
+
+func TestCubicSplineNonNegative(t *testing.T) {
+	c := NewCubicSpline(8)
+	for _, v := range []float64{100, 80, 60, 40, 20, 0} {
+		c.Observe(v)
+	}
+	if got := c.Predict(); got < 0 {
+		t.Errorf("prediction %v must be clamped to 0", got)
+	}
+}
+
+func TestARMAConstantSeries(t *testing.T) {
+	a := NewARMA(2, 32)
+	if a.Predict() != 0 {
+		t.Error("empty ARMA must predict 0")
+	}
+	for i := 0; i < 40; i++ {
+		a.Observe(50)
+	}
+	if got := a.Predict(); math.Abs(got-50) > 1 {
+		t.Errorf("ARMA on constant series = %v, want ≈50", got)
+	}
+}
+
+func TestARMATrackLinearTrend(t *testing.T) {
+	a := NewARMA(2, 32)
+	for i := 0; i < 40; i++ {
+		a.Observe(float64(3 * i))
+	}
+	// Next value would be 120.
+	if got := a.Predict(); math.Abs(got-120) > 6 {
+		t.Errorf("ARMA on linear series = %v, want ≈120", got)
+	}
+}
+
+func TestARMAReset(t *testing.T) {
+	a := NewARMA(1, 8)
+	a.Observe(10)
+	a.Predict()
+	a.Observe(20)
+	a.Reset()
+	if a.Predict() != 0 {
+		t.Error("Reset ARMA must predict 0")
+	}
+}
+
+func TestPredictorsNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		preds := []Predictor{NewEWMA(0.3), NewCubicSpline(12), NewARMA(2, 24)}
+		for i := 0; i < 60; i++ {
+			v := math.Abs(r.NormFloat64() * 100)
+			for _, p := range preds {
+				p.Observe(v)
+				if p.Predict() < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplineBeatsEWMAOnRamp encodes the paper's empirical finding (§8.6):
+// on workloads with strong trends, spline prediction has lower error than
+// EWMA.
+func TestSplineBeatsEWMAOnRamp(t *testing.T) {
+	spline := NewCubicSpline(12)
+	ewma := NewEWMA(0.3)
+	var errSpline, errEWMA float64
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = float64(i) * 10 // steady ramp: 0, 10, 20, ...
+	}
+	for i, v := range series {
+		if i > 12 {
+			errSpline += math.Abs(spline.Predict() - v)
+			errEWMA += math.Abs(ewma.Predict() - v)
+		}
+		spline.Observe(v)
+		ewma.Observe(v)
+	}
+	if errSpline >= errEWMA {
+		t.Errorf("spline error %v not below EWMA error %v on ramp", errSpline, errEWMA)
+	}
+}
+
+func TestCorrectors(t *testing.T) {
+	if got := (Slack{Factor: 0.4}).Correct(1000); got != 1400 {
+		t.Errorf("Slack(40%%) = %v, want 1400 (the paper's own example)", got)
+	}
+	if got := (Deadzone{Delta: 100}).Correct(1000); got != 1100 {
+		t.Errorf("Deadzone(100) = %v, want 1100 (the paper's own example)", got)
+	}
+	if got := (Identity{}).Correct(7); got != 7 {
+		t.Errorf("Identity = %v", got)
+	}
+	for _, c := range []Corrector{Slack{0.4}, Deadzone{100}, Identity{}} {
+		if c.Name() == "" {
+			t.Error("corrector name empty")
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"EWMA", "CubicSpline", "ARMA"} {
+		p, err := NewByName(name)
+		if err != nil {
+			t.Errorf("NewByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("NewByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := NewByName("bogus"); err == nil {
+		t.Error("NewByName must reject unknown names")
+	}
+}

@@ -1,0 +1,131 @@
+package tcam
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+func TestSwitchAccessors(t *testing.T) {
+	sw := NewSwitch("sw9", Dell8132F)
+	if sw.Name() != "sw9" {
+		t.Error("Name")
+	}
+	if sw.Profile() != Dell8132F {
+		t.Error("Profile")
+	}
+	if len(sw.Slices()) != 1 {
+		t.Error("Slices before carve")
+	}
+	sw.Carve(100)
+	if len(sw.Slices()) != 2 {
+		t.Error("Slices after carve")
+	}
+}
+
+func TestSubmitGuaranteedLaneIsolation(t *testing.T) {
+	sw := NewSwitch("sw", Pica8P3290)
+	// A long best-effort op occupies the best-effort lane...
+	beDone := sw.Submit(0, 50*time.Millisecond)
+	if beDone != 50*time.Millisecond {
+		t.Fatalf("beDone = %v", beDone)
+	}
+	// ...but a guaranteed op issued right after does not queue behind it.
+	gDone := sw.SubmitGuaranteed(time.Millisecond, 2*time.Millisecond)
+	if gDone != 3*time.Millisecond {
+		t.Errorf("guaranteed completion = %v, want 3ms (no queueing)", gDone)
+	}
+	// Guaranteed ops queue behind each other.
+	g2 := sw.SubmitGuaranteed(time.Millisecond, 2*time.Millisecond)
+	if g2 != 5*time.Millisecond {
+		t.Errorf("second guaranteed completion = %v, want 5ms", g2)
+	}
+	// Best-effort work yields to the guaranteed lane.
+	be2 := sw.Submit(51*time.Millisecond, time.Millisecond)
+	if be2 != 52*time.Millisecond {
+		t.Errorf("be2 = %v", be2)
+	}
+	sw3 := NewSwitch("sw3", Pica8P3290)
+	sw3.SubmitGuaranteed(0, 10*time.Millisecond)
+	if got := sw3.Submit(0, time.Millisecond); got != 11*time.Millisecond {
+		t.Errorf("best-effort did not yield to guaranteed lane: %v", got)
+	}
+}
+
+func TestTableAccessorsAndCosts(t *testing.T) {
+	tb := NewTable("t9", 128, HP5406zl)
+	if tb.Name() != "t9" || tb.Profile() != HP5406zl {
+		t.Error("accessors")
+	}
+	// Empty table: any priority inserts at position 0 with 0 shifts.
+	pos, shifts := tb.InsertPosition(5)
+	if pos != 0 || shifts != 0 {
+		t.Errorf("empty InsertPosition = %d, %d", pos, shifts)
+	}
+	if got := tb.InsertCost(5); got != HP5406zl.FloorLatency {
+		t.Errorf("empty InsertCost = %v", got)
+	}
+	tb.Insert(classifier.Rule{ID: 1, Priority: 10})
+	tb.Insert(classifier.Rule{ID: 2, Priority: 20})
+	// Inserting at priority 15 lands between them, shifting one entry.
+	pos, shifts = tb.InsertPosition(15)
+	if pos != 1 || shifts != 1 {
+		t.Errorf("InsertPosition(15) = %d, %d", pos, shifts)
+	}
+	if got := tb.InsertCost(15); got != HP5406zl.InsertLatency(1) {
+		t.Errorf("InsertCost(15) = %v", got)
+	}
+}
+
+func TestNewTablePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTable(0) must panic")
+		}
+	}()
+	NewTable("bad", 0, Pica8P3290)
+}
+
+func TestProfileValidateErrors(t *testing.T) {
+	good := *Pica8P3290
+	cases := map[string]func(*Profile){
+		"capacity":    func(p *Profile) { p.Capacity = 0 },
+		"empty cal":   func(p *Profile) { p.Calibration = nil },
+		"unsorted":    func(p *Profile) { p.Calibration = []CalPoint{{100, 10}, {50, 20}} },
+		"bad point":   func(p *Profile) { p.Calibration = []CalPoint{{50, 0}} },
+		"neg occ":     func(p *Profile) { p.Calibration = []CalPoint{{-1, 10}} },
+		"zero floor":  func(p *Profile) { p.FloorLatency = 0 },
+		"zero delete": func(p *Profile) { p.DeleteLatency = 0 },
+		"zero modify": func(p *Profile) { p.ModifyLatency = 0 },
+		"zero bulk":   func(p *Profile) { p.BulkWriteLatency = 0 },
+	}
+	for name, mutate := range cases {
+		p := good
+		p.Calibration = append([]CalPoint(nil), good.Calibration...)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad profile", name)
+		}
+	}
+}
+
+func TestSinglePointProfileExtrapolation(t *testing.T) {
+	p := &Profile{
+		Name: "single", Capacity: 100,
+		Calibration:      []CalPoint{{Occupancy: 50, UpdatesPerSec: 1000}},
+		FloorLatency:     100 * time.Microsecond,
+		BulkWriteLatency: 10 * time.Microsecond,
+		DeleteLatency:    100 * time.Microsecond,
+		ModifyLatency:    100 * time.Microsecond,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Beyond the single point, latency extrapolates proportionally.
+	l50 := p.InsertLatency(50)
+	l100 := p.InsertLatency(100)
+	if l100 <= l50 {
+		t.Errorf("single-point extrapolation: L(100)=%v not above L(50)=%v", l100, l50)
+	}
+}

@@ -1,0 +1,242 @@
+package tcam
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+// Common table errors.
+var (
+	// ErrTableFull is returned when an insertion would exceed capacity.
+	ErrTableFull = errors.New("tcam: table full")
+	// ErrDuplicateID is returned when a rule ID is already present.
+	ErrDuplicateID = errors.New("tcam: duplicate rule id")
+)
+
+// Table is one TCAM slice: a priority-ordered entry list with the shift-cost
+// insertion behaviour of real TCAMs. Entries are kept in descending priority
+// order; among equal priorities the earlier-inserted rule sits higher, which
+// yields first-match semantics identical to hardware.
+//
+// Every mutating operation returns the modeled hardware latency so callers
+// (the Hermes agent, the simulator) can account for control-plane time.
+type Table struct {
+	name     string
+	capacity int
+	profile  *Profile
+	entries  []classifier.Rule
+	// ranks break priority ties: lower rank sits higher, mirroring the
+	// earlier-inserted-wins order of a monolithic TCAM. Plain Insert
+	// auto-assigns increasing ranks; the Hermes agent passes its logical
+	// sequence numbers so migrated rules regain their original standing.
+	ranks    []uint64
+	nextRank uint64
+	present  map[classifier.RuleID]bool
+
+	// Counters for the overhead experiments.
+	totalShifts  int
+	totalInserts int
+	totalDeletes int
+	totalMods    int
+}
+
+// NewTable creates an empty table. Capacity may be smaller than the
+// profile's full capacity when the table is a carved slice.
+func NewTable(name string, capacity int, profile *Profile) *Table {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("tcam: table %q capacity %d", name, capacity))
+	}
+	return &Table{
+		name:     name,
+		capacity: capacity,
+		profile:  profile,
+		present:  make(map[classifier.RuleID]bool),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Capacity returns the number of entries the slice can hold.
+func (t *Table) Capacity() int { return t.capacity }
+
+// Occupancy returns the number of installed entries.
+func (t *Table) Occupancy() int { return len(t.entries) }
+
+// Free returns the remaining entry slots.
+func (t *Table) Free() int { return t.capacity - len(t.entries) }
+
+// Profile returns the switch profile backing the latency model.
+func (t *Table) Profile() *Profile { return t.profile }
+
+// Contains reports whether a rule ID is installed.
+func (t *Table) Contains(id classifier.RuleID) bool { return t.present[id] }
+
+// Rules returns the installed rules in TCAM order (highest priority first).
+// The returned slice is a copy.
+func (t *Table) Rules() []classifier.Rule {
+	return append([]classifier.Rule(nil), t.entries...)
+}
+
+// InsertPosition returns the index at which a rule with the given priority
+// would be placed by a plain Insert (below all equal priorities), and the
+// number of entries that insertion would shift.
+func (t *Table) InsertPosition(priority int32) (pos, shifts int) {
+	return t.insertPositionRanked(priority, ^uint64(0))
+}
+
+// insertPositionRanked places by (priority desc, rank asc).
+func (t *Table) insertPositionRanked(priority int32, rank uint64) (pos, shifts int) {
+	lo, hi := 0, len(t.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := t.entries[mid]
+		if e.Priority > priority || (e.Priority == priority && t.ranks[mid] <= rank) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, len(t.entries) - lo
+}
+
+// InsertCost returns the latency an insertion of the given priority would
+// incur right now, without performing it.
+func (t *Table) InsertCost(priority int32) time.Duration {
+	_, shifts := t.InsertPosition(priority)
+	return t.profile.InsertLatency(shifts)
+}
+
+// Insert installs a rule, returning the modeled latency. Inserting the
+// lowest-priority rule appends without shifting and costs only the floor
+// latency — the fast path Hermes's §4.2 optimization exploits. Priority
+// ties place the new rule below existing equals (earlier wins).
+func (t *Table) Insert(r classifier.Rule) (time.Duration, error) {
+	rank := t.nextRank
+	t.nextRank++
+	return t.InsertRanked(r, rank)
+}
+
+// InsertRanked installs a rule at an explicit tie rank: among equal
+// priorities, lower ranks sit higher. Hermes uses its logical insertion
+// sequence as the rank so that rules migrated into the main table recover
+// their original tie order relative to rules already there.
+func (t *Table) InsertRanked(r classifier.Rule, rank uint64) (time.Duration, error) {
+	if len(t.entries) >= t.capacity {
+		return 0, fmt.Errorf("%w: %s at %d entries", ErrTableFull, t.name, t.capacity)
+	}
+	if t.present[r.ID] {
+		return 0, fmt.Errorf("%w: %d in %s", ErrDuplicateID, r.ID, t.name)
+	}
+	if rank >= t.nextRank {
+		t.nextRank = rank + 1
+	}
+	pos, shifts := t.insertPositionRanked(r.Priority, rank)
+	t.entries = append(t.entries, classifier.Rule{})
+	copy(t.entries[pos+1:], t.entries[pos:])
+	t.entries[pos] = r
+	t.ranks = append(t.ranks, 0)
+	copy(t.ranks[pos+1:], t.ranks[pos:])
+	t.ranks[pos] = rank
+	t.present[r.ID] = true
+	t.totalShifts += shifts
+	t.totalInserts++
+	return t.profile.InsertLatency(shifts), nil
+}
+
+// Delete removes a rule by ID, returning the (constant) latency and whether
+// the rule was present. Deletion never shifts entries: real TCAMs simply
+// invalidate the slot (§2.1, "deletion is a simple and fast operation").
+func (t *Table) Delete(id classifier.RuleID) (time.Duration, bool) {
+	if !t.present[id] {
+		return 0, false
+	}
+	for i, e := range t.entries {
+		if e.ID == id {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			t.ranks = append(t.ranks[:i], t.ranks[i+1:]...)
+			break
+		}
+	}
+	delete(t.present, id)
+	t.totalDeletes++
+	return t.profile.DeleteLatency, true
+}
+
+// ModifyAction rewrites a rule's action in place — constant time, no
+// reordering (§2.1, "modifications, surprisingly, can be constant").
+func (t *Table) ModifyAction(id classifier.RuleID, a classifier.Action) (time.Duration, bool) {
+	for i := range t.entries {
+		if t.entries[i].ID == id {
+			t.entries[i].Action = a
+			t.totalMods++
+			return t.profile.ModifyLatency, true
+		}
+	}
+	return 0, false
+}
+
+// ModifyMatch rewrites a rule's match in place, also constant time.
+func (t *Table) ModifyMatch(id classifier.RuleID, m classifier.Match) (time.Duration, bool) {
+	for i := range t.entries {
+		if t.entries[i].ID == id {
+			t.entries[i].Match = m
+			t.totalMods++
+			return t.profile.ModifyLatency, true
+		}
+	}
+	return 0, false
+}
+
+// Get returns the installed rule with the given ID.
+func (t *Table) Get(id classifier.RuleID) (classifier.Rule, bool) {
+	if !t.present[id] {
+		return classifier.Rule{}, false
+	}
+	for _, e := range t.entries {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return classifier.Rule{}, false
+}
+
+// Lookup returns the first (highest-priority, earliest-inserted) rule
+// matching the packet, mirroring hardware first-match semantics.
+func (t *Table) Lookup(dst, src uint32) (classifier.Rule, bool) {
+	for _, e := range t.entries {
+		if e.Match.MatchesPacket(dst, src) {
+			return e, true
+		}
+	}
+	return classifier.Rule{}, false
+}
+
+// Reset empties the table. Used by the Rule Manager's "empty shadow table"
+// migration step; bulk invalidation is a cheap constant-time TCAM
+// operation per entry.
+func (t *Table) Reset() time.Duration {
+	n := len(t.entries)
+	t.entries = t.entries[:0]
+	t.ranks = t.ranks[:0]
+	t.present = make(map[classifier.RuleID]bool)
+	return time.Duration(n) * t.profile.DeleteLatency
+}
+
+// Stats reports cumulative operation counters.
+func (t *Table) Stats() TableStats {
+	return TableStats{
+		Inserts: t.totalInserts,
+		Deletes: t.totalDeletes,
+		Mods:    t.totalMods,
+		Shifts:  t.totalShifts,
+	}
+}
+
+// TableStats are cumulative per-table operation counters.
+type TableStats struct {
+	Inserts, Deletes, Mods, Shifts int
+}

@@ -1,0 +1,132 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+)
+
+// FatTree builds a k-ary fat-tree [Al-Fares et al., SIGCOMM'08] with
+// (k/2)² core switches, k pods of k/2 aggregation and k/2 edge switches,
+// and (k/2)² hosts per pod — k=16 yields the paper's 1024-server topology
+// (§2.2, §8.1.3). linkBps is the uniform link speed (the paper uses
+// 40 Gbps); delay is the per-hop propagation delay (small in a data
+// center).
+func FatTree(k int, linkBps float64, delay time.Duration) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree arity %d must be even and >= 2", k))
+	}
+	g := NewGraph()
+	half := k / 2
+
+	cores := make([]NodeID, half*half)
+	for i := range cores {
+		cores[i] = g.AddNode(fmt.Sprintf("core%d", i), KindSwitch)
+	}
+	for pod := 0; pod < k; pod++ {
+		aggs := make([]NodeID, half)
+		edges := make([]NodeID, half)
+		for i := 0; i < half; i++ {
+			aggs[i] = g.AddNode(fmt.Sprintf("agg%d-%d", pod, i), KindSwitch)
+			edges[i] = g.AddNode(fmt.Sprintf("edge%d-%d", pod, i), KindSwitch)
+		}
+		// Aggregation i connects to cores [i*half, (i+1)*half).
+		for i, agg := range aggs {
+			for j := 0; j < half; j++ {
+				g.AddLink(agg, cores[i*half+j], linkBps, delay)
+			}
+		}
+		// Full bipartite agg<->edge inside the pod.
+		for _, agg := range aggs {
+			for _, edge := range edges {
+				g.AddLink(agg, edge, linkBps, delay)
+			}
+		}
+		// half hosts per edge switch.
+		for i, edge := range edges {
+			for h := 0; h < half; h++ {
+				host := g.AddNode(fmt.Sprintf("host%d-%d-%d", pod, i, h), KindHost)
+				g.AddLink(edge, host, linkBps, delay)
+			}
+		}
+	}
+	return g
+}
+
+// ispNode is one PoP of an ISP topology: a switch with one attached
+// aggregate host (traffic source/sink for the traffic matrix).
+func ispBuild(name string, nodes []string, links [][2]string, linkBps float64, delay time.Duration) *Graph {
+	g := NewGraph()
+	sw := make(map[string]NodeID, len(nodes))
+	for _, n := range nodes {
+		sw[n] = g.AddNode(name+"/"+n, KindSwitch)
+		host := g.AddNode(name+"/"+n+"/host", KindHost)
+		g.AddLink(sw[n], host, linkBps*4, delay/10) // access links are not the bottleneck
+	}
+	for _, l := range links {
+		a, oka := sw[l[0]]
+		b, okb := sw[l[1]]
+		if !oka || !okb {
+			panic(fmt.Sprintf("topo: %s: bad link %v", name, l))
+		}
+		g.AddLink(a, b, linkBps, delay)
+	}
+	return g
+}
+
+// Abilene builds the 11-PoP Internet2/Abilene backbone used with the
+// Abilene traffic matrices [§8.1.3]. Links are 10 Gbps with wide-area
+// delays.
+func Abilene() *Graph {
+	nodes := []string{
+		"NYC", "CHI", "WAS", "ATL", "IND", "KSC", "HOU", "DEN", "SNV", "SEA", "LAX",
+	}
+	links := [][2]string{
+		{"NYC", "CHI"}, {"NYC", "WAS"},
+		{"CHI", "IND"}, {"WAS", "ATL"},
+		{"ATL", "IND"}, {"ATL", "HOU"},
+		{"IND", "KSC"}, {"KSC", "DEN"}, {"KSC", "HOU"},
+		{"HOU", "LAX"}, {"DEN", "SNV"}, {"DEN", "SEA"},
+		{"SNV", "SEA"}, {"SNV", "LAX"},
+	}
+	return ispBuild("abilene", nodes, links, 10e9, 8*time.Millisecond)
+}
+
+// Geant builds the European research backbone (GÉANT, Internet Topology
+// Zoo) at PoP granularity — 23 PoPs in the 2004 snapshot the tomo-gravity
+// matrices model (§8.1.3).
+func Geant() *Graph {
+	nodes := []string{
+		"AT", "BE", "CH", "CZ", "DE", "DK", "ES", "FR", "GR", "HR", "HU",
+		"IE", "IL", "IT", "LU", "NL", "PL", "PT", "SE", "SI", "SK", "UK", "NO",
+	}
+	links := [][2]string{
+		{"UK", "IE"}, {"UK", "NL"}, {"UK", "FR"}, {"UK", "BE"},
+		{"NL", "DE"}, {"NL", "BE"}, {"NL", "DK"}, {"NL", "LU"},
+		{"DE", "CZ"}, {"DE", "AT"}, {"DE", "CH"}, {"DE", "DK"}, {"DE", "IL"},
+		{"FR", "CH"}, {"FR", "ES"}, {"FR", "LU"},
+		{"CH", "IT"}, {"AT", "HU"}, {"AT", "SI"}, {"AT", "IT"}, {"AT", "SK"},
+		{"CZ", "SK"}, {"CZ", "PL"}, {"DK", "SE"}, {"DK", "NO"}, {"SE", "NO"},
+		{"SE", "PL"}, {"HU", "HR"}, {"HU", "SK"}, {"SI", "HR"},
+		{"IT", "GR"}, {"ES", "PT"}, {"UK", "PT"}, {"DE", "GR"}, {"IL", "IT"},
+	}
+	return ispBuild("geant", nodes, links, 10e9, 5*time.Millisecond)
+}
+
+// Quest builds the Quest ISP topology (Internet Topology Zoo), a ~20-node
+// North American network, at PoP granularity (§8.1.3).
+func Quest() *Graph {
+	nodes := []string{
+		"SEA", "PDX", "SFO", "LAX", "PHX", "SLC", "DEN", "MSP", "CHI", "STL",
+		"DAL", "HOU", "ATL", "MIA", "DCA", "NYC", "BOS", "CLE", "DET", "KSC",
+	}
+	links := [][2]string{
+		{"SEA", "PDX"}, {"PDX", "SFO"}, {"SEA", "MSP"}, {"SEA", "SLC"},
+		{"SFO", "LAX"}, {"SFO", "SLC"}, {"LAX", "PHX"}, {"PHX", "DAL"},
+		{"SLC", "DEN"}, {"DEN", "KSC"}, {"DEN", "DAL"}, {"KSC", "STL"},
+		{"MSP", "CHI"}, {"CHI", "CLE"}, {"CHI", "STL"}, {"CHI", "DET"},
+		{"STL", "ATL"}, {"DAL", "HOU"}, {"HOU", "ATL"}, {"ATL", "MIA"},
+		{"ATL", "DCA"}, {"DCA", "NYC"}, {"NYC", "BOS"}, {"CLE", "NYC"},
+		{"DET", "CLE"}, {"MIA", "HOU"},
+	}
+	return ispBuild("quest", nodes, links, 10e9, 6*time.Millisecond)
+}

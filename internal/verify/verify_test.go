@@ -1,0 +1,179 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/tcam"
+)
+
+func lookupList(rules []classifier.Rule) Lookup {
+	return func(dst, src uint32) (classifier.Rule, bool) {
+		var best classifier.Rule
+		found := false
+		for _, r := range rules {
+			if !r.Match.MatchesPacket(dst, src) {
+				continue
+			}
+			if !found || r.Priority > best.Priority {
+				best, found = r, true
+			}
+		}
+		return best, found
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	ps := []classifier.Prefix{
+		classifier.MustParsePrefix("10.0.0.0/8"),
+		classifier.MustParsePrefix("10.0.0.0/16"),
+		classifier.MustParsePrefix("0.0.0.0/0"), // end wraps: contributes only 0
+	}
+	b := boundaries(ps)
+	want := map[uint32]bool{
+		0:          true,
+		0x0A000000: true, // 10.0.0.0
+		0x0A010000: true, // end of /16
+		0x0B000000: true, // end of /8
+	}
+	if len(b) != len(want) {
+		t.Fatalf("boundaries = %v", b)
+	}
+	for _, v := range b {
+		if !want[v] {
+			t.Errorf("unexpected boundary %08x", v)
+		}
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Error("boundaries not sorted")
+		}
+	}
+}
+
+func TestEquivalentAgreesOnIdenticalClassifiers(t *testing.T) {
+	rules := []classifier.Rule{
+		{ID: 1, Match: classifier.DstMatch(classifier.MustParsePrefix("10.0.0.0/8")), Priority: 10,
+			Action: classifier.Action{Type: classifier.ActionForward, Port: 1}},
+		{ID: 2, Match: classifier.DstMatch(classifier.MustParsePrefix("10.1.0.0/16")), Priority: 20,
+			Action: classifier.Action{Type: classifier.ActionDrop}},
+	}
+	if ce := Equivalent(lookupList(rules), lookupList(rules), rules); ce != nil {
+		t.Errorf("identical classifiers disagree: %v", ce)
+	}
+}
+
+func TestEquivalentFindsActionDifference(t *testing.T) {
+	rules := []classifier.Rule{
+		{ID: 1, Match: classifier.DstMatch(classifier.MustParsePrefix("10.0.0.0/8")), Priority: 10,
+			Action: classifier.Action{Type: classifier.ActionForward, Port: 1}},
+	}
+	altered := []classifier.Rule{rules[0]}
+	altered[0].Action.Port = 9
+	ce := Equivalent(lookupList(rules), lookupList(altered), rules)
+	if ce == nil {
+		t.Fatal("missed an action difference")
+	}
+	if ce.Difference == "" || ce.String() == "" {
+		t.Error("empty counterexample rendering")
+	}
+}
+
+func TestEquivalentFindsCoverageDifference(t *testing.T) {
+	rules := []classifier.Rule{
+		{ID: 1, Match: classifier.DstMatch(classifier.MustParsePrefix("10.0.0.0/8")), Priority: 10,
+			Action: classifier.Action{Type: classifier.ActionForward, Port: 1}},
+		{ID: 2, Match: classifier.DstMatch(classifier.MustParsePrefix("172.16.0.0/12")), Priority: 10,
+			Action: classifier.Action{Type: classifier.ActionForward, Port: 2}},
+	}
+	// B is missing the second rule: the checker must find a packet in
+	// 172.16/12 where they disagree.
+	ce := Equivalent(lookupList(rules), lookupList(rules[:1]), rules)
+	if ce == nil {
+		t.Fatal("missed a coverage difference")
+	}
+	if !rules[1].Match.MatchesPacket(ce.Dst, ce.Src) {
+		t.Errorf("counterexample %v not in the missing rule's region", ce)
+	}
+}
+
+// TestEquivalentCatchesSubtleFragmentBug plants the exact bug class §4
+// warns about: a fragment set that misses one sliver of the original
+// rule's region.
+func TestEquivalentCatchesSubtleFragmentBug(t *testing.T) {
+	orig := classifier.Rule{
+		ID: 1, Match: classifier.DstMatch(classifier.MustParsePrefix("192.168.1.0/24")),
+		Priority: 5, Action: classifier.Action{Type: classifier.ActionForward, Port: 2},
+	}
+	blocker := classifier.Rule{
+		ID: 2, Match: classifier.DstMatch(classifier.MustParsePrefix("192.168.1.0/26")),
+		Priority: 50, Action: classifier.Action{Type: classifier.ActionForward, Port: 1},
+	}
+	// Correct fragments: /24 minus /26 = {.64/26, .128/25}. The buggy set
+	// drops the .64/26 sliver.
+	buggy := []classifier.Rule{
+		blocker,
+		{ID: 3, Match: classifier.DstMatch(classifier.MustParsePrefix("192.168.1.128/25")),
+			Priority: 5, Action: orig.Action},
+	}
+	reference := []classifier.Rule{blocker, orig}
+	ce := Equivalent(lookupList(buggy), lookupList(reference), reference)
+	if ce == nil {
+		t.Fatal("missed the dropped fragment")
+	}
+	sliver := classifier.MustParsePrefix("192.168.1.64/26")
+	if !sliver.MatchesAddr(ce.Dst) {
+		t.Errorf("counterexample %08x outside the missing sliver", ce.Dst)
+	}
+}
+
+func TestAgentExactEquivalence(t *testing.T) {
+	sw := tcam.NewSwitch("v", tcam.Pica8P3290)
+	agent, err := core.New(sw, core.Config{
+		Guarantee: 5 * time.Millisecond, DisableRateLimit: true, TrackLogical: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	now := time.Duration(0)
+	for i := 0; i < 120; i++ {
+		r := classifier.Rule{
+			ID:       classifier.RuleID(i + 1),
+			Match:    classifier.DstMatch(classifier.NewPrefix(0xC0A80000|(rng.Uint32()&0xFFFF), uint8(16+rng.Intn(17)))),
+			Priority: int32(rng.Intn(50)),
+			Action:   classifier.Action{Type: classifier.ActionForward, Port: i},
+		}
+		if _, err := agent.Insert(now, r); err != nil {
+			t.Fatal(err)
+		}
+		now += 2 * time.Millisecond
+		if i%20 == 19 {
+			if end := agent.ForceMigration(now); end != 0 {
+				agent.Advance(end)
+				now = end
+			}
+		}
+	}
+	ce, err := Agent(agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("agent pipeline diverges from monolithic reference: %v", ce)
+	}
+}
+
+func TestAgentRequiresTracking(t *testing.T) {
+	sw := tcam.NewSwitch("v2", tcam.Pica8P3290)
+	agent, err := core.New(sw, core.Config{Guarantee: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Agent(agent); err == nil {
+		t.Error("verification without TrackLogical must error")
+	}
+}

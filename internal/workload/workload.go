@@ -1,0 +1,333 @@
+// Package workload generates the paper's evaluation workloads (§8.1.3):
+//
+//   - Facebook: a synthetic MapReduce job trace with the published shape of
+//     the Facebook cluster workload [Chowdhury et al.] — Poisson job
+//     arrivals, heavy-tailed job sizes, map×reduce shuffle flow structure —
+//     scaled down so experiments run on one machine;
+//   - Abilene/Geant/Quest: tomo-gravity traffic matrices over ISP
+//     topologies, converted to Poisson flow arrivals with sizes partitioned
+//     from the matrix rates, exactly as §8.1.3 describes;
+//   - MicroBench: systematic rule-insertion streams sweeping arrival rate,
+//     overlap rate and priorities for the §8.5/§8.6 microbenchmarks.
+//
+// All generators are deterministic given their *rand.Rand.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/topo"
+)
+
+// FlowSpec is one flow of a job: Bytes from Src to Dst, released StartDelay
+// after the job arrives.
+type FlowSpec struct {
+	Src, Dst   topo.NodeID
+	Bytes      float64
+	StartDelay time.Duration
+}
+
+// Job is a set of flows with a common arrival time (a MapReduce shuffle).
+type Job struct {
+	ID      int
+	Arrival time.Duration
+	Flows   []FlowSpec
+}
+
+// TotalBytes sums the job's flow sizes.
+func (j Job) TotalBytes() float64 {
+	var total float64
+	for _, f := range j.Flows {
+		total += f.Bytes
+	}
+	return total
+}
+
+// Short reports whether the job moves less than 1 GB — the paper's
+// short/long job split (Fig. 1).
+func (j Job) Short() bool { return j.TotalBytes() < 1e9 }
+
+// FacebookConfig tunes the synthetic Facebook trace.
+type FacebookConfig struct {
+	// Jobs is the number of jobs to generate (the paper replays 24402; the
+	// default experiments use a scaled-down count).
+	Jobs int
+	// Duration is the span over which job arrivals are spread.
+	Duration time.Duration
+	// Hosts are the candidate endpoints (the fat-tree's host nodes).
+	Hosts []topo.NodeID
+}
+
+// FacebookJobs synthesizes a MapReduce trace: Poisson arrivals; mappers and
+// reducers drawn per job; flow sizes log-normal with a heavy tail so that
+// most jobs are "short" (<1 GB) while a minority of large shuffles carry
+// most bytes — the shape reported for the Facebook cluster.
+func FacebookJobs(rng *rand.Rand, cfg FacebookConfig) []Job {
+	if cfg.Jobs <= 0 || len(cfg.Hosts) < 2 {
+		return nil
+	}
+	meanGap := cfg.Duration.Seconds() / float64(cfg.Jobs)
+	jobs := make([]Job, 0, cfg.Jobs)
+	now := 0.0
+	for i := 0; i < cfg.Jobs; i++ {
+		now += rng.ExpFloat64() * meanGap
+		mappers := 1 + rng.Intn(5)
+		reducers := 1 + rng.Intn(5)
+		// Per-flow bytes: log-normal body with occasional elephant jobs.
+		mu, sigma := 16.5, 1.6 // median ≈ 15 MB per flow
+		if rng.Float64() < 0.10 {
+			mu = 21.0 // elephant: median ≈ 1.3 GB per flow
+		}
+		srcs := pickDistinct(rng, cfg.Hosts, mappers)
+		dsts := pickDistinct(rng, cfg.Hosts, reducers)
+		job := Job{ID: i, Arrival: time.Duration(now * float64(time.Second))}
+		for _, s := range srcs {
+			for _, d := range dsts {
+				if s == d {
+					continue
+				}
+				bytes := math.Exp(mu + sigma*rng.NormFloat64())
+				job.Flows = append(job.Flows, FlowSpec{Src: s, Dst: d, Bytes: bytes})
+			}
+		}
+		if len(job.Flows) == 0 {
+			continue
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs
+}
+
+func pickDistinct(rng *rand.Rand, from []topo.NodeID, n int) []topo.NodeID {
+	if n >= len(from) {
+		n = len(from)
+	}
+	idx := rng.Perm(len(from))[:n]
+	out := make([]topo.NodeID, n)
+	for i, j := range idx {
+		out[i] = from[j]
+	}
+	return out
+}
+
+// TrafficMatrix holds demand rates (bytes/second) between PoP hosts.
+type TrafficMatrix struct {
+	Hosts []topo.NodeID
+	// Rate[i][j] is the demand from Hosts[i] to Hosts[j] in bytes/second.
+	Rate [][]float64
+}
+
+// GravityTM synthesizes a traffic matrix with the tomo-gravity model
+// [Zhang et al., SIGMETRICS'03]: each PoP gets a random total mass and the
+// demand between two PoPs is proportional to the product of their masses —
+// the method the paper uses for the Geant and Quest workloads (§8.1.3).
+func GravityTM(rng *rand.Rand, hosts []topo.NodeID, totalBytesPerSec float64) *TrafficMatrix {
+	n := len(hosts)
+	mass := make([]float64, n)
+	var sum float64
+	for i := range mass {
+		// Pareto-ish masses: a few big PoPs dominate, as in real ISPs.
+		mass[i] = math.Exp(rng.NormFloat64() * 1.2)
+		sum += mass[i]
+	}
+	tm := &TrafficMatrix{Hosts: hosts, Rate: make([][]float64, n)}
+	for i := range tm.Rate {
+		tm.Rate[i] = make([]float64, n)
+		for j := range tm.Rate[i] {
+			if i == j {
+				continue
+			}
+			tm.Rate[i][j] = totalBytesPerSec * (mass[i] / sum) * (mass[j] / sum)
+		}
+	}
+	return tm
+}
+
+// AbileneTM synthesizes a demand matrix shaped like the 2004 Abilene
+// measurements: coastal PoPs (NYC, CHI, LAX, SNV) exchange most traffic.
+// It is gravity-based with fixed masses, standing in for the published
+// matrices (§8.1.3's dataset is replayed through the same interface).
+func AbileneTM(hosts []topo.NodeID, totalBytesPerSec float64) *TrafficMatrix {
+	// Masses follow the relative PoP volumes of the Abilene dataset.
+	masses := []float64{3.0, 2.4, 1.8, 1.5, 1.2, 1.0, 1.3, 0.9, 2.1, 1.1, 2.6}
+	n := len(hosts)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += masses[i%len(masses)]
+	}
+	tm := &TrafficMatrix{Hosts: hosts, Rate: make([][]float64, n)}
+	for i := range tm.Rate {
+		tm.Rate[i] = make([]float64, n)
+		for j := range tm.Rate[i] {
+			if i == j {
+				continue
+			}
+			mi := masses[i%len(masses)]
+			mj := masses[j%len(masses)]
+			tm.Rate[i][j] = totalBytesPerSec * (mi / sum) * (mj / sum)
+		}
+	}
+	return tm
+}
+
+// FlowsFromTM converts a traffic matrix into individual flows, assuming
+// Poisson flow inter-arrivals per OD pair and exponentially distributed
+// flow sizes around meanFlowBytes, partitioning the matrix demand evenly —
+// the paper's own methodology for Abilene/Geant/Quest (§8.1.3). The result
+// is returned as single-flow jobs sorted by arrival.
+func FlowsFromTM(rng *rand.Rand, tm *TrafficMatrix, duration time.Duration, meanFlowBytes float64) []Job {
+	var jobs []Job
+	id := 0
+	secs := duration.Seconds()
+	for i, row := range tm.Rate {
+		for j, rate := range row {
+			if rate <= 0 {
+				continue
+			}
+			flowsPerSec := rate / meanFlowBytes
+			t := 0.0
+			for {
+				t += rng.ExpFloat64() / flowsPerSec
+				if t >= secs {
+					break
+				}
+				bytes := rng.ExpFloat64() * meanFlowBytes
+				if bytes < 1500 {
+					bytes = 1500 // at least one MTU
+				}
+				jobs = append(jobs, Job{
+					ID:      id,
+					Arrival: time.Duration(t * float64(time.Second)),
+					Flows:   []FlowSpec{{Src: tm.Hosts[i], Dst: tm.Hosts[j], Bytes: bytes}},
+				})
+				id++
+			}
+		}
+	}
+	sortJobs(jobs)
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+	return jobs
+}
+
+func sortJobs(jobs []Job) {
+	// Insertion sort on arrival; inputs are near-sorted per OD pair and
+	// modest in size, and the result must be deterministic.
+	for i := 1; i < len(jobs); i++ {
+		for j := i; j > 0 && jobs[j].Arrival < jobs[j-1].Arrival; j-- {
+			jobs[j], jobs[j-1] = jobs[j-1], jobs[j]
+		}
+	}
+}
+
+// TimedRule is one control-plane insertion at a virtual time.
+type TimedRule struct {
+	At   time.Duration
+	Rule classifier.Rule
+}
+
+// MicroBenchConfig parameterizes the §8 microbenchmark rule streams along
+// the paper's three dimensions: arrival rate, overlap rate, and priorities.
+type MicroBenchConfig struct {
+	// Rules is the stream length.
+	Rules int
+	// RatePerSec is the mean insertion arrival rate (Poisson).
+	RatePerSec float64
+	// OverlapFrac in [0,1] is the fraction of rules that overlap
+	// previously generated rules (1.0 reproduces the paper's "100%
+	// overlap rate").
+	OverlapFrac float64
+	// MaxPriority bounds the uniformly drawn rule priorities.
+	MaxPriority int32
+	// FirstID numbers the generated rules starting here (default 1).
+	FirstID classifier.RuleID
+}
+
+// MicroBench generates a rule-insertion stream. Overlapping rules nest
+// inside (or envelop) an earlier rule's destination prefix with priorities
+// chosen so that the overlap does real work — the paper's overlap-rate
+// dimension exists "to understand the impact of partitioning":
+//
+//   - a child rule (narrower prefix) gets a priority *above* its base, so
+//     it is installed whole and legitimately shadows the base's region;
+//   - a parent rule (wider prefix) gets a priority *below* its base, so
+//     Algorithm 1 must cut it around the base when the base has reached
+//     the main table.
+//
+// Fresh (non-overlapping) rules take priorities in [MaxPriority,
+// 2·MaxPriority); child/parent offsets keep all priorities within
+// (0, 3·MaxPriority).
+func MicroBench(rng *rand.Rand, cfg MicroBenchConfig) []TimedRule {
+	if cfg.Rules <= 0 {
+		return nil
+	}
+	if cfg.MaxPriority <= 0 {
+		cfg.MaxPriority = 100
+	}
+	id := cfg.FirstID
+	if id == 0 {
+		id = 1
+	}
+	type placed struct {
+		prefix classifier.Prefix
+		prio   int32
+	}
+	var out []TimedRule
+	var prior []placed
+	now := 0.0
+	nextFresh := uint32(0)
+	maxOffset := cfg.MaxPriority/4 + 1
+	for i := 0; i < cfg.Rules; i++ {
+		now += rng.ExpFloat64() / cfg.RatePerSec
+		var p classifier.Prefix
+		var prio int32
+		if len(prior) > 0 && rng.Float64() < cfg.OverlapFrac {
+			base := prior[rng.Intn(len(prior))]
+			switch {
+			case base.prefix.Len < 30 && rng.Intn(2) == 0:
+				// Child: narrower and higher priority.
+				extra := uint8(1 + rng.Intn(4))
+				if base.prefix.Len+extra > 32 {
+					extra = 32 - base.prefix.Len
+				}
+				addr := base.prefix.Addr | (rng.Uint32() & ^base.prefix.Mask())
+				p = classifier.NewPrefix(addr, base.prefix.Len+extra)
+				prio = base.prio + 1 + rng.Int31n(maxOffset)
+			case base.prefix.Len > 9:
+				// Parent: wider and lower priority (forces partitioning).
+				p = classifier.NewPrefix(base.prefix.Addr, base.prefix.Len-uint8(1+rng.Intn(4)))
+				prio = base.prio - 1 - rng.Int31n(maxOffset)
+			default:
+				p = base.prefix
+				prio = base.prio + 1
+			}
+			if prio < 1 {
+				prio = 1
+			}
+			if prio >= 3*cfg.MaxPriority {
+				prio = 3*cfg.MaxPriority - 1
+			}
+		} else {
+			// Fresh disjoint /24 out of a dedicated pool, mid-band priority.
+			p = classifier.NewPrefix(0x0A000000|nextFresh<<8, 24)
+			nextFresh++
+			prio = cfg.MaxPriority + rng.Int31n(cfg.MaxPriority)
+		}
+		prior = append(prior, placed{p, prio})
+		out = append(out, TimedRule{
+			At: time.Duration(now * float64(time.Second)),
+			Rule: classifier.Rule{
+				ID:       id,
+				Match:    classifier.DstMatch(p),
+				Priority: prio,
+				Action:   classifier.Action{Type: classifier.ActionForward, Port: int(id % 48)},
+			},
+		})
+		id++
+	}
+	return out
+}

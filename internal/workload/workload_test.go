@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/topo"
+)
+
+func hostIDs(n int) []topo.NodeID {
+	out := make([]topo.NodeID, n)
+	for i := range out {
+		out[i] = topo.NodeID(i)
+	}
+	return out
+}
+
+func TestFacebookJobsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	jobs := FacebookJobs(rng, FacebookConfig{Jobs: 500, Duration: time.Hour, Hosts: hostIDs(64)})
+	if len(jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+	short, long := 0, 0
+	var prev time.Duration
+	for _, j := range jobs {
+		if j.Arrival < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = j.Arrival
+		if len(j.Flows) == 0 {
+			t.Fatal("job without flows")
+		}
+		if j.TotalBytes() <= 0 {
+			t.Fatal("non-positive job size")
+		}
+		for _, f := range j.Flows {
+			if f.Src == f.Dst {
+				t.Fatal("self flow")
+			}
+			if f.Bytes <= 0 {
+				t.Fatal("non-positive flow")
+			}
+		}
+		if j.Short() {
+			short++
+		} else {
+			long++
+		}
+	}
+	// Heavy-tailed: most jobs short, a real minority long.
+	if short <= long {
+		t.Errorf("short=%d long=%d; expected mostly short jobs", short, long)
+	}
+	if long == 0 {
+		t.Error("no long jobs at all; tail missing")
+	}
+}
+
+func TestFacebookJobsDeterministic(t *testing.T) {
+	a := FacebookJobs(rand.New(rand.NewSource(7)), FacebookConfig{Jobs: 50, Duration: time.Minute, Hosts: hostIDs(16)})
+	b := FacebookJobs(rand.New(rand.NewSource(7)), FacebookConfig{Jobs: 50, Duration: time.Minute, Hosts: hostIDs(16)})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].TotalBytes() != b[i].TotalBytes() {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestFacebookJobsEmptyInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if jobs := FacebookJobs(rng, FacebookConfig{Jobs: 0, Duration: time.Minute, Hosts: hostIDs(4)}); jobs != nil {
+		t.Error("zero jobs must return nil")
+	}
+	if jobs := FacebookJobs(rng, FacebookConfig{Jobs: 5, Duration: time.Minute, Hosts: hostIDs(1)}); jobs != nil {
+		t.Error("single host must return nil")
+	}
+}
+
+func TestGravityTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hosts := hostIDs(12)
+	total := 1e9
+	tm := GravityTM(rng, hosts, total)
+	var sum float64
+	for i, row := range tm.Rate {
+		if tm.Rate[i][i] != 0 {
+			t.Error("diagonal must be zero")
+		}
+		for _, r := range row {
+			if r < 0 {
+				t.Fatal("negative rate")
+			}
+			sum += r
+		}
+	}
+	// Gravity model conserves total mass up to the removed diagonal.
+	if sum <= 0.3*total || sum > total {
+		t.Errorf("total demand = %v, want within (0.3, 1]x%v", sum, total)
+	}
+}
+
+func TestAbileneTM(t *testing.T) {
+	hosts := hostIDs(11)
+	tm := AbileneTM(hosts, 1e9)
+	if len(tm.Rate) != 11 {
+		t.Fatal("dimension")
+	}
+	// NYC (index 0, mass 3.0) must out-demand DEN (index 7, mass 0.9).
+	var nyc, den float64
+	for j := range hosts {
+		nyc += tm.Rate[0][j]
+		den += tm.Rate[7][j]
+	}
+	if nyc <= den {
+		t.Errorf("NYC demand %v not above DEN %v", nyc, den)
+	}
+}
+
+func TestFlowsFromTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hosts := hostIDs(6)
+	tm := GravityTM(rng, hosts, 5e8)
+	jobs := FlowsFromTM(rng, tm, 10*time.Second, 10e6)
+	if len(jobs) == 0 {
+		t.Fatal("no flows")
+	}
+	var prev time.Duration
+	var bytes float64
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Fatal("IDs not renumbered")
+		}
+		if len(j.Flows) != 1 {
+			t.Fatal("TM jobs must be single-flow")
+		}
+		if j.Arrival < prev || j.Arrival > 10*time.Second {
+			t.Fatalf("arrival %v out of order/range", j.Arrival)
+		}
+		prev = j.Arrival
+		if j.Flows[0].Bytes < 1500 {
+			t.Fatal("sub-MTU flow")
+		}
+		bytes += j.Flows[0].Bytes
+	}
+	// Generated volume should be in the ballpark of demand x duration.
+	want := 5e8 * 10 * 0.75 // gravity spreads < total because of diagonal removal
+	if bytes < want/4 || bytes > want*4 {
+		t.Errorf("total bytes = %v, want ≈ %v", bytes, want)
+	}
+}
+
+func TestMicroBenchRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	stream := MicroBench(rng, MicroBenchConfig{Rules: 2000, RatePerSec: 1000, OverlapFrac: 0})
+	if len(stream) != 2000 {
+		t.Fatalf("len = %d", len(stream))
+	}
+	span := stream[len(stream)-1].At.Seconds()
+	rate := float64(len(stream)) / span
+	if rate < 800 || rate > 1200 {
+		t.Errorf("empirical rate = %.0f, want ≈1000", rate)
+	}
+	// Zero overlap: all prefixes pairwise disjoint.
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			if stream[i].Rule.Match.Dst.Overlaps(stream[j].Rule.Match.Dst) {
+				t.Fatalf("rules %d and %d overlap with OverlapFrac=0", i, j)
+			}
+		}
+	}
+}
+
+func TestMicroBenchOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	stream := MicroBench(rng, MicroBenchConfig{Rules: 400, RatePerSec: 1000, OverlapFrac: 1.0})
+	overlapping := 0
+	for i := 1; i < len(stream); i++ {
+		for j := 0; j < i; j++ {
+			if stream[i].Rule.Match.Dst.Overlaps(stream[j].Rule.Match.Dst) {
+				overlapping++
+				break
+			}
+		}
+	}
+	// With 100% overlap rate, nearly every rule after the first overlaps.
+	if float64(overlapping) < 0.95*float64(len(stream)-1) {
+		t.Errorf("only %d/%d rules overlap at OverlapFrac=1", overlapping, len(stream)-1)
+	}
+}
+
+func TestMicroBenchIDsAndPriorities(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	stream := MicroBench(rng, MicroBenchConfig{
+		Rules: 100, RatePerSec: 100, OverlapFrac: 0.5, MaxPriority: 10, FirstID: 500,
+	})
+	seen := map[int64]bool{}
+	for i, tr := range stream {
+		if tr.Rule.ID != 500+classifier.RuleID(i) {
+			t.Fatalf("rule %d has ID %d", i, tr.Rule.ID)
+		}
+		if tr.Rule.Priority < 1 || tr.Rule.Priority >= 30 {
+			t.Fatalf("priority %d out of [1, 3*MaxPriority)", tr.Rule.Priority)
+		}
+		seen[int64(tr.Rule.ID)] = true
+	}
+	if len(seen) != 100 {
+		t.Error("duplicate IDs")
+	}
+	if MicroBench(rng, MicroBenchConfig{Rules: 0, RatePerSec: 1}) != nil {
+		t.Error("empty config must return nil")
+	}
+}
+
+// TestMicroBenchOverlapPriorities encodes the generator's contract: child
+// rules out-prioritize the rules they nest into, parent rules sit below.
+func TestMicroBenchOverlapPriorities(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	stream := MicroBench(rng, MicroBenchConfig{Rules: 300, RatePerSec: 500, OverlapFrac: 1.0, MaxPriority: 64})
+	children, parents := 0, 0
+	for i := 1; i < len(stream); i++ {
+		ri := stream[i].Rule
+		for j := 0; j < i; j++ {
+			rj := stream[j].Rule
+			if rj.Match.Dst.Contains(ri.Match.Dst) && rj.Match.Dst.Len < ri.Match.Dst.Len && ri.Priority > rj.Priority {
+				children++
+				break
+			}
+			if ri.Match.Dst.Contains(rj.Match.Dst) && ri.Match.Dst.Len < rj.Match.Dst.Len && ri.Priority < rj.Priority {
+				parents++
+				break
+			}
+		}
+	}
+	if children == 0 || parents == 0 {
+		t.Errorf("children=%d parents=%d; both overlap directions must occur", children, parents)
+	}
+}
