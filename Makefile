@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: all build test check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Static analysis + full suite under the race detector.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem .

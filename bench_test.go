@@ -15,9 +15,16 @@ import (
 	"testing"
 	"time"
 
+	"fmt"
+	"net"
+	"sync/atomic"
+
 	"hermes"
 	"hermes/internal/classifier"
+	"hermes/internal/core"
 	"hermes/internal/experiments"
+	"hermes/internal/fleet"
+	"hermes/internal/ofwire"
 	"hermes/internal/stats"
 	"hermes/internal/tcam"
 )
@@ -310,3 +317,116 @@ func BenchmarkAutoTune(b *testing.B) { runExperiment(b, "autotune") }
 // BenchmarkShadowSwitchComparison runs the §9 software-vs-hardware shadow
 // design-space experiment.
 func BenchmarkShadowSwitchComparison(b *testing.B) { runExperiment(b, "shadowswitch") }
+
+// --- fleet control plane benchmarks -------------------------------------
+
+// startBenchAgents spawns n in-process agent daemons on loopback for the
+// wire and fleet benchmarks.
+func startBenchAgents(b *testing.B, n int) []fleet.SwitchSpec {
+	b.Helper()
+	specs := make([]fleet.SwitchSpec, n)
+	for i := 0; i < n; i++ {
+		srv, err := ofwire.NewAgentServer(fmt.Sprintf("bench-sw-%d", i), tcam.Pica8P3290,
+			core.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Logf = func(string, ...interface{}) {}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(lis) //nolint:errcheck
+		b.Cleanup(func() { srv.Close() })
+		specs[i] = fleet.SwitchSpec{ID: fmt.Sprintf("bench-sw-%d", i), Addr: lis.Addr().String()}
+	}
+	return specs
+}
+
+// BenchmarkWireSerializedRPC measures one-at-a-time round trips on a
+// single control channel — the behaviour of the pre-pipelining client,
+// where every caller waited for the previous caller's reply.
+func BenchmarkWireSerializedRPC(b *testing.B) {
+	specs := startBenchAgents(b, 1)
+	c, err := ofwire.Dial(specs[0].Addr, time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Echo(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWirePipelinedRPC measures the same round trips issued from
+// concurrent callers over the SAME connection: the pipelined client keeps
+// several requests in flight per connection, so throughput should exceed
+// the serialized benchmark's.
+func BenchmarkWirePipelinedRPC(b *testing.B) {
+	specs := startBenchAgents(b, 1)
+	c, err := ofwire.Dial(specs[0].Addr, time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := []byte("bench")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Echo(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFleetThroughput measures end-to-end flow-mod throughput
+// (insert + delete pairs, consistently routed) against fleets of growing
+// size. Each switch has its own worker, queue, and pipelined connection;
+// note the in-process agents share this host's CPUs with the controller,
+// so the interesting signal is that throughput does NOT degrade as the
+// fleet grows, not linear speedup.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, size := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("switches=%d", size), func(b *testing.B) {
+			specs := startBenchAgents(b, size)
+			f, err := fleet.New(fleet.Config{BatchSize: 16}, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			var ctr atomic.Uint64
+			// Keep well more in-flight ops than switches so every worker's
+			// pipeline stays busy; otherwise fleet size cannot matter.
+			b.SetParallelism(8)
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := classifier.RuleID(ctr.Add(1))
+					r := classifier.Rule{
+						ID:       id,
+						Match:    classifier.DstMatch(classifier.NewPrefix(uint32(id)<<12|0x0A000000, 28)),
+						Priority: int32(uint64(id)%16 + 1),
+						Action:   classifier.Action{Type: classifier.ActionForward},
+					}
+					sw := f.Route(id)
+					if res := f.Insert(sw, r); res.Err != nil {
+						b.Fatal(res.Err)
+					}
+					if res := f.Delete(sw, id); res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			})
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(2*b.N)/elapsed, "flowmods/s")
+			}
+		})
+	}
+}

@@ -51,6 +51,21 @@ type Metrics struct {
 	AllLatenciesMS        []float64
 }
 
+// Snapshot returns a deep copy of the metrics: counters by value and the
+// latency sample slices freshly allocated. Consumers that carry metrics
+// across a concurrency boundary (the fleet aggregator, wire stats replies)
+// must use it so they never alias the agent's live slices, which the agent
+// keeps appending to.
+func (m Metrics) Snapshot() Metrics {
+	cp := m // counters and scalars copy by value
+	cp.GuaranteedLatenciesMS = append([]float64(nil), m.GuaranteedLatenciesMS...)
+	cp.AllLatenciesMS = append([]float64(nil), m.AllLatenciesMS...)
+	return cp
+}
+
+// Clone is an alias for Snapshot.
+func (m Metrics) Clone() Metrics { return m.Snapshot() }
+
 // ViolationRate returns violations over guaranteed insertions.
 func (m Metrics) ViolationRate() float64 {
 	n := len(m.GuaranteedLatenciesMS)

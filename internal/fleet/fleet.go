@@ -1,0 +1,319 @@
+// Package fleet is the controller-side fleet control plane: it drives many
+// Hermes agents concurrently over the ofwire protocol — the layer between
+// the single-agent core and a production deployment of one agent per
+// switch (Fig. 2 of the paper, scaled out).
+//
+// A Fleet owns one worker per switch. Each worker has a bounded flow-mod
+// queue, dispatches batches over a pipelined client (many requests in
+// flight per connection), retries insertions the Gate Keeper diverts off
+// the guaranteed path with exponential backoff plus deterministic jitter,
+// and trips a circuit breaker — fed by echo health probes — when its
+// switch dies, so one wedged agent degrades to fail-fast instead of
+// stalling the rest of the fleet. Rules route to switches either
+// explicitly or consistently by rule ID, and a fleet-wide Snapshot merges
+// every agent's counters with client-observed latency percentiles.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/ofwire"
+)
+
+// Fleet errors.
+var (
+	// ErrFleetClosed is returned for operations on a closed fleet.
+	ErrFleetClosed = errors.New("fleet: closed")
+	// ErrUnknownSwitch is returned for operations naming a switch the
+	// fleet does not manage.
+	ErrUnknownSwitch = errors.New("fleet: unknown switch")
+	// ErrNoSwitches is returned by New for an empty fleet.
+	ErrNoSwitches = errors.New("fleet: no switches")
+)
+
+// SwitchSpec names one switch and its agent's control-channel address.
+type SwitchSpec struct {
+	ID   string
+	Addr string
+}
+
+// Config tunes the fleet. The zero value is completed with defaults.
+type Config struct {
+	// QueueDepth bounds each worker's flow-mod queue; a full queue
+	// applies backpressure to submitters. Defaults to 128.
+	QueueDepth int
+	// BatchSize caps how many queued flow-mods one worker dispatches
+	// concurrently over its pipelined connection. Defaults to 16.
+	BatchSize int
+	// DialTimeout bounds the initial and reconnect dials. Defaults to 2s.
+	DialTimeout time.Duration
+	// ProbeInterval is the echo health-probe period. Defaults to 100ms.
+	ProbeInterval time.Duration
+	// Retry shapes the backoff for diverted insertions (RetryDiverted).
+	Retry RetryPolicy
+	// Breaker tunes the per-switch circuit breaker.
+	Breaker BreakerConfig
+	// RetryDiverted enables delete-and-reinsert retries for guaranteed
+	// insertions the Gate Keeper diverted to the unguaranteed main path
+	// (rate-limited or shadow-full).
+	RetryDiverted bool
+	// Seed makes backoff jitter deterministic; runs with the same seed
+	// and workload replay identical retry schedules. Defaults to 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Retry = c.Retry.withDefaults()
+	c.Breaker = c.Breaker.withDefaults()
+	return c
+}
+
+// Fleet drives N Hermes agents concurrently.
+type Fleet struct {
+	cfg     Config
+	workers map[string]*worker
+	order   []string // sorted switch IDs; the consistent routing table
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New dials every switch and starts one worker per switch. On any dial
+// failure the already-connected switches are closed and the error is
+// returned.
+func New(cfg Config, switches []SwitchSpec) (*Fleet, error) {
+	if len(switches) == 0 {
+		return nil, ErrNoSwitches
+	}
+	f := &Fleet{cfg: cfg.withDefaults(), workers: make(map[string]*worker, len(switches))}
+	for _, spec := range switches {
+		if spec.ID == "" {
+			spec.ID = spec.Addr
+		}
+		if _, dup := f.workers[spec.ID]; dup {
+			f.teardown()
+			return nil, fmt.Errorf("fleet: duplicate switch id %q", spec.ID)
+		}
+		client, err := ofwire.Dial(spec.Addr, f.cfg.DialTimeout)
+		if err != nil {
+			f.teardown()
+			return nil, fmt.Errorf("fleet: dialing %s (%s): %w", spec.ID, spec.Addr, err)
+		}
+		f.workers[spec.ID] = newWorker(f, spec, client)
+		f.order = append(f.order, spec.ID)
+	}
+	sort.Strings(f.order)
+	for _, w := range f.workers {
+		w.start()
+	}
+	return f, nil
+}
+
+func (f *Fleet) teardown() {
+	for _, w := range f.workers {
+		w.close() //nolint:errcheck
+	}
+}
+
+// Switches returns the managed switch IDs in routing order.
+func (f *Fleet) Switches() []string {
+	return append([]string(nil), f.order...)
+}
+
+// Size returns the number of managed switches.
+func (f *Fleet) Size() int { return len(f.order) }
+
+// Route maps a rule ID to its home switch: consistent hashing over the
+// sorted switch set, so the same rule always lands on the same switch for
+// a given fleet membership.
+func (f *Fleet) Route(id classifier.RuleID) string {
+	h := fnv64a(fmt.Sprintf("rule-%d", uint64(id)))
+	return f.order[h%uint64(len(f.order))]
+}
+
+// submit queues one op on the switch's worker. A switch with an open
+// circuit fails fast without queuing.
+func (f *Fleet) submit(switchID string, o *op) (<-chan OpResult, error) {
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return nil, ErrFleetClosed
+	}
+	w, ok := f.workers[switchID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSwitch, switchID)
+	}
+	o.done = make(chan OpResult, 1)
+	if !w.brk.allow() {
+		w.tele.fail()
+		o.done <- OpResult{Switch: w.id, RuleID: o.rule.ID, Err: &CircuitOpenError{Switch: w.id}}
+		return o.done, nil
+	}
+	if err := w.enqueue(o); err != nil {
+		return nil, err
+	}
+	return o.done, nil
+}
+
+// InsertAsync queues an insertion on the named switch and returns the
+// result channel immediately; the queue applies backpressure when full.
+func (f *Fleet) InsertAsync(switchID string, r classifier.Rule) (<-chan OpResult, error) {
+	return f.submit(switchID, &op{kind: opInsert, rule: r})
+}
+
+// DeleteAsync queues a deletion on the named switch.
+func (f *Fleet) DeleteAsync(switchID string, id classifier.RuleID) (<-chan OpResult, error) {
+	return f.submit(switchID, &op{kind: opDelete, rule: classifier.Rule{ID: id}})
+}
+
+// ModifyAsync queues a modification on the named switch.
+func (f *Fleet) ModifyAsync(switchID string, r classifier.Rule) (<-chan OpResult, error) {
+	return f.submit(switchID, &op{kind: opModify, rule: r})
+}
+
+func await(ch <-chan OpResult, err error) OpResult {
+	if err != nil {
+		return OpResult{Err: err}
+	}
+	return <-ch
+}
+
+// Insert queues an insertion and waits for its outcome.
+func (f *Fleet) Insert(switchID string, r classifier.Rule) OpResult {
+	res := await(f.InsertAsync(switchID, r))
+	if res.Switch == "" {
+		res.Switch, res.RuleID = switchID, r.ID
+	}
+	return res
+}
+
+// Delete queues a deletion and waits for its outcome.
+func (f *Fleet) Delete(switchID string, id classifier.RuleID) OpResult {
+	res := await(f.DeleteAsync(switchID, id))
+	if res.Switch == "" {
+		res.Switch, res.RuleID = switchID, id
+	}
+	return res
+}
+
+// Modify queues a modification and waits for its outcome.
+func (f *Fleet) Modify(switchID string, r classifier.Rule) OpResult {
+	res := await(f.ModifyAsync(switchID, r))
+	if res.Switch == "" {
+		res.Switch, res.RuleID = switchID, r.ID
+	}
+	return res
+}
+
+// InsertRouted inserts on the rule's home switch (consistent routing).
+func (f *Fleet) InsertRouted(r classifier.Rule) OpResult {
+	return f.Insert(f.Route(r.ID), r)
+}
+
+// InsertRoutedAsync queues an insertion on the rule's home switch.
+func (f *Fleet) InsertRoutedAsync(r classifier.Rule) (<-chan OpResult, error) {
+	return f.InsertAsync(f.Route(r.ID), r)
+}
+
+// Barrier fences every healthy switch: it returns once each has applied
+// all flow-mods issued before the call. Switches with open circuits are
+// skipped; connection errors are joined into the returned error.
+func (f *Fleet) Barrier() error {
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []error
+	)
+	for _, id := range f.order {
+		w := f.workers[id]
+		if !w.brk.allow() {
+			continue
+		}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if err := w.currentClient().Barrier(); err != nil {
+				emu.Lock()
+				errs = append(errs, fmt.Errorf("fleet: barrier %s: %w", w.id, err))
+				emu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Snapshot fetches every reachable agent's counters concurrently and
+// merges them with the controller-side telemetry into one fleet-wide view.
+func (f *Fleet) Snapshot() *Snapshot {
+	snap := &Snapshot{Switches: make([]SwitchSnapshot, len(f.order))}
+	var wg sync.WaitGroup
+	for i, id := range f.order {
+		w := f.workers[id]
+		s := &snap.Switches[i]
+		wg.Add(1)
+		go func(w *worker, s *SwitchSnapshot) {
+			defer wg.Done()
+			s.ID = w.id
+			s.Breaker, s.Trips = w.brk.snapshot()
+			w.tele.snapshot(s)
+			if w.brk.allow() {
+				if st, err := w.currentClient().Stats(); err == nil {
+					s.Stats = st
+				}
+			}
+			s.Healthy = s.Breaker == BreakerClosed && s.Stats != nil
+		}(w, s)
+	}
+	wg.Wait()
+	snap.finalize()
+	return snap
+}
+
+// Close shuts every worker down: queued ops fail with ErrFleetClosed,
+// in-flight requests are cut, goroutines joined. Safe to call repeatedly.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	var errs []error
+	for _, id := range f.order {
+		if err := f.workers[id].close(); err != nil &&
+			!errors.Is(err, ofwire.ErrClientClosed) && !isClosedConn(err) {
+			errs = append(errs, fmt.Errorf("fleet: closing %s: %w", id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// isClosedConn reports the benign "use of closed network connection" error
+// double-closes produce.
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: the same seed replays the identical jittered
+// schedule; a different seed diverges.
+func TestBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, Multiplier: 2, Jitter: 0.5}
+	schedule := func(seed int64) []time.Duration {
+		bo := p.newBackoff(seed)
+		var ds []time.Duration
+		for {
+			d, ok := bo.next()
+			if !ok {
+				break
+			}
+			ds = append(ds, d)
+		}
+		return ds
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) != p.MaxAttempts-1 {
+		t.Fatalf("schedule length = %d, want %d", len(a), p.MaxAttempts-1)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+// TestBackoffGrowthAndCap: delays grow roughly exponentially and respect
+// MaxDelay even with jitter.
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond,
+		MaxDelay: 8 * time.Millisecond, Multiplier: 2, Jitter: 0.2}
+	bo := p.newBackoff(1)
+	var prev time.Duration
+	for i := 0; ; i++ {
+		d, ok := bo.next()
+		if !ok {
+			break
+		}
+		// Jitter scales by at most 1+J/2 = 1.1.
+		if max := time.Duration(float64(p.MaxDelay) * 1.1); d > max {
+			t.Fatalf("attempt %d: delay %v above cap %v", i, d, max)
+		}
+		if i > 0 && i < 3 && d < prev {
+			t.Fatalf("attempt %d: delay %v shrank below %v before the cap", i, d, prev)
+		}
+		prev = d
+	}
+}
+
+// TestBackoffNoJitter: zero-jitter schedules are exactly the exponential.
+func TestBackoffNoJitter(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond,
+		MaxDelay: time.Second, Multiplier: 2, Jitter: -1} // invalid → default
+	p = p.withDefaults()
+	if p.Jitter != 0.2 {
+		t.Fatalf("invalid jitter not defaulted: %v", p.Jitter)
+	}
+	p.Jitter = 0
+	bo := p.newBackoff(9)
+	want := []time.Duration{2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond}
+	for i, w := range want {
+		d, ok := bo.next()
+		if !ok || d != w {
+			t.Fatalf("attempt %d: got %v,%v want %v", i, d, ok, w)
+		}
+	}
+	if _, ok := bo.next(); ok {
+		t.Error("backoff exceeded MaxAttempts")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: 50 * time.Millisecond})
+	now := time.Unix(1000, 0)
+	if !b.allow() {
+		t.Fatal("new breaker not closed")
+	}
+	b.failure(now)
+	b.failure(now)
+	if !b.allow() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.failure(now)
+	if b.allow() {
+		t.Fatal("breaker closed at threshold")
+	}
+	if st, trips := b.snapshot(); st != BreakerOpen || trips != 1 {
+		t.Fatalf("state=%v trips=%d", st, trips)
+	}
+	// Probes are refused until the open timeout elapses.
+	if b.allowProbe(now.Add(10 * time.Millisecond)) {
+		t.Fatal("probe allowed while open")
+	}
+	if !b.allowProbe(now.Add(60 * time.Millisecond)) {
+		t.Fatal("probe refused after open timeout")
+	}
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("state after probe window = %v", st)
+	}
+	if b.allow() {
+		t.Fatal("ops allowed while half-open")
+	}
+	// A failed probe re-opens immediately (single strike).
+	b.failure(now.Add(61 * time.Millisecond))
+	if st, trips := b.snapshot(); st != BreakerOpen || trips != 2 {
+		t.Fatalf("after half-open failure: state=%v trips=%d", st, trips)
+	}
+	// A successful probe closes the circuit.
+	if !b.allowProbe(now.Add(200 * time.Millisecond)) {
+		t.Fatal("second probe refused")
+	}
+	b.success()
+	if !b.allow() {
+		t.Fatal("breaker not closed after probe success")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for _, s := range []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen, BreakerState(9)} {
+		if s.String() == "" {
+			t.Errorf("empty string for state %d", int(s))
+		}
+	}
+	e := &CircuitOpenError{Switch: "tor-3"}
+	if e.Error() == "" {
+		t.Error("empty circuit-open error")
+	}
+}

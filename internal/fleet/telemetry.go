@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hermes/internal/ofwire"
+	"hermes/internal/stats"
+)
+
+// switchTelemetry is the controller-side view of one switch: operation
+// outcomes and client-observed latencies. Agent-side counters ride in the
+// wire Stats fetched at snapshot time.
+type switchTelemetry struct {
+	mu           sync.Mutex
+	opsOK        uint64
+	opsFailed    uint64
+	retries      uint64
+	diverted     uint64
+	guaranteedMS []float64
+	allMS        []float64
+}
+
+func (t *switchTelemetry) observe(res ofwire.FlowModResult) {
+	ms := res.Latency.Seconds() * 1e3
+	t.mu.Lock()
+	t.opsOK++
+	t.allMS = append(t.allMS, ms)
+	if res.Guaranteed {
+		t.guaranteedMS = append(t.guaranteedMS, ms)
+	}
+	t.mu.Unlock()
+}
+
+func (t *switchTelemetry) fail() {
+	t.mu.Lock()
+	t.opsFailed++
+	t.mu.Unlock()
+}
+
+func (t *switchTelemetry) retry() {
+	t.mu.Lock()
+	t.retries++
+	t.mu.Unlock()
+}
+
+func (t *switchTelemetry) divert() {
+	t.mu.Lock()
+	t.diverted++
+	t.mu.Unlock()
+}
+
+// SwitchSnapshot is one switch's slice of a fleet snapshot.
+type SwitchSnapshot struct {
+	ID      string
+	Healthy bool         // circuit closed and stats reachable
+	Breaker BreakerState // circuit state at snapshot time
+	Trips   uint64       // times the circuit has opened
+
+	// Controller-side accounting.
+	OpsOK, OpsFailed, Retries, Diverted uint64
+
+	// Stats are the agent's own counters fetched over the wire; nil when
+	// the switch was unreachable.
+	Stats *ofwire.Stats
+
+	// GuaranteedMS / AllMS are client-observed flow-mod latencies (ms).
+	GuaranteedMS []float64
+	AllMS        []float64
+}
+
+// Snapshot is the merged, fleet-wide telemetry view: per-switch breakdown
+// plus totals and latency percentiles across every switch.
+type Snapshot struct {
+	Switches []SwitchSnapshot
+
+	// Total merges the agent counters of every reachable switch.
+	Total ofwire.Stats
+	// Reachable counts switches whose stats were fetched.
+	Reachable int
+
+	// Guaranteed and All summarize client-observed latencies fleet-wide.
+	Guaranteed *stats.Summary
+	All        *stats.Summary
+}
+
+// snapshot copies the telemetry under the lock.
+func (t *switchTelemetry) snapshot(s *SwitchSnapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.OpsOK, s.OpsFailed, s.Retries, s.Diverted = t.opsOK, t.opsFailed, t.retries, t.diverted
+	s.GuaranteedMS = append([]float64(nil), t.guaranteedMS...)
+	s.AllMS = append([]float64(nil), t.allMS...)
+}
+
+// mergeStats accumulates one switch's agent counters into the total.
+func mergeStats(total *ofwire.Stats, s *ofwire.Stats) {
+	total.Inserts += s.Inserts
+	total.ShadowInserts += s.ShadowInserts
+	total.MainInserts += s.MainInserts
+	total.Bypasses += s.Bypasses
+	total.Violations += s.Violations
+	total.Migrations += s.Migrations
+	total.ShadowOcc += s.ShadowOcc
+	total.MainOcc += s.MainOcc
+	total.ShadowSize += s.ShadowSize
+}
+
+// finalize sorts the per-switch views and builds the fleet-wide summaries.
+func (s *Snapshot) finalize() {
+	sort.Slice(s.Switches, func(i, j int) bool { return s.Switches[i].ID < s.Switches[j].ID })
+	var guaranteed, all []float64
+	for i := range s.Switches {
+		sw := &s.Switches[i]
+		guaranteed = append(guaranteed, sw.GuaranteedMS...)
+		all = append(all, sw.AllMS...)
+		if sw.Stats != nil {
+			mergeStats(&s.Total, sw.Stats)
+			s.Reachable++
+		}
+	}
+	s.Guaranteed = stats.Summarize(guaranteed)
+	s.All = stats.Summarize(all)
+}
+
+// Table renders the snapshot as a per-switch table with a totals row,
+// matching the repo's plain-text harness style.
+func (s *Snapshot) Table() *stats.Table {
+	tab := &stats.Table{
+		Title: "fleet telemetry",
+		Headers: []string{"switch", "circuit", "ok", "failed", "retries",
+			"inserts", "shadow", "main", "violations", "p50ms", "p99ms"},
+	}
+	row := func(id, circuit string, okOps, failed, retries uint64, st *ofwire.Stats, sum *stats.Summary) {
+		ins, shadow, main, viol := "-", "-", "-", "-"
+		if st != nil {
+			ins = fmt.Sprintf("%d", st.Inserts)
+			shadow = fmt.Sprintf("%d", st.ShadowInserts)
+			main = fmt.Sprintf("%d", st.MainInserts)
+			viol = fmt.Sprintf("%d", st.Violations)
+		}
+		tab.AddRow(id, circuit,
+			fmt.Sprintf("%d", okOps), fmt.Sprintf("%d", failed), fmt.Sprintf("%d", retries),
+			ins, shadow, main, viol,
+			fmt.Sprintf("%.3f", sum.Median()), fmt.Sprintf("%.3f", sum.P99()))
+	}
+	var okOps, failed, retries uint64
+	for i := range s.Switches {
+		sw := &s.Switches[i]
+		row(sw.ID, sw.Breaker.String(), sw.OpsOK, sw.OpsFailed, sw.Retries, sw.Stats,
+			stats.Summarize(sw.GuaranteedMS))
+		okOps += sw.OpsOK
+		failed += sw.OpsFailed
+		retries += sw.Retries
+	}
+	row("TOTAL", fmt.Sprintf("%d/%d up", s.Reachable, len(s.Switches)),
+		okOps, failed, retries, &s.Total, s.Guaranteed)
+	return tab
+}

@@ -1,0 +1,286 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/ofwire"
+)
+
+type opKind uint8
+
+const (
+	opInsert opKind = iota + 1
+	opDelete
+	opModify
+)
+
+// op is one queued flow-mod.
+type op struct {
+	kind opKind
+	rule classifier.Rule
+	done chan OpResult
+}
+
+// OpResult is the outcome of one fleet operation.
+type OpResult struct {
+	Switch   string
+	RuleID   classifier.RuleID
+	Result   ofwire.FlowModResult
+	Attempts int
+	Err      error
+}
+
+// worker owns one switch: its control channel, bounded flow-mod queue,
+// circuit breaker, health probes, and telemetry. All flow-mods for the
+// switch funnel through its queue; the worker dispatches them in batches
+// over the pipelined client so several stay in flight on the wire.
+type worker struct {
+	id   string
+	addr string
+	f    *Fleet
+
+	queue chan *op
+	stop  chan struct{}
+
+	// emu guards stopped and fences in-flight enqueues against Close.
+	emu     sync.RWMutex
+	stopped bool
+
+	// cmu guards client replacement on reconnect.
+	cmu    sync.Mutex
+	client *ofwire.Client
+
+	brk  *breaker
+	tele switchTelemetry
+	wg   sync.WaitGroup
+}
+
+func newWorker(f *Fleet, spec SwitchSpec, client *ofwire.Client) *worker {
+	return &worker{
+		id:     spec.ID,
+		addr:   spec.Addr,
+		f:      f,
+		queue:  make(chan *op, f.cfg.QueueDepth),
+		stop:   make(chan struct{}),
+		client: client,
+		brk:    newBreaker(f.cfg.Breaker),
+	}
+}
+
+func (w *worker) start() {
+	w.wg.Add(2)
+	go w.run()
+	go w.probeLoop()
+}
+
+func (w *worker) currentClient() *ofwire.Client {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	return w.client
+}
+
+// setClient swaps in a freshly dialed client, closing the old one. Refused
+// after shutdown begins (the replacement is closed instead).
+func (w *worker) setClient(c *ofwire.Client) {
+	w.emu.RLock()
+	stopped := w.stopped
+	w.emu.RUnlock()
+	if stopped {
+		c.Close()
+		return
+	}
+	w.cmu.Lock()
+	old := w.client
+	w.client = c
+	w.cmu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// enqueue adds one op to the bounded queue, blocking for backpressure when
+// the queue is full.
+func (w *worker) enqueue(o *op) error {
+	w.emu.RLock()
+	defer w.emu.RUnlock()
+	if w.stopped {
+		return ErrFleetClosed
+	}
+	select {
+	case w.queue <- o:
+		return nil
+	case <-w.stop:
+		return ErrFleetClosed
+	}
+}
+
+// run is the dispatch loop: pull a batch off the queue and issue every op
+// in it concurrently; the pipelined client keeps them all in flight on the
+// one connection.
+func (w *worker) run() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			w.drainFail()
+			return
+		case o := <-w.queue:
+			batch := []*op{o}
+			for len(batch) < w.f.cfg.BatchSize {
+				select {
+				case next := <-w.queue:
+					batch = append(batch, next)
+				default:
+					goto full
+				}
+			}
+		full:
+			w.dispatch(batch)
+		}
+	}
+}
+
+func (w *worker) dispatch(batch []*op) {
+	var wg sync.WaitGroup
+	for _, o := range batch {
+		o := o
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o.done <- w.execute(o)
+		}()
+	}
+	wg.Wait()
+}
+
+// drainFail fails any ops still queued at shutdown.
+func (w *worker) drainFail() {
+	for {
+		select {
+		case o := <-w.queue:
+			o.done <- OpResult{Switch: w.id, RuleID: o.rule.ID, Err: ErrFleetClosed}
+		default:
+			return
+		}
+	}
+}
+
+// execute performs one op, retrying guaranteed insertions the Gate Keeper
+// diverted to the unguaranteed path: the diverted rule is deleted, the
+// worker backs off (exponential + deterministic jitter), and the insert is
+// reissued, giving the token bucket time to refill or the shadow table
+// time to drain.
+func (w *worker) execute(o *op) OpResult {
+	res := OpResult{Switch: w.id, RuleID: o.rule.ID}
+	seed := w.f.cfg.Seed ^ int64(fnv64a(w.id)) ^ int64(o.rule.ID)
+	bo := w.f.cfg.Retry.newBackoff(seed)
+	for {
+		res.Attempts++
+		if !w.brk.allow() {
+			res.Err = &CircuitOpenError{Switch: w.id}
+			w.tele.fail()
+			return res
+		}
+		c := w.currentClient()
+		var fr ofwire.FlowModResult
+		var err error
+		switch o.kind {
+		case opInsert:
+			fr, err = c.Insert(o.rule)
+		case opDelete:
+			fr, err = c.Delete(o.rule.ID)
+		case opModify:
+			fr, err = c.Modify(o.rule)
+		}
+		if err != nil {
+			// Remote typed errors (duplicate rule, table full, …) are
+			// application-level: the switch is alive, so they don't count
+			// against the circuit.
+			var remote *ofwire.ErrorBody
+			if !errors.As(err, &remote) {
+				w.brk.failure(time.Now())
+			}
+			res.Err = err
+			w.tele.fail()
+			return res
+		}
+		w.brk.success()
+		if o.kind == opInsert && w.f.cfg.RetryDiverted &&
+			!fr.Guaranteed && fr.Path == core.PathMain {
+			w.tele.divert()
+			if delay, ok := bo.next(); ok {
+				if _, derr := c.Delete(o.rule.ID); derr == nil {
+					w.tele.retry()
+					select {
+					case <-time.After(delay):
+						continue
+					case <-w.stop:
+						res.Err = ErrFleetClosed
+						return res
+					}
+				}
+				// Could not undo the install; keep the diverted result.
+			}
+		}
+		res.Result = fr
+		w.tele.observe(fr)
+		return res
+	}
+}
+
+// probeLoop drives the circuit breaker with periodic echo probes and
+// redials the switch once a dead connection is allowed to recover.
+func (w *worker) probeLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			if !w.brk.allowProbe(time.Now()) {
+				continue
+			}
+			w.probe()
+		}
+	}
+}
+
+func (w *worker) probe() {
+	c := w.currentClient()
+	if c == nil || c.Err() != nil {
+		nc, err := ofwire.Dial(w.addr, w.f.cfg.DialTimeout)
+		if err != nil {
+			w.brk.failure(time.Now())
+			return
+		}
+		w.setClient(nc)
+		c = w.currentClient()
+	}
+	if _, err := c.Echo([]byte("hermes-fleet-probe")); err != nil {
+		w.brk.failure(time.Now())
+		return
+	}
+	w.brk.success()
+}
+
+// close tears the worker down: no new ops, queued ops failed, in-flight
+// requests cut with ErrClientClosed, goroutines joined.
+func (w *worker) close() error {
+	w.emu.Lock()
+	if w.stopped {
+		w.emu.Unlock()
+		return nil
+	}
+	w.stopped = true
+	w.emu.Unlock()
+	close(w.stop)
+	err := w.currentClient().Close()
+	w.wg.Wait()
+	return err
+}

@@ -1,23 +1,42 @@
 package ofwire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hermes/internal/classifier"
 	"hermes/internal/core"
 )
 
-// Client is the controller side of the channel: a synchronous RPC-style
-// wrapper over the wire protocol. It is safe for concurrent use; requests
-// are serialized on the connection (the agent executes them serially
-// anyway — it models a single switch CPU).
+// ErrClientClosed is returned to callers whose requests were cut off by a
+// concurrent Close (as opposed to a wire failure).
+var ErrClientClosed = errors.New("ofwire: client closed")
+
+// Client is the controller side of the channel. Requests are pipelined:
+// many may be in flight on the connection at once, demultiplexed back to
+// their callers by transaction ID. The agent still executes them in
+// arrival order (it models a single switch CPU), but the wire stays full —
+// a caller never waits for another caller's round trip, only for its own
+// reply. Safe for concurrent use.
 type Client struct {
-	mu      sync.Mutex
 	conn    net.Conn
-	nextXID uint32
+	nextXID atomic.Uint32
+
+	// wmu serializes frame writes so concurrent requests cannot interleave
+	// bytes on the wire.
+	wmu sync.Mutex
+
+	// pmu guards the pending demux table and the terminal error state.
+	pmu     sync.Mutex
+	pending map[uint32]chan *Message
+	failErr error // non-nil once the reader loop has died
+	closed  bool  // Close was called
+
+	readerDone chan struct{}
 }
 
 // Dial connects to an agent daemon and performs the hello exchange.
@@ -30,9 +49,13 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 }
 
 // NewClient wraps an established connection (useful with net.Pipe in
-// tests) and performs the hello exchange.
+// tests), performs the hello exchange, and starts the response reader.
 func NewClient(conn net.Conn) (*Client, error) {
-	c := &Client{conn: conn}
+	c := &Client{
+		conn:       conn,
+		pending:    make(map[uint32]chan *Message),
+		readerDone: make(chan struct{}),
+	}
 	// Server speaks first.
 	hello, err := ReadMessage(conn)
 	if err != nil {
@@ -47,38 +70,123 @@ func NewClient(conn net.Conn) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
+	go c.readLoop()
 	return c, nil
 }
 
-// Close closes the channel.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// roundTrip sends one request and waits for its reply.
-func (c *Client) roundTrip(req *Message) (*Message, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextXID++
-	req.Header.XID = c.nextXID
-	if err := WriteMessage(c.conn, req); err != nil {
-		return nil, err
-	}
+// readLoop demultiplexes responses to their waiting callers by XID. On any
+// read error it fails every pending caller with a descriptive error; the
+// client is dead from then on.
+func (c *Client) readLoop() {
 	for {
 		resp, err := ReadMessage(c.conn)
 		if err != nil {
-			return nil, err
+			c.fail(err)
+			return
 		}
 		if resp.Header.Type == TypeHello {
 			continue // tolerate late hellos
 		}
-		if resp.Header.XID != req.Header.XID {
-			return nil, fmt.Errorf("ofwire: xid mismatch: sent %d, got %d",
-				req.Header.XID, resp.Header.XID)
+		c.pmu.Lock()
+		ch, ok := c.pending[resp.Header.XID]
+		if ok {
+			delete(c.pending, resp.Header.XID)
 		}
-		if resp.Header.Type == TypeError {
-			return nil, resp.Error
+		c.pmu.Unlock()
+		if !ok {
+			// A reply nobody waits for (e.g. the caller errored out while
+			// writing). Drop it; the XID space never reuses live IDs.
+			continue
 		}
-		return resp, nil
+		ch <- resp
 	}
+}
+
+// fail marks the client dead and wakes every pending caller.
+func (c *Client) fail(cause error) {
+	c.pmu.Lock()
+	if c.failErr == nil {
+		if c.closed {
+			c.failErr = ErrClientClosed
+		} else {
+			c.failErr = fmt.Errorf("ofwire: connection failed: %w", cause)
+		}
+	}
+	for xid, ch := range c.pending {
+		delete(c.pending, xid)
+		close(ch) // a closed channel signals "read c.failErr"
+	}
+	c.pmu.Unlock()
+	c.conn.Close()
+	close(c.readerDone)
+}
+
+// Err returns the terminal connection error, or nil while the client is
+// healthy.
+func (c *Client) Err() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.failErr
+}
+
+// Close tears down the connection and fails any in-flight requests with
+// ErrClientClosed. It is safe to call concurrently and repeatedly, from
+// any goroutine, including while requests are blocked.
+func (c *Client) Close() error {
+	c.pmu.Lock()
+	alreadyClosed := c.closed
+	c.closed = true
+	c.pmu.Unlock()
+	err := c.conn.Close()
+	if !alreadyClosed {
+		// Wait for the reader to observe the close and fail the pending
+		// callers, so Close has release semantics.
+		<-c.readerDone
+	}
+	return err
+}
+
+// roundTrip sends one request and waits for its reply. Multiple roundTrips
+// may be in flight concurrently; each caller blocks only on its own XID.
+func (c *Client) roundTrip(req *Message) (*Message, error) {
+	xid := c.nextXID.Add(1)
+	req.Header.XID = xid
+	ch := make(chan *Message, 1)
+
+	c.pmu.Lock()
+	if c.failErr != nil {
+		err := c.failErr
+		c.pmu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		c.pmu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.pending[xid] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := WriteMessage(c.conn, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, xid)
+		if c.failErr != nil {
+			err = c.failErr
+		}
+		c.pmu.Unlock()
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		return nil, c.Err()
+	}
+	if resp.Header.Type == TypeError {
+		return nil, resp.Error
+	}
+	return resp, nil
 }
 
 // FlowModResult is the controller-visible outcome of a flow-mod.
@@ -127,7 +235,8 @@ func (c *Client) flowMod(cmd FlowModCommand, r classifier.Rule) (FlowModResult, 
 }
 
 // Barrier blocks until all previously issued flow-mods have been applied,
-// like OpenFlow's barrier.
+// like OpenFlow's barrier. The agent handles frames in arrival order, so a
+// barrier fences everything written to the wire before it.
 func (c *Client) Barrier() error {
 	resp, err := c.roundTrip(&Message{Header: Header{Type: TypeBarrierRequest}})
 	if err != nil {

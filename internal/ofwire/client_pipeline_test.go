@@ -1,0 +1,196 @@
+package ofwire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePeer runs a scripted agent on the server end of a net.Pipe: it
+// performs the hello exchange and hands the connection to fn.
+func fakePeer(t *testing.T, fn func(conn net.Conn) error) *Client {
+	t.Helper()
+	cc, sc := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- func() error {
+			if err := WriteMessage(sc, &Message{Header: Header{Type: TypeHello}}); err != nil {
+				return err
+			}
+			if _, err := ReadMessage(sc); err != nil {
+				return err
+			}
+			return fn(sc)
+		}()
+	}()
+	t.Cleanup(func() {
+		if err := <-errCh; err != nil {
+			t.Errorf("fake peer: %v", err)
+		}
+	})
+	c, err := NewClient(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestClientPipelinesTwoInFlight proves the client sustains at least two
+// concurrent in-flight requests on one connection: the peer refuses to
+// reply to the first request until it has *read* the second, which
+// deadlocks a client that serializes round trips (net.Pipe has no
+// buffering — the second request can only be written if the client does
+// not wait for the first reply). Replies are issued in reverse order, so
+// completion also proves XID demultiplexing.
+func TestClientPipelinesTwoInFlight(t *testing.T) {
+	c := fakePeer(t, func(conn net.Conn) error {
+		r1, err := ReadMessage(conn)
+		if err != nil {
+			return err
+		}
+		r2, err := ReadMessage(conn) // both requests on the wire at once
+		if err != nil {
+			return err
+		}
+		for _, req := range []*Message{r2, r1} { // reverse order
+			reply := &Message{Header: Header{Type: TypeEchoReply, XID: req.Header.XID}, Raw: req.Raw}
+			if err := WriteMessage(conn, reply); err != nil {
+				return err
+			}
+		}
+		conn.Close()
+		return nil
+	})
+
+	results := make(chan error, 2)
+	for _, payload := range []string{"first", "second"} {
+		payload := payload
+		go func() {
+			got, err := c.Echo([]byte(payload))
+			if err != nil {
+				results <- err
+				return
+			}
+			if string(got) != payload {
+				results <- fmt.Errorf("echo %q returned %q", payload, got)
+				return
+			}
+			results <- nil
+		}()
+	}
+	timeout := time.After(5 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("deadlock: client did not pipeline two in-flight requests")
+		}
+	}
+}
+
+// TestReadErrorFailsAllPending checks that a wire failure wakes every
+// pending caller with a descriptive error instead of leaving them blocked.
+func TestReadErrorFailsAllPending(t *testing.T) {
+	const callers = 4
+	c := fakePeer(t, func(conn net.Conn) error {
+		for i := 0; i < callers; i++ {
+			if _, err := ReadMessage(conn); err != nil {
+				return err
+			}
+		}
+		conn.Close() // die with every request pending
+		return nil
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = c.Echo([]byte("ping"))
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending callers still blocked after connection failure")
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("caller %d: nil error after connection failure", i)
+		}
+		if !strings.Contains(err.Error(), "connection failed") {
+			t.Errorf("caller %d: undescriptive error %v", i, err)
+		}
+	}
+	// The client is terminally dead: later calls fail immediately.
+	if _, err := c.Echo([]byte("again")); err == nil {
+		t.Error("echo succeeded on a dead client")
+	}
+	if c.Err() == nil {
+		t.Error("Err() nil on a dead client")
+	}
+}
+
+// TestConcurrentClose checks Close is safe to call concurrently and
+// repeatedly while requests are in flight; the cut callers see
+// ErrClientClosed.
+func TestConcurrentClose(t *testing.T) {
+	const callers = 3
+	started := make(chan struct{}, callers)
+	c := fakePeer(t, func(conn net.Conn) error {
+		for i := 0; i < callers; i++ {
+			if _, err := ReadMessage(conn); err != nil {
+				return err
+			}
+			started <- struct{}{}
+		}
+		// Never reply; wait for the client to hang up.
+		_, err := ReadMessage(conn)
+		if err == nil {
+			return errors.New("expected close")
+		}
+		return nil
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = c.Echo([]byte("stall"))
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		<-started // all requests on the wire
+	}
+	var cwg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			c.Close() //nolint:errcheck
+		}()
+	}
+	cwg.Wait()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrClientClosed) {
+			t.Errorf("caller %d: err = %v, want ErrClientClosed", i, err)
+		}
+	}
+}

@@ -25,7 +25,10 @@ func WriteMessage(w io.Writer, m *Message) error {
 		return err
 	}
 	total := headerLen + len(body)
-	if total > MaxMessageLen {
+	// The length field is a uint16, so a frame of exactly MaxMessageLen
+	// (1<<16) would wrap to 0; the largest encodable frame is one byte
+	// shorter.
+	if total >= MaxMessageLen {
 		return ErrTooLarge
 	}
 	var hdr [headerLen]byte

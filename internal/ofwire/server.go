@@ -33,6 +33,9 @@ type AgentServer struct {
 	wg     sync.WaitGroup
 	closed chan struct{}
 
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
 	// Logf receives connection-level errors; defaults to log.Printf.
 	Logf func(format string, args ...interface{})
 }
@@ -51,6 +54,7 @@ func NewAgentServer(name string, profile *tcam.Profile, cfg core.Config) (*Agent
 		agent:   agent,
 		start:   time.Now(),
 		closed:  make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
 		Logf:    log.Printf,
 	}, nil
 }
@@ -60,6 +64,14 @@ func (s *AgentServer) Agent() *core.Agent {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.agent
+}
+
+// MetricsSnapshot returns a deep copy of the agent's metrics taken under
+// the server lock, safe to read while the server keeps serving.
+func (s *AgentServer) MetricsSnapshot() core.Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agent.Metrics().Snapshot()
 }
 
 // now maps wall time to the agent's virtual clock.
@@ -104,10 +116,17 @@ func (s *AgentServer) Serve(lis net.Listener) error {
 				return err
 			}
 		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+			err := s.handle(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+			if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Logf("ofwire: connection %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
@@ -128,6 +147,14 @@ func (s *AgentServer) Close() error {
 	if lis != nil {
 		err = lis.Close()
 	}
+	// Force-close live control channels so handlers (blocked in
+	// ReadMessage) terminate; a killed agent must drop its connections,
+	// not leave peers hanging.
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
 }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repo-wide checks: static analysis plus the full test suite under the
+# race detector. CI and `make check` both run this script.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "OK"
