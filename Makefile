@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench
+.PHONY: all build test check lint fuzz bench
 
 all: build
 
@@ -10,8 +10,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Static analysis + full suite under the race detector.
-check:
+# Project-specific static analysis (DESIGN.md §8): determinism, narrowing,
+# lockcheck, wrapcheck, testgoroutine.
+lint:
+	$(GO) run ./cmd/hermes-lint ./...
+
+# Short-budget native fuzzing of the wire codec and the prefix parser.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzCodecRoundTrip -fuzztime=5s ./internal/ofwire
+	$(GO) test -run='^$$' -fuzz=FuzzParsePrefix -fuzztime=5s ./internal/classifier
+
+# Full gate: lint, vet, build, race tests, linter self-test, short fuzz.
+check: lint
 	./scripts/check.sh
 
 bench:

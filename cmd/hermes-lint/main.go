@@ -1,0 +1,58 @@
+// Command hermes-lint runs the project-specific static analyzers that
+// enforce Hermes's invariants (DESIGN.md §8): deterministic simulation,
+// wire-codec bounds safety, lock discipline, error-chain preservation and
+// test-goroutine hygiene.
+//
+// Usage:
+//
+//	hermes-lint [-json] [-list] [pattern ...]
+//
+// Patterns are directories or "dir/..." trees; the default is "./...".
+// Exit status is 0 when clean, 1 when findings are reported, 2 on a load
+// or type-check failure. Findings can be suppressed at a specific line
+// with "//lint:ignore <analyzer> <reason>".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hermes/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, fset, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-lint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(analyzers, pkgs, fset)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "hermes-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		lint.WriteText(os.Stdout, findings)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

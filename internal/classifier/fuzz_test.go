@@ -1,0 +1,47 @@
+package classifier
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePrefix hammers the prefix parser with arbitrary strings:
+// it must never panic (NewPrefix panics on plen > 32, so the parser's
+// validation is load-bearing), and everything it accepts must be
+// canonical and survive a String→Parse round trip.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{
+		"10.0.0.0/8", "255.255.255.255/32", "0.0.0.0/0", "1.2.3.4",
+		"192.168.1.7/24", "1.2.3.4/33", "256.1.1.1/5", "1.2.3/8",
+		"a.b.c.d/8", "1.2.3.4/", "/8", "", "....", "1.2.3.4/08",
+		"010.1.1.1/8", "-1.2.3.4/8", "1.2.3.4/-1", "1.2.3.4/999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Len > 32 {
+			t.Fatalf("ParsePrefix(%q) accepted length %d", s, p.Len)
+		}
+		if p.Addr&^p.Mask() != 0 {
+			t.Fatalf("ParsePrefix(%q) = %v: host bits set beyond /%d", s, p, p.Len)
+		}
+		rendered := p.String()
+		q, err := ParsePrefix(rendered)
+		if err != nil {
+			t.Fatalf("String output %q of ParsePrefix(%q) does not re-parse: %v", rendered, s, err)
+		}
+		if q != p {
+			t.Fatalf("round trip changed prefix: %v → %q → %v", p, rendered, q)
+		}
+		if !p.MatchesAddr(p.Addr) {
+			t.Fatalf("prefix %v does not match its own base address", p)
+		}
+		if strings.Count(rendered, ".") != 3 {
+			t.Fatalf("String() produced malformed dotted quad %q", rendered)
+		}
+	})
+}

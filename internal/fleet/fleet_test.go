@@ -12,11 +12,16 @@ import (
 	"hermes/internal/core"
 	"hermes/internal/ofwire"
 	"hermes/internal/tcam"
+	"hermes/internal/testutil"
 )
 
-// startAgents launches n in-process Hermes agent daemons on loopback.
+// startAgents launches n in-process Hermes agent daemons on loopback. It
+// also arms the goroutine-leak checker: fleet workers, client read loops
+// and server handlers must all be joined by the time the test's cleanups
+// have run.
 func startAgents(t *testing.T, n int, cfg core.Config) ([]SwitchSpec, []*ofwire.AgentServer) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	if cfg.Guarantee == 0 {
 		cfg.Guarantee = 5 * time.Millisecond
 	}

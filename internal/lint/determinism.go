@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DeterminismAnalyzer guards the replayable-simulation invariant: the
+// predictor/corrector experiments (paper §6) and the fleet's seeded
+// backoff are only comparable run-to-run if the simulated packages draw no
+// wall-clock time and no global (process-seeded) randomness. Seeded
+// *rand.Rand values threaded through APIs are fine; package-level
+// math/rand functions and time.Now are not.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall-clock time and global math/rand use inside deterministic packages",
+	Paths: []string{
+		"internal/sim",
+		"internal/predict",
+		"internal/classifier",
+		"internal/tcam",
+		"internal/workload",
+	},
+	Run: runDeterminism,
+}
+
+// bannedTime are the wall-clock entry points; the virtual clock
+// (time.Duration arithmetic) stays allowed.
+var bannedTime = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// bannedRand are the package-level math/rand functions that draw from the
+// shared, process-global source. Constructors for injectable generators
+// (New, NewSource, NewZipf) are deliberately absent.
+var bannedRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, file := range p.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch p.PkgNameOf(sel.X) {
+			case "time":
+				if bannedTime[sel.Sel.Name] {
+					p.Reportf(sel.Pos(),
+						"wall-clock time.%s in deterministic package; inject a virtual clock",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if bannedRand[sel.Sel.Name] {
+					p.Reportf(sel.Pos(),
+						"global rand.%s in deterministic package; use a seeded *rand.Rand",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,239 @@
+// Package lint implements hermes-lint: project-specific static analysis
+// enforcing invariants the Go compiler cannot see but Hermes's guarantees
+// depend on — deterministic simulation, wire-codec bounds safety, lock
+// discipline around shared switch state, error-chain preservation, and
+// test-goroutine hygiene (DESIGN.md §8).
+//
+// The package is stdlib-only (go/parser, go/ast, go/types and the source
+// importer); it loads packages straight from the tree so it works offline
+// with zero module downloads, exactly like the rest of the module.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit, addressable as file:line:col.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Analyzer is one independently testable check.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Paths restricts the analyzer to packages whose import path (with
+	// any external-test "_test" suffix stripped) ends in one of these
+	// suffixes. Empty means every package.
+	Paths []string
+	// SkipTests excludes _test.go files; TestsOnly includes nothing else.
+	SkipTests bool
+	TestsOnly bool
+	// SkipMain excludes package main (commands and examples are not
+	// library code).
+	SkipMain bool
+
+	Run func(*Pass)
+}
+
+// Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Files returns the package files this analyzer should inspect, honoring
+// the analyzer's test-file filters.
+func (p *Pass) Files() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Pkg.Files {
+		test := strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+		if (test && p.Analyzer.SkipTests) || (!test && p.Analyzer.TestsOnly) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Reportf records one finding unless a //lint:ignore directive suppresses
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.Pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// PkgNameOf resolves an identifier used as a package qualifier (the "time"
+// in time.Now) to its imported package path, or "".
+func (p *Pass) PkgNameOf(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// Analyzers returns the full hermes-lint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		NarrowingAnalyzer,
+		LockcheckAnalyzer,
+		WrapcheckAnalyzer,
+		TestGoroutineAnalyzer,
+	}
+}
+
+// appliesTo reports whether the analyzer runs on the package at all.
+func (a *Analyzer) appliesTo(pkg *Package) bool {
+	if a.SkipMain && pkg.Name == "main" {
+		return false
+	}
+	if len(a.Paths) == 0 {
+		return true
+	}
+	path := strings.TrimSuffix(pkg.Path, "_test")
+	for _, suffix := range a.Paths {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the sorted
+// findings.
+func Run(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.appliesTo(pkg) {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, findings: &findings})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// WriteText renders findings one per line for terminals and CI logs.
+func WriteText(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+}
+
+// WriteJSON renders findings as a JSON array for tooling.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// ignoreDirective is one parsed "//lint:ignore <analyzer> <reason>"
+// comment. It suppresses findings of the named analyzer (or every
+// analyzer, for "all") on its own line and on the following line, so both
+// trailing comments and comments-above work.
+type ignoreDirective struct {
+	analyzer string
+	line     int
+}
+
+const ignorePrefix = "lint:ignore"
+
+func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDirective {
+	out := make(map[string][]ignoreDirective)
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					out[pos.Filename] = append(out[pos.Filename],
+						ignoreDirective{analyzer: name, line: pos.Line})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	for _, d := range p.ignores[pos.Filename] {
+		if d.analyzer != analyzer && d.analyzer != "all" {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path; external test packages carry a "_test" suffix
+	Name  string // package clause name
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	ignores map[string][]ignoreDirective
+}
+
+// Load parses and type-checks every package named by the patterns. A
+// pattern is a directory or a "dir/..." tree; "./..." covers the module.
+// Directories named "testdata" are skipped during tree walks unless the
+// pattern root itself points into one (so the lint self-test corpus can be
+// linted explicitly but never pollutes a whole-module run).
+func Load(patterns []string) ([]*Package, *token.FileSet, error) {
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	// The source importer type-checks dependencies (including the standard
+	// library) from source, keeping the tool free of export-data and
+	// network dependencies. Cgo preprocessing is impossible in that mode,
+	// so force the pure-Go variants of std packages like net.
+	build.Default.CgoEnabled = false
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		loaded, err := loadDir(fset, imp, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, fset, nil
+}
+
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			root = filepath.Clean(root)
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: walking %s: %w", root, err)
+			}
+			continue
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: %s is not a directory", pat)
+		}
+		add(pat)
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses one directory and type-checks each package clause found
+// in it: the primary package together with its in-package test files, and
+// any external "_test" package on its own.
+func loadDir(fset *token.FileSet, imp types.Importer, dir string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	byName := make(map[string][]*ast.File)
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		name := file.Name.Name
+		if _, ok := byName[name]; !ok {
+			names = append(names, name)
+		}
+		byName[name] = append(byName[name], file)
+	}
+	sort.Strings(names)
+
+	basePath, err := importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	for _, name := range names {
+		files := byName[name]
+		path := basePath
+		if strings.HasSuffix(name, "_test") {
+			path += "_test"
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(path, fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
+		}
+		pkgs = append(pkgs, &Package{
+			Path:    path,
+			Name:    name,
+			Dir:     dir,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			ignores: parseIgnores(fset, files),
+		})
+	}
+	return pkgs, nil
+}
+
+// importPathFor maps a directory to the import path analyzers match on.
+// Directories under a "testdata/src" tree get the path relative to that
+// tree, so corpus packages impersonate the real packages their analyzers
+// guard; everything else is module path + module-relative directory.
+func importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	slashed := filepath.ToSlash(abs)
+	if i := strings.LastIndex(slashed, "/testdata/src/"); i >= 0 {
+		return slashed[i+len("/testdata/src/"):], nil
+	}
+
+	modRoot, modPath, err := findModule(abs)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

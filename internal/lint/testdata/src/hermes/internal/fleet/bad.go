@@ -1,0 +1,98 @@
+// Package fleet is lint-corpus material impersonating the fleet control
+// plane; the lockcheck analyzer must flag every marked exit and accept
+// the defer / unlock-before-return / branch-merge patterns.
+package fleet
+
+import (
+	"errors"
+	"sync"
+)
+
+var errInvalid = errors.New("invalid")
+
+// Counter exercises write-lock discipline.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// AddPositive leaks the lock on its error path.
+func (c *Counter) AddPositive(d int) error {
+	c.mu.Lock()
+	if d <= 0 {
+		return errInvalid // want:lockcheck
+	}
+	c.n += d
+	c.mu.Unlock()
+	return nil
+}
+
+// Freeze falls off the end of the function still holding the lock.
+func (c *Counter) Freeze() {
+	c.mu.Lock()
+	c.n = -1
+} // want:lockcheck
+
+// Get releases via defer: fine.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Set releases inline before falling off the end: fine.
+func (c *Counter) Set(v int) {
+	c.mu.Lock()
+	c.n = v
+	c.mu.Unlock()
+}
+
+// Branchy releases on every path: fine.
+func (c *Counter) Branchy(b bool) int {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+		return 1
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// Handoff intentionally returns locked; the suppression vouches for it.
+func (c *Counter) Handoff() *sync.Mutex {
+	c.mu.Lock()
+	//lint:ignore lockcheck corpus: caller unlocks
+	return &c.mu
+}
+
+// Gauge exercises read-lock discipline.
+type Gauge struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// Bad leaks the read lock on its early return.
+func (g *Gauge) Bad() int {
+	g.mu.RLock()
+	if g.v < 0 {
+		return -1 // want:lockcheck
+	}
+	g.mu.RUnlock()
+	return g.v
+}
+
+// Good pairs RLock with a deferred RUnlock: fine.
+func (g *Gauge) Good() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// DeferredClosure releases inside a deferred closure: fine.
+func (g *Gauge) DeferredClosure() int {
+	g.mu.RLock()
+	defer func() {
+		g.mu.RUnlock()
+	}()
+	return g.v
+}

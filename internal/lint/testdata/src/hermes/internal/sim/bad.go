@@ -1,0 +1,39 @@
+// Package sim is lint-corpus material impersonating the deterministic
+// simulation package; every marked line must be flagged by the
+// determinism analyzer and every unmarked line must not.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Step mixes legal seeded randomness with banned global randomness and
+// wall-clock reads.
+func Step(rng *rand.Rand) time.Duration {
+	if rng.Intn(2) == 0 { // seeded *rand.Rand: allowed
+		return 0
+	}
+	start := time.Now()      // want:determinism
+	jitter := rand.Intn(100) // want:determinism
+	_ = rand.Float64()       // want:determinism
+	//lint:ignore determinism corpus: suppression must silence the next line
+	stop := time.Now()
+	_ = stop
+	return time.Since(start) + time.Duration(jitter) // want:determinism
+}
+
+// Shuffled draws from the process-global source in two more ways.
+func Shuffled(n int) []int {
+	out := rand.Perm(n) // want:determinism
+	rand.Shuffle(len(out), func(i, j int) { // want:determinism
+		out[i], out[j] = out[j], out[i]
+	})
+	return out
+}
+
+// Clocked builds its own seeded generator: every call here is allowed.
+func Clocked(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

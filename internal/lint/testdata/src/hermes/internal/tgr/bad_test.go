@@ -1,0 +1,41 @@
+// Package tgr is lint-corpus material for the testgoroutine analyzer:
+// t.Fatal*/t.Error* must not run on goroutines the test spawns.
+package tgr
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%2 == 0 {
+				t.Fatalf("worker %d failed", i) // want:testgoroutine
+			}
+			t.Error("also wrong") // want:testgoroutine
+		}()
+	}
+	wg.Wait()
+}
+
+func TestChannelsAreFine(t *testing.T) {
+	errs := make(chan error, 1)
+	go func() { errs <- nil }()
+	if err := <-errs; err != nil {
+		t.Fatal(err) // test goroutine: fine
+	}
+}
+
+func TestIgnored(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		//lint:ignore testgoroutine corpus: demonstrating suppression
+		t.Error("suppressed")
+	}()
+	<-done
+}

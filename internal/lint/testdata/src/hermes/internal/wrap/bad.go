@@ -1,0 +1,44 @@
+// Package wrap is lint-corpus material for the wrapcheck analyzer: error
+// values formatted into fmt.Errorf must use %w, not %v/%s.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBase is the sentinel callers match with errors.Is.
+var ErrBase = errors.New("base")
+
+func step(string) error { return ErrBase }
+
+// Open flattens the chain with %v: errors.Is(err, ErrBase) breaks.
+func Open(name string) error {
+	if err := step(name); err != nil {
+		return fmt.Errorf("wrap: open %s: %v", name, err) // want:wrapcheck
+	}
+	return nil
+}
+
+// Close flattens the chain with %s.
+func Close(name string) error {
+	if err := step(name); err != nil {
+		return fmt.Errorf("wrap: close %s: %s", name, err) // want:wrapcheck
+	}
+	return nil
+}
+
+// Good wraps with %w and formats non-errors with %v: both fine.
+func Good(name string) error {
+	if err := step(name); err != nil {
+		return fmt.Errorf("wrap: good %s (attempt %v): %w", name, 1, err)
+	}
+	return nil
+}
+
+// Ignored breaks the chain deliberately and says so.
+func Ignored() error {
+	err := step("x")
+	//lint:ignore wrapcheck corpus: user-facing message, chain broken on purpose
+	return fmt.Errorf("wrap: %v", err)
+}

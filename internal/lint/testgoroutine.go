@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TestGoroutineAnalyzer guards test-goroutine hygiene: t.Fatal/t.FailNow
+// must only run on the test goroutine (calling them elsewhere exits the
+// goroutine without stopping the test — the testing package documents the
+// hang), and this project also bans t.Error* from spawned goroutines so
+// worker results always funnel through channels and get joined before the
+// test returns, keeping the race detector and the goroutine-leak checker
+// meaningful.
+var TestGoroutineAnalyzer = &Analyzer{
+	Name:      "testgoroutine",
+	Doc:       "flags t.Fatal*/t.Error* inside goroutines spawned by tests",
+	TestsOnly: true,
+	Run:       runTestGoroutine,
+}
+
+var bannedTestCalls = map[string]bool{
+	"Fatal": true, "Fatalf": true, "FailNow": true,
+	"Error": true, "Errorf": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+}
+
+func runTestGoroutine(p *Pass) {
+	for _, file := range p.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gostmt.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !bannedTestCalls[sel.Sel.Name] {
+					return true
+				}
+				if !isTestingValue(p, sel.X) {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"%s.%s inside a goroutine spawned by the test; send the error over a channel and report it from the test goroutine",
+					types.ExprString(sel.X), sel.Sel.Name)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isTestingValue reports whether the expression is a *testing.T,
+// *testing.B, *testing.F or testing.TB.
+func isTestingValue(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch t.String() {
+	case "*testing.T", "*testing.B", "*testing.F", "testing.TB":
+		return true
+	}
+	return false
+}

@@ -8,12 +8,17 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hermes/internal/testutil"
 )
 
 // fakePeer runs a scripted agent on the server end of a net.Pipe: it
 // performs the hello exchange and hands the connection to fn.
 func fakePeer(t *testing.T, fn func(conn net.Conn) error) *Client {
 	t.Helper()
+	// The client's read loop and the scripted peer goroutine must both be
+	// gone once the cleanups below have closed the pipe.
+	testutil.VerifyNoLeaks(t)
 	cc, sc := net.Pipe()
 	errCh := make(chan error, 1)
 	go func() {

@@ -186,7 +186,7 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	}
 	body := make([]byte, int(m.Header.Length)-headerLen)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		return nil, fmt.Errorf("%w: %w", ErrTruncated, err)
 	}
 	return m, decodeBody(m, body)
 }
@@ -269,4 +269,28 @@ func boolByte(b bool) byte {
 		return 1
 	}
 	return 0
+}
+
+// clampU16 saturates v into a 16-bit wire field. Values that exceed a
+// field's range must saturate, never wrap — wrapping is the defect class
+// behind the 64KiB frame-length bug.
+func clampU16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(v)
+}
+
+// clampU8 saturates v into an 8-bit wire field.
+func clampU8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xFF {
+		return 0xFF
+	}
+	return uint8(v)
 }

@@ -156,7 +156,7 @@ func FlowModFromRule(cmd FlowModCommand, r classifier.Rule) *FlowMod {
 		SrcAddr:  r.Match.Src.Addr,
 		SrcLen:   r.Match.Src.Len,
 		Action:   uint8(r.Action.Type),
-		Port:     uint16(r.Action.Port),
+		Port:     clampU16(r.Action.Port),
 	}
 }
 

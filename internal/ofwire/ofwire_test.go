@@ -13,6 +13,7 @@ import (
 	"hermes/internal/classifier"
 	"hermes/internal/core"
 	"hermes/internal/tcam"
+	"hermes/internal/testutil"
 )
 
 func roundTripMsg(t *testing.T, m *Message) *Message {
@@ -163,6 +164,10 @@ func TestMsgTypeString(t *testing.T) {
 // startServer launches an AgentServer on a loopback listener.
 func startServer(t *testing.T, cfg core.Config) (*AgentServer, string) {
 	t.Helper()
+	// Armed before the server cleanup below so it runs after it (LIFO):
+	// the tick loop, accept loop and every connection handler must be
+	// gone once the server is closed.
+	testutil.VerifyNoLeaks(t)
 	if cfg.Guarantee == 0 {
 		cfg.Guarantee = 5 * time.Millisecond
 	}

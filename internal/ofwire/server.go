@@ -240,10 +240,10 @@ func (s *AgentServer) doFlowMod(req *Message) *Message {
 		FlowModReply: &FlowModReply{
 			RuleID:     req.FlowMod.RuleID,
 			LatencyNS:  uint64(res.Latency),
-			Path:       uint8(res.Path),
+			Path:       clampU8(int(res.Path)),
 			Guaranteed: res.Guaranteed,
 			Violation:  res.Violation,
-			Partitions: uint8(min(res.Partitions, 255)),
+			Partitions: clampU8(res.Partitions),
 		},
 	}
 }
@@ -321,11 +321,4 @@ func errCodeFor(err error) ErrorCode {
 	default:
 		return ErrCodeInternal
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,105 @@
+// Package testutil holds shared test helpers; the flagship is the
+// goroutine-leak checker applied to every test that spawns workers,
+// readers or servers. Fleet workers, ofwire read loops and agent servers
+// all promise "goroutines joined on Close" — this makes that promise a
+// test failure instead of a code comment.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the goroutines alive at call time and registers
+// a cleanup that fails the test if extra goroutines survive it. Call it
+// first thing in the test so the cleanup runs after every other cleanup
+// (t.Cleanup is LIFO) — i.e. after servers, clients and fleets have been
+// closed.
+//
+// Teardown is asynchronous (connection handlers observe a closed socket,
+// tickers observe a closed channel), so the check retries inside a grace
+// window before declaring a leak.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := interestingGoroutines()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutine(s) outlived the test:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// leakedSince returns the stacks of interesting goroutines that were not
+// alive at snapshot time.
+func leakedSince(before map[string]string) []string {
+	var leaked []string
+	for id, stack := range interestingGoroutines() {
+		if _, ok := before[id]; !ok {
+			leaked = append(leaked, stack)
+		}
+	}
+	return leaked
+}
+
+// interestingGoroutines dumps every goroutine and filters out the runtime
+// and testing machinery, keyed by the stable "goroutine N" header so a
+// goroutine is identified across snapshots even as its stack moves.
+func interestingGoroutines() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || boringGoroutine(g) {
+			continue
+		}
+		header, _, _ := strings.Cut(g, "\n")
+		// "goroutine 42 [chan receive]:" → key on the stable id part.
+		id, _, _ := strings.Cut(header, "[")
+		out[strings.TrimSpace(id)] = g
+	}
+	return out
+}
+
+// boringGoroutine reports goroutines owned by the runtime or the testing
+// framework, which come and go outside the test's control.
+func boringGoroutine(stack string) bool {
+	for _, marker := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*T).Run(",
+		"testing.(*M).Run(",
+		"testing.runFuzzing(",
+		"testing.(*F).Fuzz(",
+		"runtime.goexit0(",
+		"runtime.gc",
+		"runtime.MHeap",
+		"signal.signal_recv",
+		"created by runtime.",
+		"runtime/pprof.",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeakDetection(t *testing.T) {
+	before := interestingGoroutines()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	leaked := leakedSince(before)
+	if len(leaked) != 1 {
+		t.Fatalf("leakedSince reported %d goroutines, want 1:\n%v", len(leaked), leaked)
+	}
+
+	close(block)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(leakedSince(before)) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("goroutine still reported leaked after it exited")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestVerifyNoLeaksCleanTest(t *testing.T) {
+	VerifyNoLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

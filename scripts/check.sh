@@ -1,6 +1,9 @@
 #!/bin/sh
-# Repo-wide checks: static analysis plus the full test suite under the
-# race detector. CI and `make check` both run this script.
+# Repo-wide gate: static analysis (go vet + hermes-lint), build, the full
+# test suite under the race detector, the linter's self-test against its
+# known-bad corpus, and short-budget fuzz runs of the wire codec and the
+# prefix parser. CI and `make check` both run this script. Everything is
+# offline: no module downloads, stdlib only.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,7 +13,24 @@ go vet ./...
 echo ">> go build ./..."
 go build ./...
 
+echo ">> hermes-lint ./... (project invariants, DESIGN.md §8)"
+go run ./cmd/hermes-lint ./...
+
+echo ">> hermes-lint self-test: the known-bad corpus must produce findings"
+corpus_status=0
+go run ./cmd/hermes-lint ./internal/lint/testdata/src/... >/dev/null 2>&1 || corpus_status=$?
+if [ "$corpus_status" -ne 1 ]; then
+  echo "hermes-lint self-test failed: expected exit 1 on the corpus, got $corpus_status" >&2
+  exit 1
+fi
+
 echo ">> go test -race ./..."
 go test -race ./...
+
+echo ">> fuzz: codec round-trip (5s)"
+go test -run='^$' -fuzz=FuzzCodecRoundTrip -fuzztime=5s ./internal/ofwire
+
+echo ">> fuzz: prefix parser (5s)"
+go test -run='^$' -fuzz=FuzzParsePrefix -fuzztime=5s ./internal/classifier
 
 echo "OK"
