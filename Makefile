@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint fuzz bench
+.PHONY: all build test check lint fuzz bench chaos
 
 all: build
 
@@ -20,7 +20,17 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCodecRoundTrip -fuzztime=5s ./internal/ofwire
 	$(GO) test -run='^$$' -fuzz=FuzzParsePrefix -fuzztime=5s ./internal/classifier
 
-# Full gate: lint, vet, build, race tests, linter self-test, short fuzz.
+# Seeded chaos harness under the race detector: crash/restart
+# reconciliation, interrupted-migration repair, wire faults, and request
+# deadlines, all on fixed seeds so failures replay (DESIGN.md §9).
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestMigrationInterruptAtEachStep|TestCrashRestartReconcile|TestEquivalenceFixedSeedsWithFaults|TestUnmergeAfterCrashRecovery|TestWire|TestApplyDrivesAgentFaults|TestFleetReconnectResyncsRules|TestFleetBreakerHalfOpenClosesAfterInjectedFaults|TestFleetOpTimeoutFailsWedgedSwitch|TestRequestTimeoutAbandonsOnlyThatRequest|TestServerShutdownDrains' \
+		./internal/core ./internal/faultinject ./internal/experiments ./internal/fleet ./internal/ofwire
+	$(GO) run ./cmd/hermes-bench -scale 0.5 chaos
+
+# Full gate: lint, vet, build, race tests, linter self-test, short fuzz,
+# seeded chaos.
 check: lint
 	./scripts/check.sh
 

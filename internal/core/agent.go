@@ -88,6 +88,11 @@ type Agent struct {
 	lastTick time.Duration
 	tuner    *autoTuner // non-nil when cfg.AutoTuneSlack
 
+	// needsReconcile is set when a fault (crash/restart, interrupted
+	// migration, lost TCAM update) may have diverged the physical tables
+	// from the desired rule state; Reconcile clears it.
+	needsReconcile bool
+
 	metrics Metrics
 
 	// logical is the reference monolithic table (insertion-ordered) kept

@@ -101,6 +101,14 @@ type Config struct {
 	// agent so tests can verify two-table equivalence. Costs memory and
 	// time; off by default.
 	TrackLogical bool
+
+	// MigrationInterrupt, when non-nil, is consulted at each Fig.-7
+	// migration step; returning true cuts the migration off at that step,
+	// exactly as a switch crash mid-migration would. The agent is marked
+	// as needing Reconcile. A fault-injection seam (internal/faultinject);
+	// nil in production. Hooks must be deterministic (scripted or seeded)
+	// so fault schedules replay identically.
+	MigrationInterrupt func(step MigrationStep, now time.Duration) bool
 }
 
 func (c Config) withDefaults() Config {

@@ -45,6 +45,23 @@ type Metrics struct {
 	// migration ablation left rules installed in neither table.
 	ExposedRuleSeconds float64
 
+	// MigrationAborts counts migrations cancelled before any physical step
+	// (AbortMigration, or a fault at the copy/optimize steps);
+	// MigrationInterrupts counts migrations cut off mid-apply (a fault at
+	// the insert/empty steps), which leave partial state for Reconcile.
+	MigrationAborts     int
+	MigrationInterrupts int
+
+	// SwitchRestarts counts modeled switch crash/power-cycles.
+	SwitchRestarts int
+
+	// Reconciles counts Reconcile passes; ReconcileStale the stale or
+	// orphaned physical entries they deleted; ReconcileRepaired the rules
+	// whose physical realization they rebuilt.
+	Reconciles        int
+	ReconcileStale    int
+	ReconcileRepaired int
+
 	// GuaranteedLatenciesMS are per-insertion latencies (ms) on the
 	// guaranteed path; AllLatenciesMS includes the unguaranteed paths.
 	GuaranteedLatenciesMS []float64

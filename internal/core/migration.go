@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"hermes/internal/classifier"
@@ -14,6 +15,66 @@ import (
 // and does not occupy the control-plane processor that services guaranteed
 // insertions; its cost manifests as the window during which the snapshotted
 // shadow entries still occupy shadow capacity.
+
+// MigrationStep names one of the four Fig.-7 migration steps. Fault
+// injection interrupts a migration at a step boundary; the recovery path
+// (Reconcile) must restore the §4.2 invariants from whatever partial state
+// the interruption left behind.
+type MigrationStep uint8
+
+// The four Fig.-7 steps.
+const (
+	// StepCopy is step 1: snapshot the shadow table for the background copy.
+	StepCopy MigrationStep = iota
+	// StepOptimize is step 2: merge fragments back into their originals.
+	StepOptimize
+	// StepInsert is step 3: write the optimized rules into the main table.
+	StepInsert
+	// StepEmpty is step 4: remove the migrated copies from the shadow table.
+	StepEmpty
+)
+
+func (s MigrationStep) String() string {
+	switch s {
+	case StepCopy:
+		return "copy"
+	case StepOptimize:
+		return "optimize"
+	case StepInsert:
+		return "insert"
+	case StepEmpty:
+		return "empty"
+	default:
+		return fmt.Sprintf("step(%d)", int(s))
+	}
+}
+
+// interruptAt consults the fault hook for a step boundary.
+func (a *Agent) interruptAt(step MigrationStep, now time.Duration) bool {
+	return a.cfg.MigrationInterrupt != nil && a.cfg.MigrationInterrupt(step, now)
+}
+
+// SetMigrationInterrupt installs (or, with nil, removes) the migration
+// fault hook after construction. Fault-injection harnesses only.
+func (a *Agent) SetMigrationInterrupt(h func(step MigrationStep, now time.Duration) bool) {
+	a.cfg.MigrationInterrupt = h
+}
+
+// AbortMigration cancels an in-flight migration before its background copy
+// completes. Nothing physical has happened yet (steps 3–4 apply at
+// completion), so the abort is clean: the snapshotted rules simply stay in
+// the shadow table and the next Tick may start over. Reports whether a
+// migration was actually aborted.
+func (a *Agent) AbortMigration(now time.Duration) bool {
+	if a.migr == nil || now >= a.migr.completeAt {
+		// Nothing in flight (or the copy already finished; let Advance
+		// apply it rather than discarding completed work).
+		return false
+	}
+	a.migr = nil
+	a.metrics.MigrationAborts++
+	return true
+}
 
 // Tick drives the Rule Manager once per cfg.TickInterval: it feeds the
 // predictor with the arrivals of the closing interval and, when the
@@ -81,6 +142,13 @@ func (a *Agent) startMigration(now time.Duration) time.Duration {
 	}
 	sortRuleIDs(originals)
 
+	// A crash while the snapshot is taken (step 1) loses the copy before
+	// anything physical happened: the migration simply never starts.
+	if a.interruptAt(StepCopy, now) {
+		a.metrics.MigrationAborts++
+		return 0
+	}
+
 	// Optimize (step 2): rules migrate as their un-fragmented originals —
 	// inside a single table the TCAM disambiguates overlaps by priority,
 	// so fragments collapse back to one entry each. The ablation flag
@@ -88,6 +156,13 @@ func (a *Agent) startMigration(now time.Duration) time.Duration {
 	migrated := len(originals)
 	if a.cfg.DisableMergeOptimization {
 		migrated = entries
+	}
+
+	// A crash during the optimize pass (step 2) likewise aborts cleanly:
+	// merging runs on the snapshot, off the live tables.
+	if a.interruptAt(StepOptimize, now) {
+		a.metrics.MigrationAborts++
+		return 0
 	}
 
 	// Choose the cheaper strategy: per-rule incremental inserts versus a
@@ -144,9 +219,19 @@ func (a *Agent) Advance(now time.Duration) {
 	done := m.completeAt
 
 	// Step 3: write the optimized rules into the main table. Rules deleted
-	// while the copy was in flight are skipped.
+	// while the copy was in flight are skipped. A fault hook may cut the
+	// apply off at a step boundary, modeling a crash mid-migration; the
+	// partial state it leaves (rules moved so far, orphaned shadow copies)
+	// is exactly what Reconcile repairs.
+	interrupted := false
 	var migrated []classifier.Rule
 	for _, id := range m.originals {
+		if a.interruptAt(StepInsert, done) {
+			// Crash before this rule's main-table write: it and every
+			// later original stay in the shadow table.
+			interrupted = true
+			break
+		}
 		st, ok := a.rules[id]
 		if !ok || st.place != placeShadow {
 			continue
@@ -168,12 +253,21 @@ func (a *Agent) Advance(now time.Duration) {
 				a.mainIndex.Insert(frag)
 				migrated = append(migrated, frag)
 				moved = append(moved, pid)
-				if !m.naive {
-					a.shadow.Delete(pid)
-				}
 			}
 			st.place = placeMain
 			st.partIDs = moved
+			if !m.naive {
+				if a.interruptAt(StepEmpty, done) {
+					// Crash between the main writes and the shadow erase:
+					// every moved fragment is orphaned in the shadow slice
+					// until Reconcile deletes the stale copies.
+					interrupted = true
+					break
+				}
+				for _, pid := range moved {
+					a.shadow.Delete(pid)
+				}
+			}
 			continue
 		}
 		// Merged path: install the original, drop the fragments.
@@ -182,14 +276,27 @@ func (a *Agent) Advance(now time.Duration) {
 		}
 		a.mainIndex.Insert(st.original)
 		migrated = append(migrated, st.original)
-		if !m.naive {
-			for _, pid := range st.partIDs {
-				a.shadow.Delete(pid)
-			}
-		}
+		stale := st.partIDs
 		a.pmap.Remove(id)
 		st.place = placeMain
 		st.partIDs = []classifier.RuleID{id}
+		if !m.naive {
+			if a.interruptAt(StepEmpty, done) {
+				// Crash between the main write and the shadow erase: the
+				// fragments are orphaned in the shadow slice until
+				// Reconcile deletes the stale copies.
+				interrupted = true
+				break
+			}
+			for _, pid := range stale {
+				a.shadow.Delete(pid)
+			}
+		}
+	}
+	if interrupted {
+		a.metrics.MigrationInterrupts++
+		a.needsReconcile = true
+		return
 	}
 
 	// Step 4 happened per-rule above (the shadow copies were removed only

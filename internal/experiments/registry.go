@@ -26,6 +26,7 @@ var registry = map[string]Runner{
 	"ablations":    Ablations,
 	"autotune":     AutoTune,
 	"shadowswitch": ShadowSwitchComparison,
+	"chaos":        Chaos,
 }
 
 // IDs returns the known experiment IDs in stable order.
@@ -53,6 +54,6 @@ func Order() []string {
 	return []string{
 		"table1", "fig1", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "predsweep", "bgp",
-		"ablations", "autotune", "shadowswitch",
+		"ablations", "autotune", "shadowswitch", "chaos",
 	}
 }

@@ -1,0 +1,221 @@
+package faultinject
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/tcam"
+)
+
+// memConn is an in-memory net.Conn: writes append to a buffer, reads drain
+// another. Enough surface to drive the wrapper deterministically without
+// sockets or goroutines.
+type memConn struct {
+	in, out bytes.Buffer
+	closed  bool
+}
+
+func (m *memConn) Read(b []byte) (int, error)       { return m.in.Read(b) }
+func (m *memConn) Write(b []byte) (int, error)      { return m.out.Write(b) }
+func (m *memConn) Close() error                     { m.closed = true; return nil }
+func (m *memConn) LocalAddr() net.Addr              { return nil }
+func (m *memConn) RemoteAddr() net.Addr             { return nil }
+func (m *memConn) SetDeadline(time.Time) error      { return nil }
+func (m *memConn) SetReadDeadline(time.Time) error  { return nil }
+func (m *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+// pump drives n writes and reads through a wrapped conn and records which
+// operations errored — a deterministic fingerprint of the fault schedule.
+func pump(w *Wire, n int) []bool {
+	under := &memConn{}
+	c := w.Wrap(under)
+	var outcome []bool
+	frame := []byte{1, 2, 0, 16, 0, 0, 0, 7} // header-shaped 8-byte chunk
+	for i := 0; i < n; i++ {
+		_, werr := c.Write(frame)
+		under.in.Write(frame)
+		buf := make([]byte, len(frame))
+		_, rerr := c.Read(buf)
+		outcome = append(outcome, werr != nil, rerr != nil)
+	}
+	return outcome
+}
+
+func TestWireSameSeedSameSchedule(t *testing.T) {
+	cfg := WireConfig{Seed: 42, ResetProb: 0.1, CorruptProb: 0.1, PartialProb: 0.1}
+	a := pump(NewWire(cfg), 64)
+	b := pump(NewWire(cfg), 64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	cfg.Seed = 43
+	c := pump(NewWire(cfg), 64)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestWireScriptedFaults(t *testing.T) {
+	w := NewWire(WireConfig{Script: []WireFault{
+		{},              // write 1 passes
+		{Corrupt: true}, // read 1... but reads don't corrupt; decision still consumed
+		{PartialWrite: 3},
+		{Reset: true},
+	}})
+	under := &memConn{}
+	c := w.Wrap(under)
+	if _, err := c.Write([]byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatalf("clean write failed: %v", err)
+	}
+	under.in.Write([]byte{9, 9})
+	if _, err := c.Read(make([]byte, 2)); err != nil {
+		t.Fatalf("read failed: %v", err)
+	}
+	n, err := c.Write([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err == nil || n != 3 {
+		t.Fatalf("partial write: n=%d err=%v, want 3 bytes and an error", n, err)
+	}
+	if !under.closed {
+		t.Fatal("partial write must close the connection")
+	}
+	if _, err := c.Read(make([]byte, 1)); err != ErrInjectedReset {
+		t.Fatalf("scripted reset: err=%v, want ErrInjectedReset", err)
+	}
+	counts := w.Counts()
+	if counts.Partials != 1 || counts.Resets != 1 || counts.Corrupts != 1 {
+		t.Fatalf("counts = %+v", counts)
+	}
+}
+
+func TestWireCorruptionIsDetectable(t *testing.T) {
+	w := NewWire(WireConfig{Script: []WireFault{{Corrupt: true}}})
+	under := &memConn{}
+	c := w.Wrap(under)
+	frame := []byte{1, 0, 0, 8, 0, 0, 0, 1} // version 1 header
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	got := under.out.Bytes()
+	if got[0] == 1 {
+		t.Fatal("corruption did not damage the version byte")
+	}
+	if frame[0] != 1 {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+}
+
+func TestOpFaultsDeterministicAndScripted(t *testing.T) {
+	run := func(seed int64) (string, int) {
+		o := NewOpFaults(OpFaultConfig{Seed: seed, DropProb: 0.3, SlowProb: 0.3, SlowBy: time.Millisecond})
+		h := o.Hook()
+		var sig []byte
+		for i := 0; i < 200; i++ {
+			f := h(tcam.OpInsert, classifier.RuleID(i))
+			b := byte(0)
+			if f.Drop {
+				b |= 1
+			}
+			if f.Extra > 0 {
+				b |= 2
+			}
+			sig = append(sig, b)
+		}
+		return string(sig), o.Dropped()
+	}
+	s1, d1 := run(5)
+	s2, d2 := run(5)
+	if s1 != s2 || d1 != d2 {
+		t.Fatal("same seed produced different op-fault schedules")
+	}
+	if s3, _ := run(6); s3 == s1 {
+		t.Fatal("different seeds produced identical op-fault schedules")
+	}
+	if d1 == 0 {
+		t.Fatal("drop probability 0.3 never fired in 200 ops")
+	}
+
+	o := NewOpFaults(OpFaultConfig{Script: []tcam.OpFault{{Drop: true}, {Extra: time.Second}}})
+	h := o.Hook()
+	if f := h(tcam.OpInsert, 1); !f.Drop {
+		t.Fatal("scripted drop did not fire")
+	}
+	if f := h(tcam.OpDelete, 2); f.Extra != time.Second {
+		t.Fatal("scripted slow-op did not fire")
+	}
+	if f := h(tcam.OpModify, 3); f.Drop || f.Extra != 0 {
+		t.Fatal("exhausted script must pass ops through")
+	}
+}
+
+func TestInterrupterScriptFiresInOrder(t *testing.T) {
+	i := NewInterrupter(InterruptConfig{Script: []core.MigrationStep{core.StepInsert, core.StepEmpty}})
+	h := i.Hook()
+	if h(core.StepCopy, 0) {
+		t.Fatal("copy fired before its turn")
+	}
+	if !h(core.StepInsert, 0) {
+		t.Fatal("scripted insert interrupt did not fire")
+	}
+	if h(core.StepInsert, 0) {
+		t.Fatal("insert fired twice")
+	}
+	if !h(core.StepEmpty, 0) {
+		t.Fatal("scripted empty interrupt did not fire")
+	}
+	if !i.Exhausted() || i.Fired() != 2 {
+		t.Fatalf("exhausted=%v fired=%d", i.Exhausted(), i.Fired())
+	}
+}
+
+func TestSwitchScheduleDeterministicAndSorted(t *testing.T) {
+	a := SwitchSchedule(11, time.Second, 16)
+	b := SwitchSchedule(11, time.Second, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not sorted at %d: %v", i, a)
+		}
+	}
+	if c := SwitchSchedule(12, time.Second, 16); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestApplyDrivesAgentFaults(t *testing.T) {
+	sw := tcam.NewSwitch("chaos", tcam.Pica8P3290)
+	a, err := core.New(sw, core.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true, TrackLogical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := classifier.Rule{
+		ID:       1,
+		Match:    classifier.DstMatch(classifier.MustParsePrefix("10.0.0.0/8")),
+		Priority: 10,
+		Action:   classifier.Action{Type: classifier.ActionForward, Port: 1},
+	}
+	if _, err := a.Insert(0, rule); err != nil {
+		t.Fatal(err)
+	}
+	events := []SwitchEvent{
+		{At: time.Millisecond, Kind: EventCrash},
+		{At: time.Second, Kind: EventTruncateShadow, Arg: 0},
+	}
+	rest := Apply(a, events, 500*time.Millisecond)
+	if len(rest) != 1 || rest[0].Kind != EventTruncateShadow {
+		t.Fatalf("rest = %v, want the truncation event", rest)
+	}
+	if !a.NeedsReconcile() {
+		t.Fatal("crash event did not mark the agent")
+	}
+	a.Reconcile(500 * time.Millisecond)
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatalf("after reconcile: %v", err)
+	}
+}

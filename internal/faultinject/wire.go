@@ -1,0 +1,226 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by a connection the wire plan
+// decided to reset. Callers treat it like any peer-initiated teardown.
+var ErrInjectedReset = errors.New("faultinject: injected connection reset")
+
+// WireFault is one scripted decision for a single Read or Write call. The
+// zero value passes the operation through untouched. At most one of Reset,
+// Corrupt, and PartialWrite should be set; Delay composes with any of them.
+type WireFault struct {
+	// Delay sleeps before the operation proceeds (also how stalls are
+	// expressed: a delay long enough to trip the caller's deadline).
+	Delay time.Duration
+	// Reset closes the underlying connection instead of performing the
+	// operation, modeling a peer RST mid-exchange.
+	Reset bool
+	// Corrupt flips the high bit of the first byte of the buffer. On a
+	// frame header that invalidates the version; on a body it produces an
+	// unknown command — either way the peer *detects* the damage (bad
+	// version, truncated frame, or an error reply) rather than silently
+	// accepting a changed rule.
+	Corrupt bool
+	// PartialWrite, when > 0 on a write, transmits only that many bytes and
+	// then closes the connection, modeling a crash mid-frame.
+	PartialWrite int
+}
+
+func (f WireFault) active() bool {
+	return f.Delay > 0 || f.Reset || f.Corrupt || f.PartialWrite > 0
+}
+
+// WireConfig parameterizes a Wire plan. With a Script the listed faults are
+// consumed in operation order (shared by both directions) and the
+// probability fields are ignored; otherwise each Read/Write draws
+// independently from the seeded stream of its connection direction.
+type WireConfig struct {
+	// Seed roots every random stream the plan derives.
+	Seed int64
+
+	// DelayProb adds a uniform delay in (0, MaxDelay] to an operation.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// StallProb adds a fixed Stall delay — sized by the test to exceed the
+	// client's request deadline.
+	StallProb float64
+	Stall     time.Duration
+	// ResetProb closes the connection instead of performing the operation.
+	ResetProb float64
+	// CorruptProb damages the first byte of the buffer (writes only).
+	CorruptProb float64
+	// PartialProb truncates a write mid-frame and closes the connection.
+	PartialProb float64
+
+	// Script, when non-empty, replaces the probabilistic schedule with an
+	// explicit one. Operations beyond the script's end pass through clean.
+	Script []WireFault
+}
+
+// WireCounts tallies the faults a plan actually injected.
+type WireCounts struct {
+	Delays, Stalls, Resets, Corrupts, Partials int
+}
+
+// Total is the number of operations the plan perturbed.
+func (c WireCounts) Total() int {
+	return c.Delays + c.Stalls + c.Resets + c.Corrupts + c.Partials
+}
+
+// Wire is a fault plan for one or more connections. Wrap each accepted or
+// dialed net.Conn; each wrapped connection gets independent decision
+// streams per direction (derived from the root seed and the connection's
+// wrap index), so schedules replay even when connections race each other.
+type Wire struct {
+	cfg WireConfig
+
+	mu     sync.Mutex
+	conns  uint64
+	cursor int // script position
+	counts WireCounts
+}
+
+// NewWire builds a plan from the config.
+func NewWire(cfg WireConfig) *Wire { return &Wire{cfg: cfg} }
+
+// Counts returns the faults injected so far across all wrapped connections.
+func (w *Wire) Counts() WireCounts {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.counts
+}
+
+// Wrap decorates a connection with the plan's fault schedule.
+func (w *Wire) Wrap(c net.Conn) net.Conn {
+	w.mu.Lock()
+	idx := w.conns
+	w.conns++
+	w.mu.Unlock()
+	return &conn{
+		Conn:  c,
+		plan:  w,
+		read:  newRand(w.cfg.Seed, idx*2),
+		write: newRand(w.cfg.Seed, idx*2+1),
+	}
+}
+
+// Dial connects and wraps in one step — shaped to drop into a dial seam
+// such as fleet's Config.Dial.
+func (w *Wire) Dial(network, addr string) (net.Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return w.Wrap(c), nil
+}
+
+// next produces the decision for one operation. Scripted plans consume the
+// shared cursor; seeded plans draw from the per-direction stream.
+func (w *Wire) next(src interface{ Float64() float64 }, write bool) WireFault {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.cfg.Script) > 0 {
+		if w.cursor >= len(w.cfg.Script) {
+			return WireFault{}
+		}
+		f := w.cfg.Script[w.cursor]
+		w.cursor++
+		w.count(f)
+		return f
+	}
+	var f WireFault
+	// One draw per fault class keeps streams aligned regardless of which
+	// faults fire.
+	delay := src.Float64()
+	stall := src.Float64()
+	reset := src.Float64()
+	corrupt := src.Float64()
+	partial := src.Float64()
+	frac := src.Float64()
+	switch {
+	case reset < w.cfg.ResetProb:
+		f.Reset = true
+	case write && partial < w.cfg.PartialProb:
+		f.PartialWrite = 1 + int(frac*7) // within the 8-byte header
+	case write && corrupt < w.cfg.CorruptProb:
+		f.Corrupt = true
+	}
+	switch {
+	case stall < w.cfg.StallProb:
+		f.Delay = w.cfg.Stall
+	case delay < w.cfg.DelayProb && w.cfg.MaxDelay > 0:
+		f.Delay = time.Duration(frac*float64(w.cfg.MaxDelay)) + time.Microsecond
+	}
+	w.count(f)
+	return f
+}
+
+func (w *Wire) count(f WireFault) {
+	switch {
+	case f.Reset:
+		w.counts.Resets++
+	case f.PartialWrite > 0:
+		w.counts.Partials++
+	case f.Corrupt:
+		w.counts.Corrupts++
+	}
+	switch {
+	case f.Delay == w.cfg.Stall && f.Delay > 0:
+		w.counts.Stalls++
+	case f.Delay > 0:
+		w.counts.Delays++
+	}
+}
+
+// conn injects the plan's schedule around an underlying net.Conn.
+type conn struct {
+	net.Conn
+	plan  *Wire
+	read  interface{ Float64() float64 }
+	write interface{ Float64() float64 }
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	f := c.plan.next(c.read, false)
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Reset {
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	f := c.plan.next(c.write, true)
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	switch {
+	case f.Reset:
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	case f.PartialWrite > 0 && f.PartialWrite < len(b):
+		n, err := c.Conn.Write(b[:f.PartialWrite])
+		c.Conn.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("faultinject: write cut short after %d/%d bytes: %w",
+			n, len(b), ErrInjectedReset)
+	case f.Corrupt && len(b) > 0:
+		damaged := append([]byte(nil), b...)
+		damaged[0] ^= 0x80
+		return c.Conn.Write(damaged)
+	default:
+		return c.Conn.Write(b)
+	}
+}

@@ -1,0 +1,257 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hermes/internal/core"
+	"hermes/internal/faultinject"
+	"hermes/internal/ofwire"
+	"hermes/internal/tcam"
+	"hermes/internal/testutil"
+)
+
+// TestFleetReconnectResyncsRules: a switch restart wipes its tables; the
+// probe loop must redial (through the Dial seam) and replay the worker's
+// desired rules before the circuit closes, so the restarted agent
+// converges to the controller's view — including rules deleted before the
+// crash staying deleted.
+func TestFleetReconnectResyncsRules(t *testing.T) {
+	specs, servers := startAgents(t, 1, core.Config{DisableRateLimit: true})
+	wire := faultinject.NewWire(faultinject.WireConfig{Seed: 9}) // passthrough plan
+	f, err := New(Config{
+		Dial:          wire.Dial,
+		OpTimeout:     2 * time.Second,
+		ProbeInterval: 20 * time.Millisecond,
+		DialTimeout:   500 * time.Millisecond,
+		Breaker:       BreakerConfig{FailureThreshold: 2, OpenTimeout: 50 * time.Millisecond},
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 1; i <= 5; i++ {
+		if res := f.Insert(specs[0].ID, testRule(i)); res.Err != nil {
+			t.Fatalf("insert %d: %v", i, res.Err)
+		}
+	}
+	// Rule 5 is deleted pre-crash: resync must not resurrect it.
+	if res := f.Delete(specs[0].ID, 5); res.Err != nil {
+		t.Fatalf("delete 5: %v", res.Err)
+	}
+
+	// Power-cycle the switch: the replacement agent starts empty.
+	if err := servers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Snapshot().Switches[0].Breaker != BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened after switch death")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv, err := ofwire.NewAgentServer("sw-0b", tcam.Pica8P3290,
+		core.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = t.Logf
+	lis, err := net.Listen("tcp", specs[0].Addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", specs[0].Addr, err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		res := f.Insert(specs[0].ID, testRule(6))
+		if res.Err == nil {
+			break
+		}
+		var open *CircuitOpenError
+		if !errors.As(res.Err, &open) {
+			t.Fatalf("unexpected error during recovery: %v", res.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("circuit never closed after switch restart")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Rules 1..4 were replayed by the resync: deleting each succeeds.
+	for i := 1; i <= 4; i++ {
+		if res := f.Delete(specs[0].ID, testRule(i).ID); res.Err != nil {
+			t.Errorf("rule %d not resynced onto the restarted agent: %v", i, res.Err)
+		}
+	}
+	// Rule 5 must have stayed deleted.
+	res := f.Delete(specs[0].ID, 5)
+	var remote *ofwire.ErrorBody
+	if !errors.As(res.Err, &remote) || remote.Code != ofwire.ErrCodeUnknownRule {
+		t.Errorf("rule 5 resurrected by resync: delete err = %v", res.Err)
+	}
+
+	snap := f.Snapshot()
+	sw := snap.Switches[0]
+	if sw.Reconnects == 0 {
+		t.Error("no reconnects recorded")
+	}
+	if sw.Resyncs < 4 {
+		t.Errorf("resyncs = %d, want >= 4", sw.Resyncs)
+	}
+	if sw.LastFault == "" {
+		t.Error("no last-fault cause recorded for the outage")
+	}
+	if !strings.Contains(snap.Table().String(), "reconn") {
+		t.Error("telemetry table lacks the reconnect column")
+	}
+	if n := wire.Counts().Total(); n != 0 {
+		t.Errorf("passthrough wire plan injected %d faults", n)
+	}
+}
+
+// TestFleetBreakerHalfOpenClosesAfterInjectedFaults: with every redial
+// routed through a fault plan that resets the connection, health probes
+// keep failing and the circuit cycles open → half-open → open; once the
+// injected faults stop, the next half-open probe redials cleanly, resyncs,
+// and closes the circuit.
+func TestFleetBreakerHalfOpenClosesAfterInjectedFaults(t *testing.T) {
+	specs, _ := startAgents(t, 1, core.Config{DisableRateLimit: true})
+	wire := faultinject.NewWire(faultinject.WireConfig{Seed: 3, ResetProb: 1})
+	var faulty atomic.Bool
+	f, err := New(Config{
+		Dial: func(network, addr string) (net.Conn, error) {
+			if faulty.Load() {
+				return wire.Dial(network, addr)
+			}
+			return net.DialTimeout(network, addr, time.Second)
+		},
+		ProbeInterval: 10 * time.Millisecond,
+		Breaker:       BreakerConfig{FailureThreshold: 1, OpenTimeout: 30 * time.Millisecond},
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if res := f.Insert(specs[0].ID, testRule(1)); res.Err != nil {
+		t.Fatalf("warmup insert: %v", res.Err)
+	}
+
+	// The control channel drops while the fault plan owns redials: every
+	// half-open probe's fresh connection is reset during the hello
+	// exchange, so the circuit keeps re-opening.
+	faulty.Store(true)
+	f.workers[specs[0].ID].currentClient().Close() //nolint:errcheck
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Snapshot().Switches[0].Breaker != BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened under injected resets")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var open *CircuitOpenError
+	if res := f.Insert(specs[0].ID, testRule(2)); !errors.As(res.Err, &open) {
+		t.Fatalf("open circuit did not fail fast: %v", res.Err)
+	}
+
+	// Lift the faults: the next half-open probe must close the circuit.
+	faulty.Store(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		res := f.Insert(specs[0].ID, testRule(3))
+		if res.Err == nil {
+			break
+		}
+		if !errors.As(res.Err, &open) {
+			t.Fatalf("unexpected error during recovery: %v", res.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("circuit never closed after faults stopped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	snap := f.Snapshot()
+	sw := snap.Switches[0]
+	if sw.Breaker != BreakerClosed {
+		t.Errorf("breaker = %v after recovery, want closed", sw.Breaker)
+	}
+	if sw.Trips == 0 {
+		t.Error("no breaker trips recorded")
+	}
+	if wire.Counts().Resets == 0 {
+		t.Error("fault plan injected no resets; the test exercised nothing")
+	}
+	if !strings.Contains(sw.LastFault, "injected connection reset") {
+		t.Errorf("last fault = %q, want the injected reset cause", sw.LastFault)
+	}
+	if sw.Reconnects == 0 {
+		t.Error("recovery did not record a reconnect")
+	}
+}
+
+// TestFleetOpTimeoutFailsWedgedSwitch: OpTimeout bounds flow-mods on a
+// switch that accepts the connection but never answers, so the fleet
+// surfaces a deadline error instead of wedging the worker forever.
+func TestFleetOpTimeoutFailsWedgedSwitch(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				ofwire.WriteMessage(conn, &ofwire.Message{Header: ofwire.Header{Type: ofwire.TypeHello}}) //nolint:errcheck
+				for {
+					req, err := ofwire.ReadMessage(conn)
+					if err != nil {
+						return
+					}
+					if req.Header.Type == ofwire.TypeEchoRequest {
+						resp := &ofwire.Message{Header: ofwire.Header{Type: ofwire.TypeEchoReply,
+							XID: req.Header.XID}, Raw: req.Raw}
+						if err := ofwire.WriteMessage(conn, resp); err != nil {
+							return
+						}
+					}
+					// Swallow flow-mods: the wedge OpTimeout must break.
+				}
+			}(conn)
+		}
+	}()
+
+	f, err := New(Config{OpTimeout: 100 * time.Millisecond, ProbeInterval: time.Hour},
+		[]SwitchSpec{{ID: "wedged", Addr: lis.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	start := time.Now()
+	res := f.Insert("wedged", testRule(1))
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("wedged insert err = %v, want deadline exceeded", res.Err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	if fault := f.Snapshot().Switches[0].LastFault; !strings.Contains(fault, "abandoned") {
+		t.Errorf("last fault = %q, want the abandoned-request cause", fault)
+	}
+}

@@ -12,6 +12,13 @@
 // stalling the rest of the fleet. Rules route to switches either
 // explicitly or consistently by rule ID, and a fleet-wide Snapshot merges
 // every agent's counters with client-observed latency percentiles.
+//
+// Workers are crash-aware: when a switch's control channel dies, the
+// health-probe loop redials it (through the optional Dial seam, which
+// chaos tests use to inject wire faults) and replays the worker's
+// applied-rule set onto the restarted agent before the circuit closes, so
+// a power-cycled switch converges back to the controller's desired state
+// without operator involvement.
 package fleet
 
 import (
@@ -53,6 +60,17 @@ type Config struct {
 	BatchSize int
 	// DialTimeout bounds the initial and reconnect dials. Defaults to 2s.
 	DialTimeout time.Duration
+	// Dial, when non-nil, replaces the plain TCP dial for initial and
+	// reconnect connections. The fleet performs the ofwire hello exchange
+	// on whatever connection it returns. This is the wire-fault seam:
+	// chaos tests hand in faultinject.(*Wire).Dial to perturb the control
+	// channel without the fleet knowing.
+	Dial func(network, addr string) (net.Conn, error)
+	// OpTimeout, when > 0, bounds every request the fleet issues on a
+	// control channel (flow-mods, barriers, probes, stats). A stalled
+	// switch then fails the request with context.DeadlineExceeded instead
+	// of wedging the worker forever.
+	OpTimeout time.Duration
 	// ProbeInterval is the echo health-probe period. Defaults to 100ms.
 	ProbeInterval time.Duration
 	// Retry shapes the backoff for diverted insertions (RetryDiverted).
@@ -115,7 +133,7 @@ func New(cfg Config, switches []SwitchSpec) (*Fleet, error) {
 			f.teardown()
 			return nil, fmt.Errorf("fleet: duplicate switch id %q", spec.ID)
 		}
-		client, err := ofwire.Dial(spec.Addr, f.cfg.DialTimeout)
+		client, err := f.dialClient(spec.Addr)
 		if err != nil {
 			f.teardown()
 			return nil, fmt.Errorf("fleet: dialing %s (%s): %w", spec.ID, spec.Addr, err)
@@ -128,6 +146,31 @@ func New(cfg Config, switches []SwitchSpec) (*Fleet, error) {
 		w.start()
 	}
 	return f, nil
+}
+
+// dialClient opens one control channel to addr — through the Dial seam
+// when configured, a plain bounded TCP dial otherwise — and applies the
+// fleet's per-request deadline to the fresh client.
+func (f *Fleet) dialClient(addr string) (*ofwire.Client, error) {
+	var client *ofwire.Client
+	if f.cfg.Dial != nil {
+		conn, err := f.cfg.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		client, err = ofwire.NewClient(conn)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		client, err = ofwire.Dial(addr, f.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+	}
+	client.SetRequestTimeout(f.cfg.OpTimeout)
+	return client, nil
 }
 
 func (f *Fleet) teardown() {

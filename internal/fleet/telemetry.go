@@ -18,6 +18,9 @@ type switchTelemetry struct {
 	opsFailed    uint64
 	retries      uint64
 	diverted     uint64
+	reconnects   uint64
+	resyncs      uint64
+	lastFault    string
 	guaranteedMS []float64
 	allMS        []float64
 }
@@ -51,6 +54,27 @@ func (t *switchTelemetry) divert() {
 	t.mu.Unlock()
 }
 
+// reconnect records one successful redial-plus-resync of the switch.
+func (t *switchTelemetry) reconnect() {
+	t.mu.Lock()
+	t.reconnects++
+	t.mu.Unlock()
+}
+
+// resynced records n rules replayed onto a restarted agent.
+func (t *switchTelemetry) resynced(n int) {
+	t.mu.Lock()
+	t.resyncs += uint64(n)
+	t.mu.Unlock()
+}
+
+// fault records the cause of the most recent connection-level failure.
+func (t *switchTelemetry) fault(err error) {
+	t.mu.Lock()
+	t.lastFault = err.Error()
+	t.mu.Unlock()
+}
+
 // SwitchSnapshot is one switch's slice of a fleet snapshot.
 type SwitchSnapshot struct {
 	ID      string
@@ -60,6 +84,14 @@ type SwitchSnapshot struct {
 
 	// Controller-side accounting.
 	OpsOK, OpsFailed, Retries, Diverted uint64
+
+	// Reconnects counts successful redials of a dead control channel;
+	// Resyncs counts the rules replayed onto restarted agents across them.
+	Reconnects, Resyncs uint64
+	// LastFault is the cause of the most recent connection-level failure
+	// (dial, echo probe, resync, or flow-mod wire error); empty while the
+	// switch has never faulted.
+	LastFault string
 
 	// Stats are the agent's own counters fetched over the wire; nil when
 	// the switch was unreachable.
@@ -90,6 +122,7 @@ func (t *switchTelemetry) snapshot(s *SwitchSnapshot) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s.OpsOK, s.OpsFailed, s.Retries, s.Diverted = t.opsOK, t.opsFailed, t.retries, t.diverted
+	s.Reconnects, s.Resyncs, s.LastFault = t.reconnects, t.resyncs, t.lastFault
 	s.GuaranteedMS = append([]float64(nil), t.guaranteedMS...)
 	s.AllMS = append([]float64(nil), t.allMS...)
 }
@@ -129,10 +162,10 @@ func (s *Snapshot) finalize() {
 func (s *Snapshot) Table() *stats.Table {
 	tab := &stats.Table{
 		Title: "fleet telemetry",
-		Headers: []string{"switch", "circuit", "ok", "failed", "retries",
+		Headers: []string{"switch", "circuit", "ok", "failed", "retries", "reconn",
 			"inserts", "shadow", "main", "violations", "p50ms", "p99ms"},
 	}
-	row := func(id, circuit string, okOps, failed, retries uint64, st *ofwire.Stats, sum *stats.Summary) {
+	row := func(id, circuit string, okOps, failed, retries, reconn uint64, st *ofwire.Stats, sum *stats.Summary) {
 		ins, shadow, main, viol := "-", "-", "-", "-"
 		if st != nil {
 			ins = fmt.Sprintf("%d", st.Inserts)
@@ -142,19 +175,21 @@ func (s *Snapshot) Table() *stats.Table {
 		}
 		tab.AddRow(id, circuit,
 			fmt.Sprintf("%d", okOps), fmt.Sprintf("%d", failed), fmt.Sprintf("%d", retries),
+			fmt.Sprintf("%d", reconn),
 			ins, shadow, main, viol,
 			fmt.Sprintf("%.3f", sum.Median()), fmt.Sprintf("%.3f", sum.P99()))
 	}
-	var okOps, failed, retries uint64
+	var okOps, failed, retries, reconn uint64
 	for i := range s.Switches {
 		sw := &s.Switches[i]
-		row(sw.ID, sw.Breaker.String(), sw.OpsOK, sw.OpsFailed, sw.Retries, sw.Stats,
-			stats.Summarize(sw.GuaranteedMS))
+		row(sw.ID, sw.Breaker.String(), sw.OpsOK, sw.OpsFailed, sw.Retries, sw.Reconnects,
+			sw.Stats, stats.Summarize(sw.GuaranteedMS))
 		okOps += sw.OpsOK
 		failed += sw.OpsFailed
 		retries += sw.Retries
+		reconn += sw.Reconnects
 	}
 	row("TOTAL", fmt.Sprintf("%d/%d up", s.Reachable, len(s.Switches)),
-		okOps, failed, retries, &s.Total, s.Guaranteed)
+		okOps, failed, retries, reconn, &s.Total, s.Guaranteed)
 	return tab
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -54,6 +55,12 @@ type worker struct {
 	cmu    sync.Mutex
 	client *ofwire.Client
 
+	// rmu guards desired: the rules this worker has successfully applied,
+	// keyed by ID. It is the controller-side desired state replayed onto a
+	// restarted (and therefore empty) agent during resync.
+	rmu     sync.Mutex
+	desired map[classifier.RuleID]classifier.Rule
+
 	brk  *breaker
 	tele switchTelemetry
 	wg   sync.WaitGroup
@@ -61,13 +68,14 @@ type worker struct {
 
 func newWorker(f *Fleet, spec SwitchSpec, client *ofwire.Client) *worker {
 	return &worker{
-		id:     spec.ID,
-		addr:   spec.Addr,
-		f:      f,
-		queue:  make(chan *op, f.cfg.QueueDepth),
-		stop:   make(chan struct{}),
-		client: client,
-		brk:    newBreaker(f.cfg.Breaker),
+		id:      spec.ID,
+		addr:    spec.Addr,
+		f:       f,
+		queue:   make(chan *op, f.cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		client:  client,
+		desired: make(map[classifier.RuleID]classifier.Rule),
+		brk:     newBreaker(f.cfg.Breaker),
 	}
 }
 
@@ -202,6 +210,7 @@ func (w *worker) execute(o *op) OpResult {
 			// against the circuit.
 			var remote *ofwire.ErrorBody
 			if !errors.As(err, &remote) {
+				w.tele.fault(err)
 				w.brk.failure(time.Now())
 			}
 			res.Err = err
@@ -227,8 +236,22 @@ func (w *worker) execute(o *op) OpResult {
 			}
 		}
 		res.Result = fr
+		w.recordApplied(o)
 		w.tele.observe(fr)
 		return res
+	}
+}
+
+// recordApplied folds one successfully applied op into the desired-rule
+// set the worker replays after a switch restart.
+func (w *worker) recordApplied(o *op) {
+	w.rmu.Lock()
+	defer w.rmu.Unlock()
+	switch o.kind {
+	case opInsert, opModify:
+		w.desired[o.rule.ID] = o.rule
+	case opDelete:
+		delete(w.desired, o.rule.ID)
 	}
 }
 
@@ -254,19 +277,61 @@ func (w *worker) probeLoop() {
 func (w *worker) probe() {
 	c := w.currentClient()
 	if c == nil || c.Err() != nil {
-		nc, err := ofwire.Dial(w.addr, w.f.cfg.DialTimeout)
+		nc, err := w.f.dialClient(w.addr)
 		if err != nil {
+			w.tele.fault(err)
 			w.brk.failure(time.Now())
 			return
 		}
+		// A reconnect means the switch may have restarted and lost its
+		// tables; replay the desired state before the circuit can close
+		// so no flow-mod lands on a half-recovered agent.
+		if err := w.resync(nc); err != nil {
+			w.tele.fault(err)
+			w.brk.failure(time.Now())
+			nc.Close()
+			return
+		}
+		w.tele.reconnect()
 		w.setClient(nc)
 		c = w.currentClient()
 	}
 	if _, err := c.Echo([]byte("hermes-fleet-probe")); err != nil {
+		w.tele.fault(err)
 		w.brk.failure(time.Now())
 		return
 	}
 	w.brk.success()
+}
+
+// resync replays the worker's applied-rule set onto a freshly dialed
+// agent, in rule-ID order so replays are deterministic. Remote typed
+// errors (duplicate rule: the agent kept or already recovered the rule)
+// are tolerated; wire-level errors abort so the probe loop retries with a
+// new connection.
+func (w *worker) resync(c *ofwire.Client) error {
+	w.rmu.Lock()
+	rules := make([]classifier.Rule, 0, len(w.desired))
+	for _, r := range w.desired {
+		rules = append(rules, r)
+	}
+	w.rmu.Unlock()
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	replayed := 0
+	for _, r := range rules {
+		if _, err := c.Insert(r); err != nil {
+			var remote *ofwire.ErrorBody
+			if errors.As(err, &remote) {
+				replayed++
+				continue
+			}
+			w.tele.resynced(replayed)
+			return err
+		}
+		replayed++
+	}
+	w.tele.resynced(replayed)
+	return nil
 }
 
 // close tears the worker down: no new ops, queued ops failed, in-flight

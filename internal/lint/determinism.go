@@ -19,6 +19,7 @@ var DeterminismAnalyzer = &Analyzer{
 		"internal/classifier",
 		"internal/tcam",
 		"internal/workload",
+		"internal/faultinject",
 	},
 	Run: runDeterminism,
 }

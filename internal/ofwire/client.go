@@ -1,6 +1,7 @@
 package ofwire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -25,6 +26,10 @@ var ErrClientClosed = errors.New("ofwire: client closed")
 type Client struct {
 	conn    net.Conn
 	nextXID atomic.Uint32
+
+	// timeoutNS is the default per-request deadline (0 = none), applied by
+	// the non-Ctx methods. Atomic so SetRequestTimeout is safe mid-flight.
+	timeoutNS atomic.Int64
 
 	// wmu serializes frame writes so concurrent requests cannot interleave
 	// bytes on the wire.
@@ -146,9 +151,39 @@ func (c *Client) Close() error {
 	return err
 }
 
-// roundTrip sends one request and waits for its reply. Multiple roundTrips
-// may be in flight concurrently; each caller blocks only on its own XID.
+// SetRequestTimeout installs a default per-request deadline applied by
+// every non-Ctx method (Insert, Barrier, Echo, ...). Zero disables the
+// default. Safe to call concurrently with in-flight requests; it affects
+// only requests issued afterwards.
+func (c *Client) SetRequestTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.timeoutNS.Store(int64(d))
+}
+
+// RequestTimeout reports the current default per-request deadline.
+func (c *Client) RequestTimeout() time.Duration {
+	return time.Duration(c.timeoutNS.Load())
+}
+
+// roundTrip sends one request and waits for its reply under the client's
+// default deadline. Multiple roundTrips may be in flight concurrently; each
+// caller blocks only on its own XID.
 func (c *Client) roundTrip(req *Message) (*Message, error) {
+	if d := c.RequestTimeout(); d > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		return c.roundTripCtx(ctx, req)
+	}
+	return c.roundTripCtx(context.Background(), req)
+}
+
+// roundTripCtx sends one request and waits for its reply or the context's
+// deadline, whichever comes first. A timed-out request abandons only its
+// own XID: the connection and the other in-flight requests stay healthy,
+// and a late reply to the abandoned XID is dropped by the read loop.
+func (c *Client) roundTripCtx(ctx context.Context, req *Message) (*Message, error) {
 	xid := c.nextXID.Add(1)
 	req.Header.XID = xid
 	ch := make(chan *Message, 1)
@@ -179,14 +214,23 @@ func (c *Client) roundTrip(req *Message) (*Message, error) {
 		return nil, err
 	}
 
-	resp, ok := <-ch
-	if !ok {
-		return nil, c.Err()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, c.Err()
+		}
+		if resp.Header.Type == TypeError {
+			return nil, resp.Error
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.pmu.Lock()
+		delete(c.pending, xid)
+		c.pmu.Unlock()
+		// The reply channel is buffered, so a reply racing this removal
+		// parks harmlessly in the channel and is garbage-collected.
+		return nil, fmt.Errorf("ofwire: request %d abandoned: %w", xid, ctx.Err())
 	}
-	if resp.Header.Type == TypeError {
-		return nil, resp.Error
-	}
-	return resp, nil
 }
 
 // FlowModResult is the controller-visible outcome of a flow-mod.
@@ -203,9 +247,19 @@ func (c *Client) Insert(r classifier.Rule) (FlowModResult, error) {
 	return c.flowMod(FlowAdd, r)
 }
 
+// InsertCtx is Insert bounded by the context's deadline/cancellation.
+func (c *Client) InsertCtx(ctx context.Context, r classifier.Rule) (FlowModResult, error) {
+	return c.flowModCtx(ctx, FlowAdd, r)
+}
+
 // Delete removes a rule by ID.
 func (c *Client) Delete(id classifier.RuleID) (FlowModResult, error) {
 	return c.flowMod(FlowDelete, classifier.Rule{ID: id})
+}
+
+// DeleteCtx is Delete bounded by the context's deadline/cancellation.
+func (c *Client) DeleteCtx(ctx context.Context, id classifier.RuleID) (FlowModResult, error) {
+	return c.flowModCtx(ctx, FlowDelete, classifier.Rule{ID: id})
 }
 
 // Modify updates a live rule.
@@ -213,11 +267,28 @@ func (c *Client) Modify(r classifier.Rule) (FlowModResult, error) {
 	return c.flowMod(FlowModify, r)
 }
 
+// ModifyCtx is Modify bounded by the context's deadline/cancellation.
+func (c *Client) ModifyCtx(ctx context.Context, r classifier.Rule) (FlowModResult, error) {
+	return c.flowModCtx(ctx, FlowModify, r)
+}
+
 func (c *Client) flowMod(cmd FlowModCommand, r classifier.Rule) (FlowModResult, error) {
 	resp, err := c.roundTrip(&Message{
 		Header:  Header{Type: TypeFlowMod},
 		FlowMod: FlowModFromRule(cmd, r),
 	})
+	return decodeFlowModResult(resp, err)
+}
+
+func (c *Client) flowModCtx(ctx context.Context, cmd FlowModCommand, r classifier.Rule) (FlowModResult, error) {
+	resp, err := c.roundTripCtx(ctx, &Message{
+		Header:  Header{Type: TypeFlowMod},
+		FlowMod: FlowModFromRule(cmd, r),
+	})
+	return decodeFlowModResult(resp, err)
+}
+
+func decodeFlowModResult(resp *Message, err error) (FlowModResult, error) {
 	if err != nil {
 		return FlowModResult{}, err
 	}
@@ -238,7 +309,15 @@ func (c *Client) flowMod(cmd FlowModCommand, r classifier.Rule) (FlowModResult, 
 // like OpenFlow's barrier. The agent handles frames in arrival order, so a
 // barrier fences everything written to the wire before it.
 func (c *Client) Barrier() error {
-	resp, err := c.roundTrip(&Message{Header: Header{Type: TypeBarrierRequest}})
+	return decodeBarrier(c.roundTrip(&Message{Header: Header{Type: TypeBarrierRequest}}))
+}
+
+// BarrierCtx is Barrier bounded by the context's deadline/cancellation.
+func (c *Client) BarrierCtx(ctx context.Context) error {
+	return decodeBarrier(c.roundTripCtx(ctx, &Message{Header: Header{Type: TypeBarrierRequest}}))
+}
+
+func decodeBarrier(resp *Message, err error) error {
 	if err != nil {
 		return err
 	}
@@ -250,7 +329,15 @@ func (c *Client) Barrier() error {
 
 // Echo round-trips a payload (liveness probe).
 func (c *Client) Echo(payload []byte) ([]byte, error) {
-	resp, err := c.roundTrip(&Message{Header: Header{Type: TypeEchoRequest}, Raw: payload})
+	return decodeEcho(c.roundTrip(&Message{Header: Header{Type: TypeEchoRequest}, Raw: payload}))
+}
+
+// EchoCtx is Echo bounded by the context's deadline/cancellation.
+func (c *Client) EchoCtx(ctx context.Context, payload []byte) ([]byte, error) {
+	return decodeEcho(c.roundTripCtx(ctx, &Message{Header: Header{Type: TypeEchoRequest}, Raw: payload}))
+}
+
+func decodeEcho(resp *Message, err error) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +349,15 @@ func (c *Client) Echo(payload []byte) ([]byte, error) {
 
 // Stats fetches the agent's counters.
 func (c *Client) Stats() (*Stats, error) {
-	resp, err := c.roundTrip(&Message{Header: Header{Type: TypeStatsRequest}})
+	return decodeStats(c.roundTrip(&Message{Header: Header{Type: TypeStatsRequest}}))
+}
+
+// StatsCtx is Stats bounded by the context's deadline/cancellation.
+func (c *Client) StatsCtx(ctx context.Context) (*Stats, error) {
+	return decodeStats(c.roundTripCtx(ctx, &Message{Header: Header{Type: TypeStatsRequest}}))
+}
+
+func decodeStats(resp *Message, err error) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}

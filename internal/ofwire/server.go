@@ -5,6 +5,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -35,6 +36,9 @@ type AgentServer struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+	// drainAt, when non-zero, is the Shutdown deadline; connections
+	// registered after it starts inherit the deadline immediately.
+	drainAt time.Time
 
 	// Logf receives connection-level errors; defaults to log.Printf.
 	Logf func(format string, args ...interface{})
@@ -118,6 +122,9 @@ func (s *AgentServer) Serve(lis net.Listener) error {
 		}
 		s.connMu.Lock()
 		s.conns[conn] = struct{}{}
+		if !s.drainAt.IsZero() {
+			conn.SetDeadline(s.drainAt)
+		}
 		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -126,7 +133,8 @@ func (s *AgentServer) Serve(lis net.Listener) error {
 			s.connMu.Lock()
 			delete(s.conns, conn)
 			s.connMu.Unlock()
-			if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) &&
+				!errors.Is(err, os.ErrDeadlineExceeded) {
 				s.Logf("ofwire: connection %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
@@ -156,6 +164,57 @@ func (s *AgentServer) Close() error {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
+	return err
+}
+
+// Shutdown stops the server gracefully: it stops accepting, lets every
+// in-flight request finish and its reply flush, and gives idle connections
+// until the drain deadline to wind down. Handlers parked in a blocked read
+// wake at the deadline via the connection deadline; whatever still runs
+// after a grace period beyond it is force-closed, so Shutdown returns in
+// bounded time regardless of peer behavior. Safe to call repeatedly and
+// concurrently with Close.
+func (s *AgentServer) Shutdown(drain time.Duration) error {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+
+	deadline := time.Now().Add(drain)
+	s.connMu.Lock()
+	s.drainAt = deadline
+	for conn := range s.conns {
+		// Both directions: a blocked read wakes at the deadline, and a
+		// write to a stalled peer cannot pin the drain open.
+		conn.SetDeadline(deadline)
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drain + 100*time.Millisecond):
+		// Deadlines should have unblocked everything; if a handler is
+		// still alive the connection gets cut, exactly like Close.
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+	}
 	return err
 }
 

@@ -1,0 +1,158 @@
+package tcam
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+func faultRule(id int, prio int32) classifier.Rule {
+	return classifier.Rule{
+		ID:       classifier.RuleID(id),
+		Match:    classifier.DstMatch(classifier.NewPrefix(uint32(id)<<8, 24)),
+		Priority: prio,
+		Action:   classifier.Action{Type: classifier.ActionForward, Port: id},
+	}
+}
+
+func TestWipeLosesEntriesWithoutCounters(t *testing.T) {
+	tab := NewTable("t", 16, Pica8P3290)
+	for i := 1; i <= 5; i++ {
+		if _, err := tab.Insert(faultRule(i, int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tab.Stats()
+	tab.Wipe()
+	if tab.Occupancy() != 0 {
+		t.Fatalf("occupancy after wipe = %d", tab.Occupancy())
+	}
+	if tab.Contains(3) {
+		t.Error("wiped table still contains rule 3")
+	}
+	if got := tab.Stats(); got.Deletes != before.Deletes {
+		t.Errorf("wipe counted %d deletes; a crash issues none", got.Deletes-before.Deletes)
+	}
+	// The table is still usable after the crash.
+	if _, err := tab.Insert(faultRule(9, 1)); err != nil {
+		t.Fatalf("insert after wipe: %v", err)
+	}
+}
+
+func TestTruncateKeepsTCAMPrefix(t *testing.T) {
+	tab := NewTable("t", 16, Pica8P3290)
+	// Priorities 5,4,3,2,1 → TCAM order is 5 first.
+	for i := 1; i <= 5; i++ {
+		if _, err := tab.Insert(faultRule(i, int32(6-i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab.Truncate(2)
+	if tab.Occupancy() != 2 {
+		t.Fatalf("occupancy after truncate = %d, want 2", tab.Occupancy())
+	}
+	rules := tab.Rules()
+	if rules[0].ID != 1 || rules[1].ID != 2 {
+		t.Fatalf("surviving rules = %v, want the two highest-priority entries", rules)
+	}
+	if tab.Contains(5) {
+		t.Error("truncated tail entry still reported present")
+	}
+	// Out-of-range truncations are no-ops.
+	tab.Truncate(-1)
+	tab.Truncate(100)
+	if tab.Occupancy() != 2 {
+		t.Fatalf("no-op truncate changed occupancy to %d", tab.Occupancy())
+	}
+}
+
+func TestFaultHookDropsAndSlowsOps(t *testing.T) {
+	tab := NewTable("t", 16, Pica8P3290)
+	var script []OpFault
+	tab.SetFaultHook(func(op Op, id classifier.RuleID) OpFault {
+		if len(script) == 0 {
+			return OpFault{}
+		}
+		f := script[0]
+		script = script[1:]
+		return f
+	})
+
+	// Dropped insert: acked (no error, sane latency) but never lands.
+	script = []OpFault{{Drop: true}}
+	cost, err := tab.Insert(faultRule(1, 1))
+	if err != nil || cost <= 0 {
+		t.Fatalf("dropped insert: cost=%v err=%v", cost, err)
+	}
+	if tab.Contains(1) || tab.Occupancy() != 0 {
+		t.Fatal("dropped insert landed anyway")
+	}
+	if tab.DroppedOps() != 1 {
+		t.Fatalf("DroppedOps = %d, want 1", tab.DroppedOps())
+	}
+
+	// Slow insert: lands, with the extra latency surfaced.
+	script = []OpFault{{Extra: 3 * time.Millisecond}}
+	base := tab.InsertCost(1)
+	cost, err = tab.Insert(faultRule(2, 1))
+	if err != nil || !tab.Contains(2) {
+		t.Fatalf("slow insert: err=%v present=%v", err, tab.Contains(2))
+	}
+	if cost != base+3*time.Millisecond {
+		t.Fatalf("slow insert cost = %v, want %v", cost, base+3*time.Millisecond)
+	}
+
+	// Dropped delete: acked as present but the entry survives.
+	script = []OpFault{{Drop: true}}
+	if _, ok := tab.Delete(2); !ok {
+		t.Fatal("dropped delete reported absent")
+	}
+	if !tab.Contains(2) {
+		t.Fatal("dropped delete removed the entry")
+	}
+
+	// Dropped modify: acked but the action is unchanged.
+	script = []OpFault{{Drop: true}}
+	if _, ok := tab.ModifyAction(2, classifier.Action{Type: classifier.ActionDrop}); !ok {
+		t.Fatal("dropped modify reported absent")
+	}
+	if r, _ := tab.Get(2); r.Action.Type == classifier.ActionDrop {
+		t.Fatal("dropped modify applied anyway")
+	}
+
+	// Hook removed: back to normal.
+	tab.SetFaultHook(nil)
+	if _, ok := tab.Delete(2); !ok || tab.Contains(2) {
+		t.Fatal("delete after hook removal did not apply")
+	}
+}
+
+func TestSwitchCrashRestartWipesSlices(t *testing.T) {
+	sw := NewSwitch("s", Pica8P3290)
+	shadow, main, err := sw.Carve(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shadow.Insert(faultRule(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := main.Insert(faultRule(2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	sw.Submit(0, time.Millisecond)
+	sw.CrashRestart()
+	if shadow.Occupancy() != 0 || main.Occupancy() != 0 {
+		t.Fatalf("occupancies after crash = %d/%d", shadow.Occupancy(), main.Occupancy())
+	}
+	if sw.BusyUntil() != 0 {
+		t.Errorf("control-plane queue survived the crash: %v", sw.BusyUntil())
+	}
+	if _, ok := sw.Lookup(1<<8, 0); ok {
+		t.Error("lookup matched on a crashed switch")
+	}
+	// Slice layout survives: the shadow slice still fronts the pipeline.
+	if len(sw.Slices()) != 2 {
+		t.Fatalf("slices after crash = %d", len(sw.Slices()))
+	}
+}

@@ -134,3 +134,15 @@ func (s *Switch) ResetClock() {
 	s.busyUntil = 0
 	s.guaranteedUntil = 0
 }
+
+// CrashRestart models a switch power-cycle: every slice loses its entries
+// (the slice layout itself is preserved — carving is a boot-time config)
+// and the control-plane queues empty. The agent's desired state survives
+// in software; core.(*Agent).Reconcile re-installs it.
+func (s *Switch) CrashRestart() {
+	for _, t := range s.slices {
+		t.Wipe()
+	}
+	s.busyUntil = 0
+	s.guaranteedUntil = 0
+}

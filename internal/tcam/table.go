@@ -16,6 +16,48 @@ var (
 	ErrDuplicateID = errors.New("tcam: duplicate rule id")
 )
 
+// Op identifies one TCAM mutation class for the fault-injection hook.
+type Op uint8
+
+// TCAM operation classes.
+const (
+	// OpInsert covers Insert and InsertRanked.
+	OpInsert Op = iota
+	// OpDelete covers Delete.
+	OpDelete
+	// OpModify covers ModifyAction and ModifyMatch.
+	OpModify
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpModify:
+		return "modify"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// OpFault is a fault hook's verdict for one TCAM operation. Extra is added
+// to the modeled hardware latency (a slow op); Drop makes the hardware ack
+// the operation without applying it — the lost-update failure mode of a
+// crashing update engine. Dropped operations report success to the caller,
+// so the agent's view and the physical table silently diverge; that
+// divergence is exactly what core.(*Agent).Reconcile repairs.
+type OpFault struct {
+	Extra time.Duration
+	Drop  bool
+}
+
+// OpFaultHook inspects one TCAM operation and returns the fault to apply.
+// The zero OpFault means "run normally". Hooks must be deterministic
+// (scripted or seeded) so fault schedules replay identically.
+type OpFaultHook func(op Op, id classifier.RuleID) OpFault
+
 // Table is one TCAM slice: a priority-ordered entry list with the shift-cost
 // insertion behaviour of real TCAMs. Entries are kept in descending priority
 // order; among equal priorities the earlier-inserted rule sits higher, which
@@ -36,11 +78,31 @@ type Table struct {
 	nextRank uint64
 	present  map[classifier.RuleID]bool
 
+	// fault, when non-nil, is consulted before every mutation (the
+	// fault-injection seam used by internal/faultinject).
+	fault OpFaultHook
+
 	// Counters for the overhead experiments.
 	totalShifts  int
 	totalInserts int
 	totalDeletes int
 	totalMods    int
+	droppedOps   int
+}
+
+// SetFaultHook installs (or, with nil, removes) the per-operation fault
+// hook. Intended for fault-injection harnesses only.
+func (t *Table) SetFaultHook(h OpFaultHook) { t.fault = h }
+
+// DroppedOps reports how many operations the fault hook silently dropped.
+func (t *Table) DroppedOps() int { return t.droppedOps }
+
+// faultFor consults the hook for one operation.
+func (t *Table) faultFor(op Op, id classifier.RuleID) OpFault {
+	if t.fault == nil {
+		return OpFault{}
+	}
+	return t.fault(op, id)
 }
 
 // NewTable creates an empty table. Capacity may be smaller than the
@@ -135,6 +197,12 @@ func (t *Table) InsertRanked(r classifier.Rule, rank uint64) (time.Duration, err
 		t.nextRank = rank + 1
 	}
 	pos, shifts := t.insertPositionRanked(r.Priority, rank)
+	f := t.faultFor(OpInsert, r.ID)
+	if f.Drop {
+		// Lost update: the hardware acks but the entry never lands.
+		t.droppedOps++
+		return t.profile.InsertLatency(shifts) + f.Extra, nil
+	}
 	t.entries = append(t.entries, classifier.Rule{})
 	copy(t.entries[pos+1:], t.entries[pos:])
 	t.entries[pos] = r
@@ -144,7 +212,7 @@ func (t *Table) InsertRanked(r classifier.Rule, rank uint64) (time.Duration, err
 	t.present[r.ID] = true
 	t.totalShifts += shifts
 	t.totalInserts++
-	return t.profile.InsertLatency(shifts), nil
+	return t.profile.InsertLatency(shifts) + f.Extra, nil
 }
 
 // Delete removes a rule by ID, returning the (constant) latency and whether
@@ -153,6 +221,12 @@ func (t *Table) InsertRanked(r classifier.Rule, rank uint64) (time.Duration, err
 func (t *Table) Delete(id classifier.RuleID) (time.Duration, bool) {
 	if !t.present[id] {
 		return 0, false
+	}
+	f := t.faultFor(OpDelete, id)
+	if f.Drop {
+		// Lost delete: the entry stays installed despite the ack.
+		t.droppedOps++
+		return t.profile.DeleteLatency + f.Extra, true
 	}
 	for i, e := range t.entries {
 		if e.ID == id {
@@ -163,7 +237,7 @@ func (t *Table) Delete(id classifier.RuleID) (time.Duration, bool) {
 	}
 	delete(t.present, id)
 	t.totalDeletes++
-	return t.profile.DeleteLatency, true
+	return t.profile.DeleteLatency + f.Extra, true
 }
 
 // ModifyAction rewrites a rule's action in place — constant time, no
@@ -171,9 +245,14 @@ func (t *Table) Delete(id classifier.RuleID) (time.Duration, bool) {
 func (t *Table) ModifyAction(id classifier.RuleID, a classifier.Action) (time.Duration, bool) {
 	for i := range t.entries {
 		if t.entries[i].ID == id {
+			f := t.faultFor(OpModify, id)
+			if f.Drop {
+				t.droppedOps++
+				return t.profile.ModifyLatency + f.Extra, true
+			}
 			t.entries[i].Action = a
 			t.totalMods++
-			return t.profile.ModifyLatency, true
+			return t.profile.ModifyLatency + f.Extra, true
 		}
 	}
 	return 0, false
@@ -224,6 +303,29 @@ func (t *Table) Reset() time.Duration {
 	t.ranks = t.ranks[:0]
 	t.present = make(map[classifier.RuleID]bool)
 	return time.Duration(n) * t.profile.DeleteLatency
+}
+
+// Wipe models a switch crash/power-cycle: every entry vanishes instantly,
+// with no modeled latency and no operation counters (the control plane
+// never issued these deletions — the hardware simply lost its state).
+func (t *Table) Wipe() {
+	t.entries = t.entries[:0]
+	t.ranks = t.ranks[:0]
+	t.present = make(map[classifier.RuleID]bool)
+}
+
+// Truncate models a crash mid-bulk-write: only the first n entries (in
+// TCAM order) survive; the tail vanishes as in Wipe. A negative or
+// oversized n is a no-op.
+func (t *Table) Truncate(n int) {
+	if n < 0 || n >= len(t.entries) {
+		return
+	}
+	for _, e := range t.entries[n:] {
+		delete(t.present, e.ID)
+	}
+	t.entries = t.entries[:n]
+	t.ranks = t.ranks[:n]
 }
 
 // Stats reports cumulative operation counters.

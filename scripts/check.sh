@@ -27,6 +27,15 @@ fi
 echo ">> go test -race ./..."
 go test -race ./...
 
+echo ">> chaos: seeded fault-injection verdict (hermes-bench chaos)"
+go run ./cmd/hermes-bench -scale 0.5 chaos | tee /tmp/hermes-chaos.$$ | tail -3
+if grep -Eq 'DIVERGED|FAILED' /tmp/hermes-chaos.$$; then
+  rm -f /tmp/hermes-chaos.$$
+  echo "chaos verdict not clean" >&2
+  exit 1
+fi
+rm -f /tmp/hermes-chaos.$$
+
 echo ">> fuzz: codec round-trip (5s)"
 go test -run='^$' -fuzz=FuzzCodecRoundTrip -fuzztime=5s ./internal/ofwire
 
