@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint fuzz bench chaos
+.PHONY: all build test check lint fuzz bench bench-json chaos
 
 all: build
 
@@ -36,3 +36,9 @@ check: lint
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Lookup-path perf baseline: runs the table/agent lookup benches with
+# -benchmem and rewrites BENCH_lookup.json (committed, so perf regressions
+# show up in review diffs).
+bench-json:
+	./scripts/bench_json.sh

@@ -257,6 +257,53 @@ func BenchmarkLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkAgentLookupParallel measures the agent's concurrent read path:
+// many goroutines doing Lookup against a populated agent. With the indexed
+// default this hits the atomically-published snapshot (no lock, no
+// allocations); the linear sub-bench is the full-scan oracle for
+// comparison.
+func BenchmarkAgentLookupParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		linear bool
+	}{{"indexed", false}, {"linear", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sw := hermes.NewSwitch("bench", hermes.Pica8P3290)
+			agent, err := hermes.NewAgent(sw, hermes.Config{
+				Guarantee:        5 * time.Millisecond,
+				DisableRateLimit: true,
+				LinearLookup:     mode.linear,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := time.Duration(0)
+			for i := 0; i < 500; i++ {
+				agent.Insert(now, hermes.Rule{ //nolint:errcheck
+					ID:       hermes.RuleID(i + 1),
+					Match:    hermes.DstMatch(hermes.NewPrefix(uint32(i)<<12, 20)),
+					Priority: int32(i % 50),
+				})
+				now += time.Millisecond
+			}
+			// Warm the snapshot past the rebuild hysteresis so the
+			// measurement is steady-state reads, not the first build.
+			for i := 0; i < 64; i++ {
+				agent.Lookup(uint32(i)<<12, 0)
+			}
+			var ctr atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := ctr.Add(1)
+					agent.Lookup(uint32(i%500)<<12, 0)
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkMigration measures a full shadow→main migration cycle.
 func BenchmarkMigration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

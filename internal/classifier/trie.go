@@ -43,17 +43,65 @@ func (t *Trie) Insert(r Rule) {
 }
 
 // Delete removes the rule with the given ID from the node for prefix dst.
-// It reports whether a rule was removed. Empty nodes are left in place;
-// the trie is rebuilt wholesale on migration, which bounds garbage.
+// It reports whether a rule was removed. The delete is fully incremental:
+// nodes left with no rules and no children are pruned bottom-up along the
+// access path, so long-lived tables (the TCAM match index churns on every
+// migration) do not accrete garbage nodes.
 func (t *Trie) Delete(dst Prefix, id RuleID) bool {
-	n := t.node(dst)
-	if n == nil {
+	if t.root == nil {
 		return false
 	}
+	// path[d] is the node at depth d; the walk fits a fixed array because
+	// prefixes are at most 32 bits deep.
+	var path [33]*trieNode
+	n := t.root
+	path[0] = n
+	for depth := uint8(0); depth < dst.Len; depth++ {
+		bit := (dst.Addr >> (31 - depth)) & 1
+		n = n.children[bit]
+		if n == nil {
+			return false
+		}
+		path[depth+1] = n
+	}
+	removed := false
 	for i, r := range n.rules {
 		if r.ID == id {
 			n.rules = append(n.rules[:i], n.rules[i+1:]...)
 			t.size--
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		return false
+	}
+	for depth := int(dst.Len); depth > 0; depth-- {
+		nd := path[depth]
+		if len(nd.rules) != 0 || nd.children[0] != nil || nd.children[1] != nil {
+			break
+		}
+		bit := (dst.Addr >> (32 - depth)) & 1
+		path[depth-1].children[bit] = nil
+	}
+	if t.size == 0 && t.root.children[0] == nil && t.root.children[1] == nil {
+		t.root = nil
+	}
+	return true
+}
+
+// Update replaces the stored copy of the rule with the given ID under dst
+// (e.g. after an in-place action or priority rewrite that does not move the
+// rule to another destination prefix). It reports whether the rule was
+// found.
+func (t *Trie) Update(dst Prefix, r Rule) bool {
+	n := t.node(dst)
+	if n == nil {
+		return false
+	}
+	for i := range n.rules {
+		if n.rules[i].ID == r.ID {
+			n.rules[i] = r
 			return true
 		}
 	}
@@ -120,6 +168,49 @@ func (t *Trie) Overlapping(m Match) []Rule {
 	}
 	walk(n)
 	return out
+}
+
+// MatchIter iterates the rules whose destination prefix matches one packet
+// address. It is a value type so a lookup can walk the trie with zero heap
+// allocations — the packet fast path depends on that.
+type MatchIter struct {
+	node  *trieNode
+	addr  uint32
+	depth uint8
+	i     int
+}
+
+// MatchCandidates starts a packet-query walk for a destination address:
+// exactly the rules stored on the trie path that follows dst's bits from
+// the root are yielded, because a rule's Dst matches the packet iff the
+// packet address descends through the rule's node. This is the per-packet
+// query, distinct from Overlapping's prefix-overlap query (which also has
+// to visit the subtree below the query prefix).
+func (t *Trie) MatchCandidates(addr uint32) MatchIter {
+	return MatchIter{node: t.root, addr: addr}
+}
+
+// Next returns the next candidate rule, or ok=false when the walk is done.
+// Candidates arrive in ascending destination-prefix-length order; callers
+// needing first-match semantics must rank them (the TCAM table ranks by
+// priority, tie rank, and arrival order).
+func (it *MatchIter) Next() (Rule, bool) {
+	for it.node != nil {
+		if it.i < len(it.node.rules) {
+			r := it.node.rules[it.i]
+			it.i++
+			return r, true
+		}
+		if it.depth == 32 {
+			it.node = nil
+			break
+		}
+		bit := (it.addr >> (31 - it.depth)) & 1
+		it.node = it.node.children[bit]
+		it.depth++
+		it.i = 0
+	}
+	return Rule{}, false
 }
 
 // All returns every rule in the trie in depth-first order.

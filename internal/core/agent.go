@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hermes/internal/classifier"
@@ -65,9 +67,23 @@ type migration struct {
 }
 
 // Agent is one switch's Hermes instance: Gate Keeper + Rule Manager
-// (Fig. 3). It is not safe for concurrent use; the simulator and harness
-// are single-threaded by design, mirroring the single switch-CPU agent.
+// (Fig. 3). It is safe for concurrent use: control-plane mutations
+// serialize on a write lock (mirroring the single switch-CPU agent), while
+// reads take a read lock and packet lookups additionally have a lock-free
+// snapshot fast path (see view.go) so the data plane never waits on the
+// control plane once the tables quiesce.
 type Agent struct {
+	// mu is the control-plane lock: mutators hold it exclusively, readers
+	// shared. Fields below are protected by it unless noted.
+	mu sync.RWMutex
+
+	// view is the atomically published lookup snapshot; logicalGen counts
+	// reference-table changes (the tcam tables carry their own generation
+	// counters). Both are accessed without mu.
+	view       atomic.Pointer[agentView]
+	logicalGen atomic.Uint64
+	stale      viewStaleness
+
 	sw     *tcam.Switch
 	shadow *tcam.Table
 	main   *tcam.Table
@@ -121,6 +137,10 @@ func New(sw *tcam.Switch, cfg Config) (*Agent, error) {
 	shadow, main, err := sw.Carve(size)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.LinearLookup {
+		shadow.SetLinearLookup(true)
+		main.SetLinearLookup(true)
 	}
 	a := &Agent{
 		sw:         sw,
@@ -208,18 +228,40 @@ func (a *Agent) Guarantee() time.Duration { return a.cfg.Guarantee }
 // simulator).
 func (a *Agent) Switch() *tcam.Switch { return a.sw }
 
-// Metrics returns a snapshot of the agent's counters.
-func (a *Agent) Metrics() Metrics { return a.metrics }
+// Metrics returns a snapshot of the agent's counters. The slice fields
+// share their backing store with the live metrics; treat them as read-only.
+func (a *Agent) Metrics() Metrics {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.metrics
+}
 
 // ShadowOccupancy reports the live shadow-table entry count.
-func (a *Agent) ShadowOccupancy() int { return a.shadow.Occupancy() }
+func (a *Agent) ShadowOccupancy() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.shadow.Occupancy()
+}
 
 // MainOccupancy reports the live main-table entry count.
-func (a *Agent) MainOccupancy() int { return a.main.Occupancy() }
+func (a *Agent) MainOccupancy() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.main.Occupancy()
+}
+
+// SetPredicate swaps the guarantee predicate in place (ModQoSMatch, §7).
+func (a *Agent) SetPredicate(pred Predicate) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cfg.Predicate = pred
+}
 
 // Migrating reports whether a background migration is in flight at now.
 func (a *Agent) Migrating(now time.Duration) bool {
-	a.Advance(now)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
 	return a.migr != nil
 }
 
@@ -237,7 +279,13 @@ func (a *Agent) guarded(r classifier.Rule) bool {
 
 // Insert is the Gate Keeper's flow-mod insertion entry point.
 func (a *Agent) Insert(now time.Duration, r classifier.Rule) (Result, error) {
-	a.Advance(now)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.insert(now, r)
+}
+
+func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
+	a.advance(now)
 	if r.ID >= partIDBase {
 		return Result{}, fmt.Errorf("%w: %d", ErrReservedID, r.ID)
 	}
@@ -518,7 +566,13 @@ func (a *Agent) reinstallShadowRule(now time.Duration, st *ruleState) {
 
 // Delete removes a rule by its controller-visible ID (§4.1).
 func (a *Agent) Delete(now time.Duration, id classifier.RuleID) (Result, error) {
-	a.Advance(now)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.deleteRule(now, id)
+}
+
+func (a *Agent) deleteRule(now time.Duration, id classifier.RuleID) (Result, error) {
+	a.advance(now)
 	st, ok := a.rules[id]
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownRule, id)
@@ -561,7 +615,9 @@ func (a *Agent) Delete(now time.Duration, id classifier.RuleID) (Result, error) 
 // constant cost (§2.1); priority or match changes are converted into a
 // delete of the original plus an insertion of the modified rule (§4.1).
 func (a *Agent) Modify(now time.Duration, r classifier.Rule) (Result, error) {
-	a.Advance(now)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
 	st, ok := a.rules[r.ID]
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownRule, r.ID)
@@ -591,15 +647,27 @@ func (a *Agent) Modify(now time.Duration, r classifier.Rule) (Result, error) {
 		return Result{Latency: total, Completed: completed, Guaranteed: true}, nil
 	}
 	// Priority/match change: delete + insert.
-	if _, err := a.Delete(now, r.ID); err != nil {
+	if _, err := a.deleteRule(now, r.ID); err != nil {
 		return Result{}, err
 	}
-	return a.Insert(now, r)
+	return a.insert(now, r)
 }
 
 // Lookup resolves a packet against the carved pipeline (shadow first, then
-// main), as the switch data plane would.
+// main), as the switch data plane would. The fast path validates the
+// published snapshot with two atomic generation loads and runs without the
+// agent lock; when the snapshot is stale (a control-plane write landed) it
+// falls back to a read-locked indexed lookup on the live tables.
 func (a *Agent) Lookup(dst, src uint32) (classifier.Rule, bool) {
+	if v := a.view.Load(); v != nil &&
+		v.shadowGen == a.shadow.Gen() && v.mainGen == a.main.Gen() {
+		return v.lookup(dst, src)
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if v := a.freshView(); v != nil {
+		return v.lookup(dst, src)
+	}
 	return a.sw.Lookup(dst, src)
 }
 
@@ -618,6 +686,7 @@ func (a *Agent) observeGuaranteed(now time.Duration, res Result) {
 func (a *Agent) trackLogical(r classifier.Rule) {
 	if a.cfg.TrackLogical {
 		a.logical = append(a.logical, r)
+		a.logicalGen.Add(1)
 	}
 }
 
@@ -628,6 +697,7 @@ func (a *Agent) untrackLogical(id classifier.RuleID) {
 	for i, r := range a.logical {
 		if r.ID == id {
 			a.logical = append(a.logical[:i], a.logical[i+1:]...)
+			a.logicalGen.Add(1)
 			return
 		}
 	}
@@ -640,6 +710,7 @@ func (a *Agent) retrackLogical(r classifier.Rule) {
 	for i := range a.logical {
 		if a.logical[i].ID == r.ID {
 			a.logical[i] = r
+			a.logicalGen.Add(1)
 			return
 		}
 	}
@@ -647,8 +718,18 @@ func (a *Agent) retrackLogical(r classifier.Rule) {
 
 // LogicalLookup resolves a packet against the reference monolithic table
 // (highest priority wins, earlier insertion breaks ties). Only valid when
-// cfg.TrackLogical is set.
+// cfg.TrackLogical is set. Like Lookup it has a lock-free snapshot fast
+// path; the slow path is the read-locked linear reference scan.
 func (a *Agent) LogicalLookup(dst, src uint32) (classifier.Rule, bool) {
+	if v := a.view.Load(); v != nil && v.logical != nil &&
+		v.logicalGen == a.logicalGen.Load() {
+		return v.logical.Lookup(dst, src)
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if v := a.freshView(); v != nil && v.logical != nil {
+		return v.logical.Lookup(dst, src)
+	}
 	var best classifier.Rule
 	found := false
 	for _, r := range a.logical {
@@ -664,6 +745,8 @@ func (a *Agent) LogicalLookup(dst, src uint32) (classifier.Rule, bool) {
 
 // LogicalRules returns a copy of the reference table (TrackLogical only).
 func (a *Agent) LogicalRules() []classifier.Rule {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return append([]classifier.Rule(nil), a.logical...)
 }
 

@@ -64,6 +64,8 @@ func (t *autoTuner) observe(badness int) float64 {
 // CurrentSlack reports the live slack factor: the configured corrector's
 // static factor, or the auto-tuner's when cfg.AutoTuneSlack is set.
 func (a *Agent) CurrentSlack() float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if a.tuner != nil {
 		return a.tuner.factor
 	}

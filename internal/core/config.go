@@ -102,6 +102,12 @@ type Config struct {
 	// time; off by default.
 	TrackLogical bool
 
+	// LinearLookup reverts packet lookups to the full-scan reference path:
+	// both TCAM slices scan every entry in order and the agent skips its
+	// lock-free snapshot. Kept as the differential-testing oracle for the
+	// trie-indexed default; off by default (indexed).
+	LinearLookup bool
+
 	// MigrationInterrupt, when non-nil, is consulted at each Fig.-7
 	// migration step; returning true cuts the migration off at that step,
 	// exactly as a switch crash mid-migration would. The agent is marked

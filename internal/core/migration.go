@@ -57,6 +57,8 @@ func (a *Agent) interruptAt(step MigrationStep, now time.Duration) bool {
 // SetMigrationInterrupt installs (or, with nil, removes) the migration
 // fault hook after construction. Fault-injection harnesses only.
 func (a *Agent) SetMigrationInterrupt(h func(step MigrationStep, now time.Duration) bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.cfg.MigrationInterrupt = h
 }
 
@@ -66,6 +68,8 @@ func (a *Agent) SetMigrationInterrupt(h func(step MigrationStep, now time.Durati
 // the shadow table and the next Tick may start over. Reports whether a
 // migration was actually aborted.
 func (a *Agent) AbortMigration(now time.Duration) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.migr == nil || now >= a.migr.completeAt {
 		// Nothing in flight (or the copy already finished; let Advance
 		// apply it rather than discarding completed work).
@@ -82,7 +86,9 @@ func (a *Agent) AbortMigration(now time.Duration) bool {
 // next tick, starts a migration. It returns the completion time of a
 // migration started by this call, or zero.
 func (a *Agent) Tick(now time.Duration) time.Duration {
-	a.Advance(now)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
 	a.lastTick = now
 
 	occ := a.shadow.Occupancy()
@@ -117,7 +123,9 @@ func (a *Agent) Tick(now time.Duration) time.Duration {
 // (used by ModQoSConfig and by tests). Returns the completion time, or zero
 // if there was nothing to migrate or one is already running.
 func (a *Agent) ForceMigration(now time.Duration) time.Duration {
-	a.Advance(now)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
 	if a.migr != nil || a.shadow.Occupancy() == 0 {
 		return 0
 	}
@@ -208,9 +216,15 @@ func (a *Agent) startMigration(now time.Duration) time.Duration {
 }
 
 // Advance applies any migration whose background copy has finished by now.
-// Every public entry point calls it, and the simulator also schedules an
-// explicit call at the completion time.
+// Every public mutator calls (the unexported) advance, and the simulator
+// also schedules an explicit call at the completion time.
 func (a *Agent) Advance(now time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
+}
+
+func (a *Agent) advance(now time.Duration) {
 	if a.migr == nil || now < a.migr.completeAt {
 		return
 	}
@@ -385,6 +399,8 @@ func (a *Agent) shadowFragments(st *ruleState) []classifier.Match {
 // MigrationEndsAt reports the completion time of the in-flight migration
 // (zero when idle).
 func (a *Agent) MigrationEndsAt() time.Duration {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if a.migr == nil {
 		return 0
 	}

@@ -154,7 +154,7 @@ func (r *Registry) ModQoSMatch(id ShadowID, pred Predicate) bool {
 	if !ok {
 		return false
 	}
-	a.cfg.Predicate = pred
+	a.SetPredicate(pred)
 	return true
 }
 

@@ -55,13 +55,19 @@ func (r ReconcileReport) String() string {
 
 // NeedsReconcile reports whether a fault has marked the agent's view as
 // possibly diverged from the physical tables.
-func (a *Agent) NeedsReconcile() bool { return a.needsReconcile }
+func (a *Agent) NeedsReconcile() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.needsReconcile
+}
 
 // CrashRestart models the managed switch power-cycling under the agent:
 // every physical entry vanishes and the control-plane queues empty, while
 // the agent's desired state (rules, partitions, sequence numbers) survives
 // in software. Call Reconcile afterwards to reinstall.
 func (a *Agent) CrashRestart(now time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.migr != nil {
 		// The background copy dies with the switch.
 		a.migr = nil
@@ -77,11 +83,17 @@ func (a *Agent) CrashRestart(now time.Duration) {
 // MarkDivergent flags the agent as needing reconciliation without saying
 // why — used when an external fault (table truncation, dropped TCAM ops)
 // may have desynchronized the physical tables.
-func (a *Agent) MarkDivergent() { a.needsReconcile = true }
+func (a *Agent) MarkDivergent() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.needsReconcile = true
+}
 
 // TruncateShadow models a crash during a bulk shadow-table write: only the
 // first n physical entries survive. The agent is marked divergent.
 func (a *Agent) TruncateShadow(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.shadow.Truncate(n)
 	a.needsReconcile = true
 }
@@ -129,6 +141,8 @@ func (a *Agent) desiredShadowEntries() map[classifier.RuleID]classifier.Rule {
 // deterministic (rules are visited in ID order) and leaves the agent with
 // NeedsReconcile() == false.
 func (a *Agent) Reconcile(now time.Duration) ReconcileReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var rep ReconcileReport
 	if a.migr != nil {
 		// An in-flight background copy references rules whose physical
@@ -292,6 +306,8 @@ func (a *Agent) ruleInstalled(st *ruleState) bool {
 // returns nil when the views agree. Chaos harnesses call it after
 // Reconcile; any error there is a recovery bug.
 func (a *Agent) CheckConsistency() error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	desiredMain := a.desiredMainEntries()
 	for _, e := range a.main.Rules() {
 		st, ok := desiredMain[e.ID]

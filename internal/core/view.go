@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"hermes/internal/classifier"
+)
+
+// This file implements the agent's lock-free read path: an immutable
+// snapshot of the carved pipeline (shadow index, main index, and — when
+// TrackLogical is on — the reference monolithic table) published behind an
+// atomic pointer. Packet lookups validate the snapshot with three atomic
+// generation loads and, when it is current, never touch the agent lock at
+// all; control-plane writers invalidate it implicitly just by mutating the
+// tables (every tcam.Table mutation bumps its generation counter, including
+// out-of-band ones like a crash harness wiping the switch directly).
+//
+// Snapshots are rebuilt lazily with hysteresis: a reader only pays the
+// O(occupancy) rebuild after viewRebuildAfter consecutive lookups observe
+// the same (changed) generations — i.e. the tables have quiesced. Under a
+// write-heavy phase readers instead fall back to a read-locked indexed
+// lookup on the live tables, which is already off the O(n) scan path.
+
+// viewRebuildAfter is the number of consecutive stale read-path entries (at
+// stable generations) after which a reader rebuilds the snapshot. Low
+// enough that a quiesced table becomes lock-free almost immediately, high
+// enough that insert/lookup alternation never rebuilds per packet.
+const viewRebuildAfter = 4
+
+// agentView is one immutable snapshot of the agent's lookup state. All
+// fields are written before the view is published and never after.
+type agentView struct {
+	shadowGen  uint64
+	mainGen    uint64
+	logicalGen uint64
+	shadow     *classifier.RuleIndex
+	main       *classifier.RuleIndex
+	// logical is non-nil only when cfg.TrackLogical is set.
+	logical *classifier.RuleIndex
+}
+
+// lookup resolves a packet against the snapshot exactly as the carved
+// pipeline would: shadow slice first, then main.
+func (v *agentView) lookup(dst, src uint32) (classifier.Rule, bool) {
+	if r, ok := v.shadow.Lookup(dst, src); ok {
+		return r, true
+	}
+	return v.main.Lookup(dst, src)
+}
+
+// viewStaleness tracks, with benign-racy atomics, how many consecutive
+// read-path entries missed the snapshot while the table generations stayed
+// put. Concurrent readers may slightly over- or under-count; the only
+// consequence is a rebuild happening one read earlier or later.
+type viewStaleness struct {
+	shadowGen  atomic.Uint64
+	mainGen    atomic.Uint64
+	logicalGen atomic.Uint64
+	streak     atomic.Uint32
+}
+
+// observe records one stale read at the given generations and returns the
+// current streak length.
+func (s *viewStaleness) observe(sg, mg, lg uint64) int {
+	if s.shadowGen.Load() != sg || s.mainGen.Load() != mg || s.logicalGen.Load() != lg {
+		s.shadowGen.Store(sg)
+		s.mainGen.Store(mg)
+		s.logicalGen.Store(lg)
+		s.streak.Store(1)
+		return 1
+	}
+	return int(s.streak.Add(1))
+}
+
+// freshView returns a snapshot valid for the current table generations,
+// rebuilding one if the hysteresis threshold has been reached, or nil when
+// the caller should use the live (read-locked) tables instead. Must be
+// called with at least the read lock held — the rebuild reads table
+// contents, which only the lock makes stable.
+func (a *Agent) freshView() *agentView {
+	if a.cfg.LinearLookup {
+		return nil
+	}
+	sg, mg, lg := a.shadow.Gen(), a.main.Gen(), a.logicalGen.Load()
+	if v := a.view.Load(); v != nil && v.shadowGen == sg && v.mainGen == mg && v.logicalGen == lg {
+		return v
+	}
+	if a.stale.observe(sg, mg, lg) < viewRebuildAfter {
+		return nil
+	}
+	v := &agentView{
+		shadowGen: sg,
+		mainGen:   mg,
+		shadow:    classifier.NewRuleIndex(a.shadow.Rules()),
+		main:      classifier.NewRuleIndex(a.main.Rules()),
+	}
+	if a.cfg.TrackLogical {
+		v.logicalGen = lg
+		v.logical = classifier.NewRuleIndex(a.logicalFirstMatchOrder())
+	}
+	a.view.Store(v)
+	return v
+}
+
+// logicalFirstMatchOrder returns a copy of the reference monolithic table
+// sorted into first-match order: priority descending, insertion order
+// breaking ties (the stable sort preserves it).
+func (a *Agent) logicalFirstMatchOrder() []classifier.Rule {
+	rules := append([]classifier.Rule(nil), a.logical...)
+	sort.SliceStable(rules, func(i, j int) bool { return rules[i].Priority > rules[j].Priority })
+	return rules
+}

@@ -1,0 +1,283 @@
+package core
+
+// Tests for the indexed lookup fast path and the agent's concurrent read
+// story: twin-agent differential runs (indexed vs. the LinearLookup oracle,
+// including interrupted migrations and crash recovery), snapshot
+// invalidation via the table generation counters, and a -race exercise of
+// readers running against the control-plane mutators.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/tcam"
+)
+
+// newTwin builds one agent of the differential pair.
+func newTwin(t *testing.T, name string, linear bool, interruptSeed int64) *Agent {
+	t.Helper()
+	sw := tcam.NewSwitch(name, tcam.Pica8P3290)
+	cfg := Config{
+		Guarantee:        5 * time.Millisecond,
+		TrackLogical:     true,
+		DisableRateLimit: true,
+		LinearLookup:     linear,
+	}
+	a, err := New(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interruptSeed != 0 {
+		// Deterministic interrupt schedule; both twins get the same seed so
+		// their migrations are cut at identical step boundaries.
+		irng := rand.New(rand.NewSource(interruptSeed))
+		a.SetMigrationInterrupt(func(step MigrationStep, now time.Duration) bool {
+			return irng.Intn(12) == 0
+		})
+	}
+	return a
+}
+
+// TestIndexedLinearTwinAgents drives an indexed agent and a LinearLookup
+// oracle agent through identical workloads — inserts, deletes, modifies,
+// ticks, migrations interrupted mid-step, crash/restart/reconcile — and
+// after every operation requires Lookup to return the identical rule (ID,
+// match, priority, action — not merely the same action) on both.
+func TestIndexedLinearTwinAgents(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		indexed := newTwin(t, "twin-indexed", false, seed+100)
+		linear := newTwin(t, "twin-linear", true, seed+100)
+		rng := rand.New(rand.NewSource(seed))
+		now := time.Duration(0)
+		var live []classifier.RuleID
+		nextID := classifier.RuleID(1)
+
+		apply := func(f func(a *Agent) error) {
+			t.Helper()
+			if err := f(indexed); err != nil {
+				t.Fatalf("seed %d: indexed: %v", seed, err)
+			}
+			if err := f(linear); err != nil {
+				t.Fatalf("seed %d: linear: %v", seed, err)
+			}
+		}
+		probe := func(op int) {
+			t.Helper()
+			prng := rand.New(rand.NewSource(seed*1000 + int64(op)))
+			logical := indexed.LogicalRules()
+			for k := 0; k < 120; k++ {
+				var dst uint32
+				if len(logical) > 0 && prng.Intn(4) != 0 {
+					p := logical[prng.Intn(len(logical))].Match.Dst
+					dst = p.Addr | (prng.Uint32() & ^p.Mask())
+				} else {
+					dst = prng.Uint32()
+				}
+				got, gok := indexed.Lookup(dst, 0)
+				want, wok := linear.Lookup(dst, 0)
+				if gok != wok || got != want {
+					t.Fatalf("seed %d op %d pkt %08x: indexed %v,%v linear %v,%v",
+						seed, op, dst, got, gok, want, wok)
+				}
+				lg, lok := indexed.LogicalLookup(dst, 0)
+				lw, lwok := linear.LogicalLookup(dst, 0)
+				if lok != lwok || lg != lw {
+					t.Fatalf("seed %d op %d pkt %08x: logical indexed %v,%v linear %v,%v",
+						seed, op, dst, lg, lok, lw, lwok)
+				}
+			}
+		}
+
+		for op := 0; op < 90; op++ {
+			now += time.Duration(rng.Intn(8)+1) * time.Millisecond
+			switch x := rng.Intn(12); {
+			case x < 6:
+				r := classifier.Rule{
+					ID:       nextID,
+					Match:    classifier.DstMatch(classifier.NewPrefix(0xC0A80000|(rng.Uint32()&0xFFFF), uint8(16+rng.Intn(17)))),
+					Priority: int32(rng.Intn(50)),
+					Action:   classifier.Action{Type: classifier.ActionForward, Port: int(nextID)},
+				}
+				apply(func(a *Agent) error { _, err := a.Insert(now, r); return err })
+				live = append(live, nextID)
+				nextID++
+			case x < 7 && len(live) > 0:
+				i := rng.Intn(len(live))
+				apply(func(a *Agent) error { _, err := a.Delete(now, live[i]); return err })
+				live = append(live[:i], live[i+1:]...)
+			case x < 8 && len(live) > 0:
+				id := live[rng.Intn(len(live))]
+				mod := classifier.Rule{
+					ID:       id,
+					Match:    classifier.DstMatch(classifier.NewPrefix(0xC0A80000|(rng.Uint32()&0xFFFF), uint8(16+rng.Intn(17)))),
+					Priority: int32(rng.Intn(50)),
+					Action:   classifier.Action{Type: classifier.ActionDrop},
+				}
+				apply(func(a *Agent) error { _, err := a.Modify(now, mod); return err })
+			case x < 10:
+				done := indexed.Tick(now)
+				linear.Tick(now)
+				if done != 0 && rng.Intn(2) == 0 {
+					// Let the migration complete on both; probes below then
+					// see post-migration state. Otherwise it stays in flight
+					// and probes see the mid-migration state.
+					now = done
+					indexed.Advance(now)
+					linear.Advance(now)
+				}
+			case x == 10:
+				done := indexed.ForceMigration(now)
+				linear.ForceMigration(now)
+				if done != 0 && rng.Intn(2) == 0 {
+					now = done
+					indexed.Advance(now)
+					linear.Advance(now)
+				}
+			default:
+				apply(func(a *Agent) error {
+					a.CrashRestart(now)
+					a.Reconcile(now)
+					return a.CheckConsistency()
+				})
+			}
+			if indexed.NeedsReconcile() {
+				apply(func(a *Agent) error { a.Reconcile(now); return a.CheckConsistency() })
+			}
+			probe(op)
+		}
+	}
+}
+
+// TestLookupSnapshotInvalidation proves the generation counters invalidate
+// the lock-free snapshot even when the switch is mutated behind the agent's
+// back (the chaos harness calls Switch().CrashRestart() directly).
+func TestLookupSnapshotInvalidation(t *testing.T) {
+	a := newTestAgent(t, Config{DisableRateLimit: true})
+	r := dstRule(1, "10.0.0.0/8", 5, 1)
+	if _, err := a.Insert(0, r); err != nil {
+		t.Fatal(err)
+	}
+	// Enough repeated lookups to pass the rebuild hysteresis and publish a
+	// snapshot.
+	for i := 0; i < 4*viewRebuildAfter; i++ {
+		if got, ok := a.Lookup(0x0A000001, 0); !ok || got.ID != 1 {
+			t.Fatalf("lookup %d: %v %v", i, got, ok)
+		}
+	}
+	if a.view.Load() == nil {
+		t.Fatal("snapshot never published despite stable generations")
+	}
+	// Out-of-band wipe: the agent is not told, but the table generations
+	// move, so the stale snapshot must not be trusted.
+	a.Switch().CrashRestart()
+	if _, ok := a.Lookup(0x0A000001, 0); ok {
+		t.Fatal("lookup served a stale snapshot after out-of-band wipe")
+	}
+}
+
+// TestLinearLookupConfigUsesScanPath checks the oracle configuration never
+// publishes a snapshot (reads go to the live scan path).
+func TestLinearLookupConfigUsesScanPath(t *testing.T) {
+	sw := tcam.NewSwitch("lin", tcam.Pica8P3290)
+	a, err := New(sw, Config{Guarantee: 5 * time.Millisecond, LinearLookup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Insert(0, dstRule(1, "10.0.0.0/8", 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8*viewRebuildAfter; i++ {
+		if _, ok := a.Lookup(0x0A000001, 0); !ok {
+			t.Fatal("lookup missed")
+		}
+	}
+	if a.view.Load() != nil {
+		t.Fatal("LinearLookup agent published a snapshot")
+	}
+}
+
+// TestConcurrentReadersUnderMutation exercises every reader against the
+// control-plane mutators for the race detector: lookups (fast and slow
+// path), logical lookups, metrics, occupancies, consistency checks — all
+// while rules churn, migrations run, and the switch crash-restarts.
+func TestConcurrentReadersUnderMutation(t *testing.T) {
+	a := newTestAgent(t, Config{DisableRateLimit: true})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				dst := 0xC0A80000 | (rng.Uint32() & 0xFFFF)
+				a.Lookup(dst, 0)
+				a.LogicalLookup(dst, 0)
+				switch rng.Intn(8) {
+				case 0:
+					a.Metrics()
+				case 1:
+					a.ShadowOccupancy()
+					a.MainOccupancy()
+				case 2:
+					a.MigrationEndsAt()
+					a.NeedsReconcile()
+				case 3:
+					a.CurrentSlack()
+				}
+			}
+		}(int64(g))
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	now := time.Duration(0)
+	var live []classifier.RuleID
+	nextID := classifier.RuleID(1)
+	for op := 0; op < 4000; op++ {
+		now += time.Millisecond
+		switch x := rng.Intn(12); {
+		case x < 7:
+			r := classifier.Rule{
+				ID:       nextID,
+				Match:    classifier.DstMatch(classifier.NewPrefix(0xC0A80000|(rng.Uint32()&0xFFFF), uint8(16+rng.Intn(17)))),
+				Priority: int32(rng.Intn(50)),
+				Action:   classifier.Action{Type: classifier.ActionForward, Port: int(nextID)},
+			}
+			if _, err := a.Insert(now, r); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, nextID)
+			nextID++
+		case x < 9 && len(live) > 0:
+			i := rng.Intn(len(live))
+			if _, err := a.Delete(now, live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		case x < 10:
+			a.Tick(now)
+		case x == 10:
+			if end := a.ForceMigration(now); end != 0 {
+				now = end
+				a.Advance(now)
+			}
+		default:
+			a.CrashRestart(now)
+			a.Reconcile(now)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

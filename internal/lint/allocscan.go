@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AllocscanAnalyzer guards the zero-allocation packet path: Table.Lookup
+// runs per simulated packet and the agent's snapshot read path promises 0
+// allocs/op (BenchmarkTableLookup, BenchmarkAgentLookupParallel). A stray
+// make(map...), growing append, or map/slice composite literal inside a
+// lookup-path function turns every packet into a heap allocation and a GC
+// assist — a regression benchmarks catch late and this check catches at
+// lint time. Mutators (Insert, Delete, Reconcile, ...) are free to
+// allocate; only functions on the per-packet path are scanned.
+var AllocscanAnalyzer = &Analyzer{
+	Name: "allocscan",
+	Doc:  "flags per-call heap allocation in the packet-lookup hot path",
+	Paths: []string{
+		"internal/tcam",
+		"internal/classifier",
+	},
+	SkipTests: true,
+	Run:       runAllocscan,
+}
+
+// hotPathFunc reports whether a function is on the per-packet lookup path:
+// anything named *Lookup*/*lookup* plus the trie iteration pair backing
+// LookupIndexed.
+func hotPathFunc(name string) bool {
+	return strings.Contains(name, "Lookup") || strings.Contains(name, "lookup") ||
+		name == "MatchCandidates" || name == "Next"
+}
+
+func runAllocscan(p *Pass) {
+	for _, file := range p.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hotPathFunc(fn.Name.Name) {
+				continue
+			}
+			scanAllocs(p, fn)
+		}
+	}
+}
+
+func scanAllocs(p *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, builtin := p.Pkg.Info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			switch id.Name {
+			case "make":
+				p.Reportf(n.Pos(),
+					"%s allocates with make per call; hoist the allocation into the index or table state",
+					fn.Name.Name)
+			case "append":
+				p.Reportf(n.Pos(),
+					"%s grows a slice per call; lookup must reuse preallocated state",
+					fn.Name.Name)
+			}
+		case *ast.CompositeLit:
+			t := p.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map, *types.Slice:
+				p.Reportf(n.Pos(),
+					"%s builds a %s literal per call; lookup must not allocate",
+					fn.Name.Name, typeKind(t))
+			}
+		}
+		return true
+	})
+}
+
+func typeKind(t types.Type) string {
+	if _, ok := t.Underlying().(*types.Map); ok {
+		return "map"
+	}
+	return "slice"
+}

@@ -125,6 +125,7 @@ func Analyzers() []*Analyzer {
 		LockcheckAnalyzer,
 		WrapcheckAnalyzer,
 		TestGoroutineAnalyzer,
+		AllocscanAnalyzer,
 	}
 }
 

@@ -3,6 +3,7 @@ package tcam
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"hermes/internal/classifier"
@@ -25,7 +26,7 @@ const (
 	OpInsert Op = iota
 	// OpDelete covers Delete.
 	OpDelete
-	// OpModify covers ModifyAction and ModifyMatch.
+	// OpModify covers ModifyAction, ModifyMatch and ModifyPriority.
 	OpModify
 )
 
@@ -58,6 +59,22 @@ type OpFault struct {
 // (scripted or seeded) so fault schedules replay identically.
 type OpFaultHook func(op Op, id classifier.RuleID) OpFault
 
+// entryMeta is the per-rule bookkeeping record: the sort key the entry is
+// physically placed by. slotOf recovers the entry's slot from it with one
+// binary search instead of a table scan, and the indexed lookup uses
+// (Priority, rank, ord) to rank trie candidates exactly as the physical
+// order would.
+type entryMeta struct {
+	priority int32
+	// rank breaks priority ties: lower rank sits higher (see Table.ranks).
+	rank uint64
+	// ord is a per-table monotonic arrival stamp. Within an equal
+	// (priority, rank) group physical order equals ascending ord, because
+	// insertions always place new equals below existing ones. It makes the
+	// indexed candidate ranking a total order identical to slot order.
+	ord uint64
+}
+
 // Table is one TCAM slice: a priority-ordered entry list with the shift-cost
 // insertion behaviour of real TCAMs. Entries are kept in descending priority
 // order; among equal priorities the earlier-inserted rule sits higher, which
@@ -65,6 +82,12 @@ type OpFaultHook func(op Op, id classifier.RuleID) OpFault
 //
 // Every mutating operation returns the modeled hardware latency so callers
 // (the Hermes agent, the simulator) can account for control-plane time.
+//
+// Alongside the physical entry list the table maintains two indexes: meta
+// (ID → sort key) so Get/Delete/Modify* locate a slot without scanning, and
+// a destination-prefix trie so Lookup only visits the entries whose Dst can
+// match the packet. SetLinearLookup(true) reverts Lookup to the full scan —
+// kept as the differential-testing oracle, never as the production path.
 type Table struct {
 	name     string
 	capacity int
@@ -76,7 +99,21 @@ type Table struct {
 	// sequence numbers so migrated rules regain their original standing.
 	ranks    []uint64
 	nextRank uint64
-	present  map[classifier.RuleID]bool
+
+	// meta maps installed rule IDs to their placement key; it replaces the
+	// old presence set and makes rule bookkeeping O(log n) instead of O(n).
+	meta    map[classifier.RuleID]entryMeta
+	nextOrd uint64
+	// index holds exactly the installed entries keyed by destination
+	// prefix; the indexed Lookup walks the packet's ≤33-node trie path.
+	index classifier.Trie
+	// linear reverts Lookup to the full-scan oracle.
+	linear bool
+
+	// gen counts state changes. It is atomic so lock-free readers (the
+	// agent's snapshot path) can cheaply validate a cached view even when
+	// harnesses mutate the table behind the agent's back (CrashRestart).
+	gen atomic.Uint64
 
 	// fault, when non-nil, is consulted before every mutation (the
 	// fault-injection seam used by internal/faultinject).
@@ -115,7 +152,7 @@ func NewTable(name string, capacity int, profile *Profile) *Table {
 		name:     name,
 		capacity: capacity,
 		profile:  profile,
-		present:  make(map[classifier.RuleID]bool),
+		meta:     make(map[classifier.RuleID]entryMeta),
 	}
 }
 
@@ -134,8 +171,21 @@ func (t *Table) Free() int { return t.capacity - len(t.entries) }
 // Profile returns the switch profile backing the latency model.
 func (t *Table) Profile() *Profile { return t.profile }
 
+// Gen returns the table's state-change generation. Any mutation — including
+// out-of-band ones like Wipe from a crash harness — bumps it, so a reader
+// holding a derived snapshot can detect staleness with one atomic load.
+func (t *Table) Gen() uint64 { return t.gen.Load() }
+
+// SetLinearLookup selects the full-scan lookup path (true) or the trie-
+// indexed one (false, the default). The linear path exists as the
+// differential-testing oracle.
+func (t *Table) SetLinearLookup(v bool) { t.linear = v }
+
 // Contains reports whether a rule ID is installed.
-func (t *Table) Contains(id classifier.RuleID) bool { return t.present[id] }
+func (t *Table) Contains(id classifier.RuleID) bool {
+	_, ok := t.meta[id]
+	return ok
+}
 
 // Rules returns the installed rules in TCAM order (highest priority first).
 // The returned slice is a copy.
@@ -150,7 +200,9 @@ func (t *Table) InsertPosition(priority int32) (pos, shifts int) {
 	return t.insertPositionRanked(priority, ^uint64(0))
 }
 
-// insertPositionRanked places by (priority desc, rank asc).
+// insertPositionRanked places by (priority desc, rank asc). Among equal
+// (priority, rank) the new entry lands below existing ones — the invariant
+// entryMeta.ord depends on.
 func (t *Table) insertPositionRanked(priority int32, rank uint64) (pos, shifts int) {
 	lo, hi := 0, len(t.entries)
 	for lo < hi {
@@ -163,6 +215,35 @@ func (t *Table) insertPositionRanked(priority int32, rank uint64) (pos, shifts i
 		}
 	}
 	return lo, len(t.entries) - lo
+}
+
+// slotOf locates an installed rule's slot: binary-search to the start of
+// its (priority, rank) group, then walk the (almost always tiny) group.
+// Returns -1 if the ID is not installed.
+func (t *Table) slotOf(id classifier.RuleID) int {
+	m, ok := t.meta[id]
+	if !ok {
+		return -1
+	}
+	lo, hi := 0, len(t.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := t.entries[mid]
+		if e.Priority > m.priority || (e.Priority == m.priority && t.ranks[mid] < m.rank) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < len(t.entries); i++ {
+		if t.entries[i].ID == id {
+			return i
+		}
+		if t.entries[i].Priority != m.priority || t.ranks[i] != m.rank {
+			break
+		}
+	}
+	return -1
 }
 
 // InsertCost returns the latency an insertion of the given priority would
@@ -190,7 +271,7 @@ func (t *Table) InsertRanked(r classifier.Rule, rank uint64) (time.Duration, err
 	if len(t.entries) >= t.capacity {
 		return 0, fmt.Errorf("%w: %s at %d entries", ErrTableFull, t.name, t.capacity)
 	}
-	if t.present[r.ID] {
+	if _, dup := t.meta[r.ID]; dup {
 		return 0, fmt.Errorf("%w: %d in %s", ErrDuplicateID, r.ID, t.name)
 	}
 	if rank >= t.nextRank {
@@ -209,9 +290,12 @@ func (t *Table) InsertRanked(r classifier.Rule, rank uint64) (time.Duration, err
 	t.ranks = append(t.ranks, 0)
 	copy(t.ranks[pos+1:], t.ranks[pos:])
 	t.ranks[pos] = rank
-	t.present[r.ID] = true
+	t.meta[r.ID] = entryMeta{priority: r.Priority, rank: rank, ord: t.nextOrd}
+	t.nextOrd++
+	t.index.Insert(r)
 	t.totalShifts += shifts
 	t.totalInserts++
+	t.gen.Add(1)
 	return t.profile.InsertLatency(shifts) + f.Extra, nil
 }
 
@@ -219,7 +303,8 @@ func (t *Table) InsertRanked(r classifier.Rule, rank uint64) (time.Duration, err
 // the rule was present. Deletion never shifts entries: real TCAMs simply
 // invalidate the slot (§2.1, "deletion is a simple and fast operation").
 func (t *Table) Delete(id classifier.RuleID) (time.Duration, bool) {
-	if !t.present[id] {
+	i := t.slotOf(id)
+	if i < 0 {
 		return 0, false
 	}
 	f := t.faultFor(OpDelete, id)
@@ -228,64 +313,120 @@ func (t *Table) Delete(id classifier.RuleID) (time.Duration, bool) {
 		t.droppedOps++
 		return t.profile.DeleteLatency + f.Extra, true
 	}
-	for i, e := range t.entries {
-		if e.ID == id {
-			t.entries = append(t.entries[:i], t.entries[i+1:]...)
-			t.ranks = append(t.ranks[:i], t.ranks[i+1:]...)
-			break
-		}
-	}
-	delete(t.present, id)
+	t.index.Delete(t.entries[i].Match.Dst, id)
+	t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	t.ranks = append(t.ranks[:i], t.ranks[i+1:]...)
+	delete(t.meta, id)
 	t.totalDeletes++
+	t.gen.Add(1)
 	return t.profile.DeleteLatency + f.Extra, true
 }
 
 // ModifyAction rewrites a rule's action in place — constant time, no
 // reordering (§2.1, "modifications, surprisingly, can be constant").
 func (t *Table) ModifyAction(id classifier.RuleID, a classifier.Action) (time.Duration, bool) {
-	for i := range t.entries {
-		if t.entries[i].ID == id {
-			f := t.faultFor(OpModify, id)
-			if f.Drop {
-				t.droppedOps++
-				return t.profile.ModifyLatency + f.Extra, true
-			}
-			t.entries[i].Action = a
-			t.totalMods++
-			return t.profile.ModifyLatency + f.Extra, true
-		}
+	i := t.slotOf(id)
+	if i < 0 {
+		return 0, false
 	}
-	return 0, false
+	f := t.faultFor(OpModify, id)
+	if f.Drop {
+		t.droppedOps++
+		return t.profile.ModifyLatency + f.Extra, true
+	}
+	t.entries[i].Action = a
+	t.index.Update(t.entries[i].Match.Dst, t.entries[i])
+	t.totalMods++
+	t.gen.Add(1)
+	return t.profile.ModifyLatency + f.Extra, true
 }
 
-// ModifyMatch rewrites a rule's match in place, also constant time.
+// ModifyMatch rewrites a rule's match in place — constant-time slot
+// bookkeeping via the ID index (the slot, priority and tie rank are
+// unchanged, so the entry does not move).
 func (t *Table) ModifyMatch(id classifier.RuleID, m classifier.Match) (time.Duration, bool) {
-	for i := range t.entries {
-		if t.entries[i].ID == id {
-			t.entries[i].Match = m
-			t.totalMods++
-			return t.profile.ModifyLatency, true
-		}
+	i := t.slotOf(id)
+	if i < 0 {
+		return 0, false
 	}
-	return 0, false
+	oldDst := t.entries[i].Match.Dst
+	t.entries[i].Match = m
+	if oldDst == m.Dst {
+		t.index.Update(m.Dst, t.entries[i])
+	} else {
+		t.index.Delete(oldDst, id)
+		t.index.Insert(t.entries[i])
+	}
+	t.totalMods++
+	t.gen.Add(1)
+	return t.profile.ModifyLatency, true
 }
 
-// Get returns the installed rule with the given ID.
+// ModifyPriority moves a rule to a new priority, keeping its tie rank. The
+// hardware cost is the shift distance between the old and new slots, as if
+// the update engine slid the intervening entries by one. The repositioned
+// entry lands below existing (priority, rank) equals, like a fresh insert.
+func (t *Table) ModifyPriority(id classifier.RuleID, priority int32) (time.Duration, bool) {
+	i := t.slotOf(id)
+	if i < 0 {
+		return 0, false
+	}
+	f := t.faultFor(OpModify, id)
+	if f.Drop {
+		t.droppedOps++
+		return t.profile.ModifyLatency + f.Extra, true
+	}
+	r := t.entries[i]
+	m := t.meta[id]
+	r.Priority = priority
+	// Remove, then re-place by the new key.
+	t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	t.ranks = append(t.ranks[:i], t.ranks[i+1:]...)
+	pos, _ := t.insertPositionRanked(priority, m.rank)
+	t.entries = append(t.entries, classifier.Rule{})
+	copy(t.entries[pos+1:], t.entries[pos:])
+	t.entries[pos] = r
+	t.ranks = append(t.ranks, 0)
+	copy(t.ranks[pos+1:], t.ranks[pos:])
+	t.ranks[pos] = m.rank
+	t.meta[id] = entryMeta{priority: priority, rank: m.rank, ord: t.nextOrd}
+	t.nextOrd++
+	t.index.Update(r.Match.Dst, r)
+	shifts := pos - i
+	if shifts < 0 {
+		shifts = -shifts
+	}
+	t.totalShifts += shifts
+	t.totalMods++
+	t.gen.Add(1)
+	return t.profile.InsertLatency(shifts) + f.Extra, true
+}
+
+// Get returns the installed rule with the given ID — an indexed slot
+// recovery, not a scan.
 func (t *Table) Get(id classifier.RuleID) (classifier.Rule, bool) {
-	if !t.present[id] {
+	i := t.slotOf(id)
+	if i < 0 {
 		return classifier.Rule{}, false
 	}
-	for _, e := range t.entries {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return classifier.Rule{}, false
+	return t.entries[i], true
 }
 
 // Lookup returns the first (highest-priority, earliest-inserted) rule
-// matching the packet, mirroring hardware first-match semantics.
+// matching the packet, mirroring hardware first-match semantics. The
+// default path descends the destination-prefix trie and ranks the on-path
+// candidates; SetLinearLookup(true) selects the full-scan oracle instead.
+// Both return bit-for-bit the same rule.
 func (t *Table) Lookup(dst, src uint32) (classifier.Rule, bool) {
+	if t.linear {
+		return t.LookupLinear(dst, src)
+	}
+	return t.LookupIndexed(dst, src)
+}
+
+// LookupLinear is the scan-every-entry reference lookup, kept as the
+// differential-testing oracle for LookupIndexed.
+func (t *Table) LookupLinear(dst, src uint32) (classifier.Rule, bool) {
 	for _, e := range t.entries {
 		if e.Match.MatchesPacket(dst, src) {
 			return e, true
@@ -294,14 +435,43 @@ func (t *Table) Lookup(dst, src uint32) (classifier.Rule, bool) {
 	return classifier.Rule{}, false
 }
 
+// LookupIndexed walks the ≤33 trie nodes on the packet's destination path —
+// exactly the entries whose Dst can match — and picks the winner by
+// (priority desc, rank asc, ord asc), which is precisely physical slot
+// order. Zero allocations.
+func (t *Table) LookupIndexed(dst, src uint32) (classifier.Rule, bool) {
+	var best classifier.Rule
+	found := false
+	for it := t.index.MatchCandidates(dst); ; {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !r.Match.Src.MatchesAddr(src) {
+			continue
+		}
+		if !found || r.Priority > best.Priority {
+			best, found = r, true
+			continue
+		}
+		if r.Priority == best.Priority {
+			// Tie: fall back to the placement key (rank, then arrival).
+			rm, bm := t.meta[r.ID], t.meta[best.ID]
+			if rm.rank < bm.rank || (rm.rank == bm.rank && rm.ord < bm.ord) {
+				best = r
+			}
+		}
+	}
+	return best, found
+}
+
 // Reset empties the table. Used by the Rule Manager's "empty shadow table"
 // migration step; bulk invalidation is a cheap constant-time TCAM
-// operation per entry.
+// operation per entry. The bookkeeping map is cleared in place rather than
+// reallocated — migration-heavy runs reset tables constantly.
 func (t *Table) Reset() time.Duration {
 	n := len(t.entries)
-	t.entries = t.entries[:0]
-	t.ranks = t.ranks[:0]
-	t.present = make(map[classifier.RuleID]bool)
+	t.clearState()
 	return time.Duration(n) * t.profile.DeleteLatency
 }
 
@@ -309,9 +479,15 @@ func (t *Table) Reset() time.Duration {
 // with no modeled latency and no operation counters (the control plane
 // never issued these deletions — the hardware simply lost its state).
 func (t *Table) Wipe() {
+	t.clearState()
+}
+
+func (t *Table) clearState() {
 	t.entries = t.entries[:0]
 	t.ranks = t.ranks[:0]
-	t.present = make(map[classifier.RuleID]bool)
+	clear(t.meta)
+	t.index.Clear()
+	t.gen.Add(1)
 }
 
 // Truncate models a crash mid-bulk-write: only the first n entries (in
@@ -322,10 +498,12 @@ func (t *Table) Truncate(n int) {
 		return
 	}
 	for _, e := range t.entries[n:] {
-		delete(t.present, e.ID)
+		delete(t.meta, e.ID)
+		t.index.Delete(e.Match.Dst, e.ID)
 	}
 	t.entries = t.entries[:n]
 	t.ranks = t.ranks[:n]
+	t.gen.Add(1)
 }
 
 // Stats reports cumulative operation counters.

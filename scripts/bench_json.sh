@@ -1,0 +1,59 @@
+#!/bin/sh
+# Runs the lookup-path microbenchmarks (plus the agent read-path bench)
+# with -benchmem and renders the results as JSON, one object per
+# benchmark: {"name", "runs", "ns_per_op", "bytes_per_op", "allocs_per_op",
+# and any b.ReportMetric extras keyed by unit}.
+#
+# Usage: scripts/bench_json.sh [output.json] [benchtime]
+#   output.json  defaults to BENCH_lookup.json in the repo root (committed
+#                as the tracked perf baseline).
+#   benchtime    defaults to 0.2s; scripts/check.sh passes a short budget
+#                for its smoke run.
+#
+# Stdlib awk only; no jq, no module downloads.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_lookup.json}"
+benchtime="${2:-0.2s}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Table-level lookup + reset benches live in internal/tcam; the agent
+# read-path bench lives in the root package.
+go test -run '^$' -bench 'BenchmarkTableLookup|BenchmarkTableReset' \
+	-benchmem -benchtime "$benchtime" ./internal/tcam | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkAgentLookupParallel|BenchmarkLookup$' \
+	-benchmem -benchtime "$benchtime" . | tee -a "$raw"
+
+awk '
+/^Benchmark/ {
+	# Benchmark lines: name  runs  value unit  value unit ...
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"runs\": %s", $1, $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		key = unit
+		if (unit == "ns/op") key = "ns_per_op"
+		else if (unit == "B/op") key = "bytes_per_op"
+		else if (unit == "allocs/op") key = "allocs_per_op"
+		else { gsub(/[^A-Za-z0-9]/, "_", key) }
+		printf ", \"%s\": %s", key, $i
+	}
+	printf "}"
+}
+END { printf "\n" }
+' "$raw" > "$out.tmp"
+
+{
+	echo "{"
+	echo "\"benchtime\": \"$benchtime\","
+	echo "\"benchmarks\": ["
+	cat "$out.tmp"
+	echo "]"
+	echo "}"
+} > "$out"
+rm -f "$out.tmp"
+
+echo "wrote $out"

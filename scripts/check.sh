@@ -36,6 +36,16 @@ if grep -Eq 'DIVERGED|FAILED' /tmp/hermes-chaos.$$; then
 fi
 rm -f /tmp/hermes-chaos.$$
 
+echo ">> bench-json smoke: lookup benches run and produce parseable JSON"
+bench_json="/tmp/hermes-bench-lookup.$$"
+./scripts/bench_json.sh "$bench_json" 20x >/dev/null
+if ! grep -q 'BenchmarkTableLookup/indexed' "$bench_json"; then
+  rm -f "$bench_json"
+  echo "bench-json smoke failed: no TableLookup results in output" >&2
+  exit 1
+fi
+rm -f "$bench_json"
+
 echo ">> fuzz: codec round-trip (5s)"
 go test -run='^$' -fuzz=FuzzCodecRoundTrip -fuzztime=5s ./internal/ofwire
 
