@@ -38,7 +38,8 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Lookup-path perf baseline: runs the table/agent lookup benches with
-# -benchmem and rewrites BENCH_lookup.json (committed, so perf regressions
-# show up in review diffs).
+# -benchmem and rewrites BENCH_lookup.json and BENCH_obs.json (committed,
+# so perf regressions — and obs-overhead regressions — show up in review
+# diffs).
 bench-json:
 	./scripts/bench_json.sh

@@ -24,6 +24,7 @@ import (
 	"hermes/internal/core"
 	"hermes/internal/experiments"
 	"hermes/internal/fleet"
+	"hermes/internal/obs"
 	"hermes/internal/ofwire"
 	"hermes/internal/stats"
 	"hermes/internal/tcam"
@@ -182,6 +183,99 @@ func BenchmarkShadowInsert(b *testing.B) {
 				agent.Advance(end)
 			}
 		}
+	}
+}
+
+// benchObserver builds a fully instrumented Observer (registry, per-class
+// histograms, tracer) for the obs-overhead comparison benches.
+func benchObserver() *core.Observer {
+	return core.NewObserver(obs.NewRegistry(), 4096)
+}
+
+// BenchmarkAgentInsert measures control-plane insertion with the obs
+// subsystem disabled (noop) and fully enabled (obs: per-class histograms,
+// TCAM shift histograms, lifecycle tracer). The budget is ≤5% throughput
+// overhead and zero additional allocs/op — metric recording itself never
+// touches the heap. scripts/bench_json.sh turns the pair into the
+// BENCH_obs.json overhead report.
+func BenchmarkAgentInsert(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		observed bool
+	}{{"noop", false}, {"obs", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sw := hermes.NewSwitch("bench", hermes.Pica8P3290)
+			cfg := hermes.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true}
+			if mode.observed {
+				cfg.Observer = benchObserver()
+			}
+			agent, err := hermes.NewAgent(sw, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := time.Duration(0)
+			const window = 2000
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := hermes.Rule{
+					ID:       hermes.RuleID(i + 1),
+					Match:    hermes.DstMatch(hermes.NewPrefix(uint32(i)<<8, 24)),
+					Priority: int32(i%50 + 1),
+				}
+				if _, err := agent.Insert(now, r); err != nil {
+					b.Fatal(err)
+				}
+				if i >= window {
+					if _, err := agent.Delete(now, hermes.RuleID(i+1-window)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				now += time.Millisecond
+				if i%64 == 63 {
+					if end := agent.Tick(now); end != 0 {
+						agent.Advance(end)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAgentLookup measures the per-packet read path with and without
+// the obs subsystem attached. Lookup is data plane — obs instruments only
+// control-plane operations — so the two sub-benches must be
+// indistinguishable; the pair pins that claim in BENCH_obs.json.
+func BenchmarkAgentLookup(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		observed bool
+	}{{"noop", false}, {"obs", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sw := hermes.NewSwitch("bench", hermes.Pica8P3290)
+			cfg := hermes.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true}
+			if mode.observed {
+				cfg.Observer = benchObserver()
+			}
+			agent, err := hermes.NewAgent(sw, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := time.Duration(0)
+			for i := 0; i < 500; i++ {
+				agent.Insert(now, hermes.Rule{ //nolint:errcheck
+					ID:       hermes.RuleID(i + 1),
+					Match:    hermes.DstMatch(hermes.NewPrefix(uint32(i)<<12, 20)),
+					Priority: int32(i % 50),
+				})
+				now += time.Millisecond
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent.Lookup(uint32(i)<<12, 0)
+			}
+		})
 	}
 }
 

@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"hermes/internal/core"
+	"hermes/internal/obs"
 	"hermes/internal/ofwire"
 	"hermes/internal/tcam"
 )
@@ -31,6 +33,8 @@ func main() {
 	guarantee := flag.Duration("guarantee", 5*time.Millisecond, "insertion guarantee")
 	name := flag.String("name", "hermes-sw", "switch name")
 	rateLimit := flag.Bool("ratelimit", true, "enable Gate Keeper admission control")
+	obsAddr := flag.String("obs-addr", "",
+		"serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	profile, ok := tcam.ProfileByName(*profName)
@@ -38,9 +42,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hermes-agentd: unknown switch %q\n", *profName)
 		os.Exit(1)
 	}
+	var (
+		reg      *obs.Registry
+		observer *core.Observer
+	)
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		observer = core.NewObserver(reg, 4096)
+	}
 	srv, err := ofwire.NewAgentServer(*name, profile, core.Config{
 		Guarantee:        *guarantee,
 		DisableRateLimit: !*rateLimit,
+		Observer:         observer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hermes-agentd: %v\n", err)
@@ -55,6 +68,18 @@ func main() {
 	fmt.Printf("hermes-agentd: %s (%s) on %s — guarantee %v, shadow %d entries (%.1f%% overhead), max rate %.0f rules/s\n",
 		*name, profile.Name, lis.Addr(), *guarantee,
 		agent.ShadowSize(), agent.OverheadFraction()*100, agent.MaxRate())
+
+	if *obsAddr != "" {
+		srv.RegisterObs(reg)
+		obsLis, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hermes-agentd: obs listener: %v\n", err)
+			os.Exit(1)
+		}
+		go http.Serve(obsLis, obs.NewMux(reg, observer.Tracer)) //nolint:errcheck
+		fmt.Printf("hermes-agentd: observability on http://%s/metrics (plus /debug/vars /debug/trace /debug/pprof)\n",
+			obsLis.Addr())
+	}
 
 	go func() {
 		ch := make(chan os.Signal, 1)

@@ -20,9 +20,12 @@ import (
 	"os"
 	"time"
 
+	"net/http"
+
 	"hermes/internal/classifier"
 	"hermes/internal/core"
 	"hermes/internal/fleet"
+	"hermes/internal/obs"
 	"hermes/internal/ofwire"
 	"hermes/internal/tcam"
 	"hermes/internal/workload"
@@ -45,6 +48,8 @@ func main() {
 	retry := flag.Bool("retry", false, "retry diverted insertions with backoff")
 	kill := flag.Int("kill", -1, "kill this switch index mid-replay (circuit-breaker demo)")
 	seed := flag.Int64("seed", 1, "workload and jitter seed")
+	obsAddr := flag.String("obs-addr", "",
+		"serve fleet /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	profile, ok := tcam.ProfileByName(*profName)
@@ -78,7 +83,11 @@ func main() {
 		servers[i] = srv
 	}
 
-	// Controller side: the fleet manager.
+	// Controller side: the fleet manager, optionally exposed over HTTP.
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	f, err := fleet.New(fleet.Config{
 		QueueDepth:    *queue,
 		BatchSize:     *batch,
@@ -86,11 +95,20 @@ func main() {
 		Breaker:       fleet.BreakerConfig{FailureThreshold: 3, OpenTimeout: 250 * time.Millisecond},
 		RetryDiverted: *retry,
 		Seed:          *seed,
+		Obs:           reg,
 	}, specs)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer f.Close()
+	if reg != nil {
+		obsLis, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fatalf("obs listener: %v", err)
+		}
+		go http.Serve(obsLis, obs.NewMux(reg, nil)) //nolint:errcheck
+		fmt.Printf("fleet observability on http://%s/metrics\n", obsLis.Addr())
+	}
 	fmt.Printf("fleet of %d × %s agents up (guarantee %v, batch %d, queue %d)\n",
 		*switches, profile.Name, *guarantee, *batch, *queue)
 

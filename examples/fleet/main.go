@@ -8,6 +8,10 @@
 // percentiles. Finally one agent is killed to show the circuit breaker
 // isolating the failure while the rest of the fleet keeps working.
 //
+// The controller also serves the always-on observability surface the way
+// hermes-fleetd does with -obs-addr: per-switch queue depth, breaker state,
+// retry counters, and control-channel RTT histograms on /metrics.
+//
 //	go run ./examples/fleet
 package main
 
@@ -16,11 +20,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"strings"
 	"time"
 
 	"hermes/internal/classifier"
 	"hermes/internal/core"
 	"hermes/internal/fleet"
+	"hermes/internal/obs"
 	"hermes/internal/ofwire"
 	"hermes/internal/tcam"
 )
@@ -50,16 +57,24 @@ func main() {
 		servers = append(servers, srv)
 	}
 
-	// Controller side: one fleet manager over all three.
+	// Controller side: one fleet manager over all three, with its metrics
+	// exposed over HTTP (what hermes-fleetd's -obs-addr flag does).
+	reg := obs.NewRegistry()
 	f, err := fleet.New(fleet.Config{
 		ProbeInterval: 20 * time.Millisecond,
 		Breaker:       fleet.BreakerConfig{FailureThreshold: 2, OpenTimeout: 200 * time.Millisecond},
+		Obs:           reg,
 	}, specs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	fmt.Printf("fleet up: %v\n", f.Switches())
+	obsLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(obsLis, obs.NewMux(reg, nil)) //nolint:errcheck
+	fmt.Printf("fleet up: %v — metrics on http://%s/metrics\n", f.Switches(), obsLis.Addr())
 
 	// Install 300 rules, routed by rule ID; the async API keeps every
 	// switch's pipeline full.
@@ -109,4 +124,22 @@ func main() {
 		log.Fatal(res.Err)
 	}
 	fmt.Println("tor-0 still accepting flow-mods — outage contained")
+
+	// Scrape our own /metrics: the breaker trip and the per-switch traffic
+	// split are visible to any Prometheus-compatible collector.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", obsLis.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	fmt.Println("\nfleet metrics (breaker + RTT excerpts):")
+	for _, line := range strings.Split(string(buf[:n]), "\n") {
+		if strings.HasPrefix(line, "hermes_fleet_breaker_state") ||
+			strings.HasPrefix(line, "hermes_fleet_ops_ok_total") ||
+			strings.HasPrefix(line, "hermes_ofwire_rtt_ns_count") {
+			fmt.Println("  " + line)
+		}
+	}
 }

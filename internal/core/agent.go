@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hermes/internal/classifier"
+	"hermes/internal/obs"
 	"hermes/internal/predict"
 	"hermes/internal/tcam"
 	"hermes/internal/tokenbucket"
@@ -110,6 +111,9 @@ type Agent struct {
 	needsReconcile bool
 
 	metrics Metrics
+	// o is the optional obs wiring (Config.Observer); nil costs one
+	// pointer check per instrumented call site.
+	o *Observer
 
 	// logical is the reference monolithic table (insertion-ordered) kept
 	// when cfg.TrackLogical is set; tests use it to verify equivalence.
@@ -151,6 +155,12 @@ func New(sw *tcam.Switch, cfg Config) (*Agent, error) {
 		pmap:       classifier.NewPartitionMap(),
 		rules:      make(map[classifier.RuleID]*ruleState),
 		nextPartID: partIDBase,
+		metrics:    newMetrics(),
+		o:          cfg.Observer,
+	}
+	if a.o != nil {
+		shadow.SetShiftHistogram(a.o.ShadowShifts)
+		main.SetShiftHistogram(a.o.MainShifts)
 	}
 	a.maxRate = a.computeMaxRate()
 	if !cfg.DisableRateLimit {
@@ -228,8 +238,9 @@ func (a *Agent) Guarantee() time.Duration { return a.cfg.Guarantee }
 // simulator).
 func (a *Agent) Switch() *tcam.Switch { return a.sw }
 
-// Metrics returns a snapshot of the agent's counters. The slice fields
-// share their backing store with the live metrics; treat them as read-only.
+// Metrics returns a copy of the agent's counters. The histogram fields
+// share state with the live metrics (cheap, read-only view); use
+// Metrics().Snapshot() to carry them across a concurrency boundary.
 func (a *Agent) Metrics() Metrics {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
@@ -315,6 +326,8 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 		res.Path = PathBypass
 		res.Guaranteed = true // costs only the floor latency by construction
 		a.metrics.Bypasses++
+		a.o.recordBypass(res.Completed - now)
+		a.o.event(now, obs.EvBypass, 0, uint64(r.ID), 0, uint64(res.Completed-now))
 		a.observeGuaranteed(now, res)
 		a.trackLogical(r)
 		return res, nil
@@ -323,6 +336,7 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 	// Admission control (token bucket): overruns go to the main table.
 	if a.bucket != nil && !a.bucket.Allow(now, 1) {
 		a.metrics.RateLimited++
+		a.o.event(now, obs.EvDivertRate, 0, uint64(r.ID), uint64(a.bucket.Tokens(now)), 0)
 		res, err := a.insertMain(now, r, seq)
 		if err != nil {
 			return res, err
@@ -336,6 +350,7 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 	if part.Overflow {
 		// Footnote 5: partitioning abandoned — install into the main table.
 		a.metrics.Oversized++
+		a.o.event(now, obs.EvDivertSize, 0, uint64(r.ID), 0, 0)
 		res, err := a.insertMain(now, r, seq)
 		if err != nil {
 			return res, err
@@ -347,6 +362,7 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 		a.rules[r.ID] = &ruleState{original: r, seq: seq, place: placeShadow, partIDs: nil}
 		a.pmap.Record(part)
 		a.metrics.Redundant++
+		a.o.event(now, obs.EvRedundant, 0, uint64(r.ID), 0, 0)
 		a.trackLogical(r)
 		return Result{Path: PathRedundant, Completed: now, Guaranteed: true}, nil
 	}
@@ -354,6 +370,7 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 		// Footnote 5: pathological fragmentation — install the original
 		// directly in the main table instead.
 		a.metrics.Oversized++
+		a.o.event(now, obs.EvDivertSize, 0, uint64(r.ID), uint64(len(part.Parts)), 0)
 		res, err := a.insertMain(now, r, seq)
 		if err != nil {
 			return res, err
@@ -365,6 +382,7 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 		// Shadow exhausted: fall back to the main table (§5.2 calls this a
 		// potential performance violation).
 		a.metrics.ShadowFull++
+		a.o.event(now, obs.EvDivertFull, 0, uint64(r.ID), uint64(a.shadow.Free()), 0)
 		res, err := a.insertMain(now, r, seq)
 		if err != nil {
 			return res, err
@@ -403,6 +421,8 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 		Guaranteed: true,
 		Partitions: len(part.Parts),
 	}
+	a.o.recordShadow(completed - now)
+	a.o.event(now, obs.EvAdmit, 0, uint64(r.ID), uint64(len(part.Parts)), uint64(completed-now))
 	a.observeGuaranteed(now, res)
 	a.trackLogical(r)
 	return res, nil
@@ -457,7 +477,9 @@ func (a *Agent) insertMain(now time.Duration, r classifier.Rule, seq uint64) (Re
 		return res, err
 	}
 	a.metrics.MainInserts++
-	a.metrics.AllLatenciesMS = append(a.metrics.AllLatenciesMS, res.Latency.Seconds()*1e3)
+	a.metrics.observeLatency(res.Latency, false)
+	a.o.recordMain(res.Latency)
+	a.o.event(now, obs.EvMainInsert, 0, uint64(r.ID), 0, uint64(res.Latency))
 	return res, nil
 }
 
@@ -608,6 +630,8 @@ func (a *Agent) deleteRule(now time.Duration, id classifier.RuleID) (Result, err
 	}
 	delete(a.rules, id)
 	a.untrackLogical(id)
+	a.o.recordDelete(total)
+	a.o.event(now, obs.EvDelete, 0, uint64(id), 0, uint64(total))
 	return Result{Latency: total, Completed: completed, Guaranteed: true}, nil
 }
 
@@ -623,6 +647,7 @@ func (a *Agent) Modify(now time.Duration, r classifier.Rule) (Result, error) {
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownRule, r.ID)
 	}
 	a.metrics.Modifies++
+	a.o.event(now, obs.EvModify, 0, uint64(r.ID), 0, 0)
 	if st.original.Priority == r.Priority && st.original.Match == r.Match {
 		// Cheap in-place action rewrite on every physical entry.
 		var total time.Duration
@@ -644,6 +669,7 @@ func (a *Agent) Modify(now time.Duration, r classifier.Rule) (Result, error) {
 			a.mainIndex.Insert(st.original)
 		}
 		a.retrackLogical(st.original)
+		a.o.recordModify(total)
 		return Result{Latency: total, Completed: completed, Guaranteed: true}, nil
 	}
 	// Priority/match change: delete + insert.
@@ -673,11 +699,14 @@ func (a *Agent) Lookup(dst, src uint32) (classifier.Rule, bool) {
 
 func (a *Agent) observeGuaranteed(now time.Duration, res Result) {
 	lat := res.Completed - now
-	ms := lat.Seconds() * 1e3
-	a.metrics.GuaranteedLatenciesMS = append(a.metrics.GuaranteedLatenciesMS, ms)
-	a.metrics.AllLatenciesMS = append(a.metrics.AllLatenciesMS, ms)
+	a.metrics.observeLatency(lat, true)
 	if lat > a.cfg.Guarantee {
 		a.metrics.Violations++
+		overrun := lat - a.cfg.Guarantee
+		a.o.recordOverrun(overrun)
+		a.o.event(now, obs.EvViolation, 0, 0, uint64(overrun), uint64(lat))
+		// Flight recorder: freeze the events leading up to the violation.
+		a.o.capture(now, "guarantee violation: latency %v > bound %v", lat, a.cfg.Guarantee)
 	}
 }
 

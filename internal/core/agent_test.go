@@ -602,9 +602,24 @@ func TestSafeMigrationNeverExposesRules(t *testing.T) {
 }
 
 func TestMetricsHelpers(t *testing.T) {
-	m := Metrics{Violations: 2, GuaranteedLatenciesMS: []float64{1, 2, 3, 4}}
+	m := newMetrics()
+	m.Violations = 2
+	for _, ms := range []float64{1, 2, 3, 4} {
+		m.observeLatency(time.Duration(ms*1e6), true)
+	}
 	if got := m.ViolationRate(); got != 0.5 {
 		t.Errorf("ViolationRate = %v", got)
+	}
+	if got := m.GuaranteedCount(); got != 4 {
+		t.Errorf("GuaranteedCount = %v", got)
+	}
+	if got := m.GuaranteedQuantileMS(1); got < 3.8 || got > 4.2 {
+		t.Errorf("GuaranteedQuantileMS(1) = %v, want ≈4", got)
+	}
+	snap := m.Snapshot()
+	m.observeLatency(time.Millisecond, true)
+	if snap.GuaranteedCount() != 4 || m.GuaranteedCount() != 5 {
+		t.Error("Snapshot must deep-copy the histograms")
 	}
 	if got := (Metrics{}).ViolationRate(); got != 0 {
 		t.Errorf("empty ViolationRate = %v", got)

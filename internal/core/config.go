@@ -115,6 +115,14 @@ type Config struct {
 	// nil in production. Hooks must be deterministic (scripted or seeded)
 	// so fault schedules replay identically.
 	MigrationInterrupt func(step MigrationStep, now time.Duration) bool
+
+	// Observer, when non-nil, wires the agent into the obs subsystem:
+	// per-class latency histograms, lifecycle trace events, and flight-
+	// recorder captures on guarantee violations and reconcile repairs.
+	// Because the Observer's instruments are owned by the caller, they
+	// survive agent re-creation (the QoS re-carve path). Nil disables all
+	// per-op observation beyond the always-on Metrics histograms.
+	Observer *Observer
 }
 
 func (c Config) withDefaults() Config {

@@ -1,10 +1,15 @@
 package core
 
-import "time"
+import (
+	"time"
 
-// Metrics are the agent's cumulative counters and latency samples. Latency
-// samples are stored in milliseconds to match the units of the paper's
-// figures.
+	"hermes/internal/obs"
+)
+
+// Metrics are the agent's cumulative counters and latency distributions.
+// Latencies are held in fixed-footprint obs histograms (nanosecond units)
+// instead of the old append-forever sample slices, so a long-running agent's
+// metric state is bounded regardless of how many flow-mods it serves.
 type Metrics struct {
 	// Inserts counts every controller-issued insertion.
 	Inserts int
@@ -62,21 +67,80 @@ type Metrics struct {
 	ReconcileStale    int
 	ReconcileRepaired int
 
-	// GuaranteedLatenciesMS are per-insertion latencies (ms) on the
-	// guaranteed path; AllLatenciesMS includes the unguaranteed paths.
-	GuaranteedLatenciesMS []float64
-	AllLatenciesMS        []float64
+	// GuaranteedLatency holds per-insertion latencies (ns) on the
+	// guaranteed path; AllLatency includes the unguaranteed paths too.
+	// The histograms are shared (by pointer) between copies of a Metrics
+	// value: Agent.Metrics() hands out a cheap counter copy whose
+	// histograms alias the live ones, Snapshot() deep-clones them.
+	GuaranteedLatency *obs.Histogram
+	AllLatency        *obs.Histogram
+}
+
+// newMetrics returns a Metrics with live histograms attached.
+func newMetrics() Metrics {
+	return Metrics{
+		GuaranteedLatency: obs.NewHistogram(),
+		AllLatency:        obs.NewHistogram(),
+	}
+}
+
+// observeLatency records one operation latency, optionally under the
+// guarantee. Both histograms are fixed-footprint and lock-free.
+func (m *Metrics) observeLatency(lat time.Duration, guaranteed bool) {
+	if m.AllLatency != nil {
+		m.AllLatency.RecordDuration(lat)
+	}
+	if guaranteed && m.GuaranteedLatency != nil {
+		m.GuaranteedLatency.RecordDuration(lat)
+	}
+}
+
+// GuaranteedCount returns the number of guaranteed-path latency samples —
+// the denominator of ViolationRate, previously len(GuaranteedLatenciesMS).
+func (m Metrics) GuaranteedCount() int {
+	if m.GuaranteedLatency == nil {
+		return 0
+	}
+	return int(m.GuaranteedLatency.Count())
+}
+
+// GuaranteedQuantileMS returns the q-th quantile of guaranteed-path
+// insertion latency in milliseconds (the unit of the paper's figures).
+func (m Metrics) GuaranteedQuantileMS(q float64) float64 {
+	if m.GuaranteedLatency == nil {
+		return 0
+	}
+	return m.GuaranteedLatency.Quantile(q) / 1e6
+}
+
+// AllQuantileMS returns the q-th quantile of all-path latency in ms.
+func (m Metrics) AllQuantileMS(q float64) float64 {
+	if m.AllLatency == nil {
+		return 0
+	}
+	return m.AllLatency.Quantile(q) / 1e6
+}
+
+// MaxGuaranteedMS returns the worst guaranteed-path latency seen, in ms.
+func (m Metrics) MaxGuaranteedMS() float64 {
+	if m.GuaranteedLatency == nil {
+		return 0
+	}
+	return float64(m.GuaranteedLatency.Max()) / 1e6
 }
 
 // Snapshot returns a deep copy of the metrics: counters by value and the
-// latency sample slices freshly allocated. Consumers that carry metrics
-// across a concurrency boundary (the fleet aggregator, wire stats replies)
-// must use it so they never alias the agent's live slices, which the agent
-// keeps appending to.
+// latency histograms freshly cloned. Consumers that carry metrics across a
+// concurrency boundary (the fleet aggregator, wire stats replies) must use
+// it so they never alias histograms the agent keeps recording into.
 func (m Metrics) Snapshot() Metrics {
 	cp := m // counters and scalars copy by value
-	cp.GuaranteedLatenciesMS = append([]float64(nil), m.GuaranteedLatenciesMS...)
-	cp.AllLatenciesMS = append([]float64(nil), m.AllLatenciesMS...)
+	if m.GuaranteedLatency != nil {
+		cp.GuaranteedLatency = m.GuaranteedLatency.Clone()
+	}
+	if m.AllLatency != nil {
+		cp.AllLatency = m.AllLatency.Clone()
+	}
 	return cp
 }
 
@@ -85,7 +149,7 @@ func (m Metrics) Clone() Metrics { return m.Snapshot() }
 
 // ViolationRate returns violations over guaranteed insertions.
 func (m Metrics) ViolationRate() float64 {
-	n := len(m.GuaranteedLatenciesMS)
+	n := m.GuaranteedCount()
 	if n == 0 {
 		return 0
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hermes/internal/classifier"
+	"hermes/internal/obs"
 )
 
 // This file implements the Rule Manager (paper §5): the periodic prediction
@@ -77,6 +78,7 @@ func (a *Agent) AbortMigration(now time.Duration) bool {
 	}
 	a.migr = nil
 	a.metrics.MigrationAborts++
+	a.o.event(now, obs.EvMigAbort, StepCopy, 0, 0, 0)
 	return true
 }
 
@@ -154,8 +156,10 @@ func (a *Agent) startMigration(now time.Duration) time.Duration {
 	// anything physical happened: the migration simply never starts.
 	if a.interruptAt(StepCopy, now) {
 		a.metrics.MigrationAborts++
+		a.o.event(now, obs.EvMigAbort, StepCopy, 0, uint64(len(originals)), 0)
 		return 0
 	}
+	a.o.event(now, obs.EvMigStep, StepCopy, 0, uint64(len(originals)), uint64(entries))
 
 	// Optimize (step 2): rules migrate as their un-fragmented originals —
 	// inside a single table the TCAM disambiguates overlaps by priority,
@@ -170,8 +174,10 @@ func (a *Agent) startMigration(now time.Duration) time.Duration {
 	// merging runs on the snapshot, off the live tables.
 	if a.interruptAt(StepOptimize, now) {
 		a.metrics.MigrationAborts++
+		a.o.event(now, obs.EvMigAbort, StepOptimize, 0, uint64(migrated), 0)
 		return 0
 	}
+	a.o.event(now, obs.EvMigStep, StepOptimize, 0, uint64(migrated), 0)
 
 	// Choose the cheaper strategy: per-rule incremental inserts versus a
 	// bulk rewrite of the merged main table.
@@ -212,6 +218,7 @@ func (a *Agent) startMigration(now time.Duration) time.Duration {
 	a.metrics.Migrations++
 	a.metrics.MigratedRules += migrated
 	a.metrics.MigrationBusy += cost
+	a.o.recordMigration(cost, migrated)
 	return m.completeAt
 }
 
@@ -238,6 +245,7 @@ func (a *Agent) advance(now time.Duration) {
 	// partial state it leaves (rules moved so far, orphaned shadow copies)
 	// is exactly what Reconcile repairs.
 	interrupted := false
+	interruptedAt := StepInsert
 	var migrated []classifier.Rule
 	for _, id := range m.originals {
 		if a.interruptAt(StepInsert, done) {
@@ -276,6 +284,7 @@ func (a *Agent) advance(now time.Duration) {
 					// every moved fragment is orphaned in the shadow slice
 					// until Reconcile deletes the stale copies.
 					interrupted = true
+					interruptedAt = StepEmpty
 					break
 				}
 				for _, pid := range moved {
@@ -300,6 +309,7 @@ func (a *Agent) advance(now time.Duration) {
 				// fragments are orphaned in the shadow slice until
 				// Reconcile deletes the stale copies.
 				interrupted = true
+				interruptedAt = StepEmpty
 				break
 			}
 			for _, pid := range stale {
@@ -310,8 +320,12 @@ func (a *Agent) advance(now time.Duration) {
 	if interrupted {
 		a.metrics.MigrationInterrupts++
 		a.needsReconcile = true
+		a.o.event(done, obs.EvMigInterrupt, interruptedAt, 0, uint64(len(migrated)), 0)
 		return
 	}
+	a.o.event(done, obs.EvMigStep, StepInsert, 0, uint64(len(migrated)), uint64(done-m.startedAt))
+	a.o.event(done, obs.EvMigStep, StepEmpty, 0, uint64(len(migrated)), 0)
+	a.o.event(done, obs.EvMigDone, 0, 0, uint64(len(migrated)), uint64(done-m.startedAt))
 
 	// Step 4 happened per-rule above (the shadow copies were removed only
 	// after their main-table counterparts were written).

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hermes/internal/classifier"
+	"hermes/internal/obs"
 )
 
 // This file is the crash-recovery half of the robustness story: the agent's
@@ -77,7 +78,7 @@ func (a *Agent) CrashRestart(now time.Duration) {
 	a.mainIndex = classifier.Trie{}
 	a.needsReconcile = true
 	a.metrics.SwitchRestarts++
-	_ = now
+	a.o.event(now, obs.EvCrash, 0, 0, 0, 0)
 }
 
 // MarkDivergent flags the agent as needing reconciliation without saying
@@ -236,6 +237,12 @@ func (a *Agent) Reconcile(now time.Duration) ReconcileReport {
 	a.metrics.Reconciles++
 	a.metrics.ReconcileStale += rep.StaleDeleted
 	a.metrics.ReconcileRepaired += rep.MainReinstalled + rep.ShadowRepaired
+	repaired := rep.MainReinstalled + rep.ShadowRepaired
+	a.o.event(now, obs.EvReconcile, 0, 0, uint64(rep.StaleDeleted), uint64(repaired))
+	if !rep.Clean() {
+		// Flight recorder: freeze the events that led to the divergence.
+		a.o.capture(now, "reconcile repair: %v", rep)
+	}
 	return rep
 }
 

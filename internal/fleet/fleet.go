@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"hermes/internal/classifier"
+	"hermes/internal/obs"
 	"hermes/internal/ofwire"
 )
 
@@ -84,6 +85,12 @@ type Config struct {
 	// Seed makes backoff jitter deterministic; runs with the same seed
 	// and workload replay identical retry schedules. Defaults to 1.
 	Seed int64
+	// Obs, when non-nil, exposes per-switch fleet metrics on the registry:
+	// queue depth, breaker state and trips, op/retry/divert/reconnect
+	// counters, and the control channel's in-flight gauge and RTT
+	// histogram, all labeled with the switch ID. Nil disables exposition
+	// with zero hot-path cost.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {

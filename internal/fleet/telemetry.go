@@ -68,6 +68,15 @@ func (t *switchTelemetry) resynced(n int) {
 	t.mu.Unlock()
 }
 
+// counters copies the monotonic controller-side counters; the scrape-time
+// closures in registerObs read through here so exposition never races the
+// dispatch path.
+func (t *switchTelemetry) counters() (okOps, failed, retries, diverted, reconnects, resyncs uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.opsOK, t.opsFailed, t.retries, t.diverted, t.reconnects, t.resyncs
+}
+
 // fault records the cause of the most recent connection-level failure.
 func (t *switchTelemetry) fault(err error) {
 	t.mu.Lock()

@@ -8,6 +8,7 @@ import (
 
 	"hermes/internal/classifier"
 	"hermes/internal/core"
+	"hermes/internal/obs"
 	"hermes/internal/ofwire"
 )
 
@@ -64,10 +65,16 @@ type worker struct {
 	brk  *breaker
 	tele switchTelemetry
 	wg   sync.WaitGroup
+
+	// Optional obs instruments (set by registerObs before start); attached
+	// to every client this worker dials so RTT and in-flight accounting
+	// survive reconnects.
+	inflight *obs.Gauge
+	rtt      *obs.Histogram
 }
 
 func newWorker(f *Fleet, spec SwitchSpec, client *ofwire.Client) *worker {
-	return &worker{
+	w := &worker{
 		id:      spec.ID,
 		addr:    spec.Addr,
 		f:       f,
@@ -77,6 +84,9 @@ func newWorker(f *Fleet, spec SwitchSpec, client *ofwire.Client) *worker {
 		desired: make(map[classifier.RuleID]classifier.Rule),
 		brk:     newBreaker(f.cfg.Breaker),
 	}
+	registerObs(f.cfg.Obs, w)
+	client.Instrument(w.inflight, w.rtt)
+	return w
 }
 
 func (w *worker) start() {
@@ -283,6 +293,9 @@ func (w *worker) probe() {
 			w.brk.failure(time.Now())
 			return
 		}
+		// Attach instruments before the resync replay so its round trips
+		// are recorded too.
+		nc.Instrument(w.inflight, w.rtt)
 		// A reconnect means the switch may have restarted and lost its
 		// tables; replay the desired state before the circuit can close
 		// so no flow-mod lands on a half-recovered agent.

@@ -14,12 +14,19 @@ import (
 // assist — a regression benchmarks catch late and this check catches at
 // lint time. Mutators (Insert, Delete, Reconcile, ...) are free to
 // allocate; only functions on the per-packet path are scanned.
+//
+// The obs record path is held to the same standard: Record/Inc/Add/Set run
+// on every flow-mod and promise 0 allocs/op (BenchmarkHistogramRecord and
+// friends), so inside internal/obs the scanned set is the record-path
+// functions instead of the lookup ones. Snapshot, exposition, and capture
+// paths allocate freely.
 var AllocscanAnalyzer = &Analyzer{
 	Name: "allocscan",
-	Doc:  "flags per-call heap allocation in the packet-lookup hot path",
+	Doc:  "flags per-call heap allocation in the packet-lookup and metric-record hot paths",
 	Paths: []string{
 		"internal/tcam",
 		"internal/classifier",
+		"internal/obs",
 	},
 	SkipTests: true,
 	Run:       runAllocscan,
@@ -33,11 +40,29 @@ func hotPathFunc(name string) bool {
 		name == "MatchCandidates" || name == "Next"
 }
 
+// obsRecordFuncs are the per-sample record-path functions of internal/obs.
+// Exact names, not substrings: Snapshot/Capture/registry code shares the
+// package and is allowed to allocate.
+var obsRecordFuncs = map[string]bool{
+	"Record":         true,
+	"RecordDuration": true,
+	"Inc":            true,
+	"Add":            true,
+	"Set":            true,
+	"bucketIndex":    true,
+	"shardHint":      true,
+}
+
 func runAllocscan(p *Pass) {
+	hot := hotPathFunc
+	if path := strings.TrimSuffix(p.Pkg.Path, "_test"); path == "internal/obs" ||
+		strings.HasSuffix(path, "/internal/obs") {
+		hot = func(name string) bool { return obsRecordFuncs[name] }
+	}
 	for _, file := range p.Files() {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !hotPathFunc(fn.Name.Name) {
+			if !ok || fn.Body == nil || !hot(fn.Name.Name) {
 				continue
 			}
 			scanAllocs(p, fn)

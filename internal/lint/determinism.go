@@ -20,6 +20,7 @@ var DeterminismAnalyzer = &Analyzer{
 		"internal/tcam",
 		"internal/workload",
 		"internal/faultinject",
+		"internal/obs",
 	},
 	Run: runDeterminism,
 }

@@ -1,0 +1,60 @@
+// Package obs is lint-corpus material impersonating the observability
+// record path: per-sample record functions must not allocate (allocscan)
+// and the package must never read the wall clock (determinism) — events
+// are stamped with caller-provided virtual time so seeded chaos schedules
+// replay identical traces.
+package obs
+
+import "time"
+
+// Histogram stands in for obs.Histogram: fixed-footprint buckets the legal
+// record path reuses.
+type Histogram struct {
+	buckets []uint64
+	labels  map[string]string
+}
+
+// Record allocates a label map per sample: flagged.
+func (h *Histogram) Record(v uint64) {
+	tags := make(map[string]string) // want:allocscan
+	tags["v"] = "sample"
+	if int(v) < len(h.buckets) {
+		h.buckets[v]++
+	}
+	_ = tags
+}
+
+// RecordDuration buffers samples in a fresh slice per call: the literal and
+// the growing append are both flagged.
+func (h *Histogram) RecordDuration(d time.Duration) {
+	samples := []uint64{}                // want:allocscan
+	samples = append(samples, uint64(d)) // want:allocscan
+	if len(samples) > 0 && int(samples[0]) < len(h.buckets) {
+		h.buckets[samples[0]]++
+	}
+}
+
+// Inc stamps the event with the wall clock instead of caller-provided
+// virtual time: a determinism violation, not an allocation.
+func (h *Histogram) Inc() {
+	at := time.Now() // want:determinism
+	if at.IsZero() {
+		return
+	}
+	h.buckets[0]++
+}
+
+// Add is a legal record-path function: it touches only preallocated state,
+// so nothing here may be flagged.
+func (h *Histogram) Add(v uint64) {
+	if int(v) < len(h.buckets) {
+		h.buckets[v] += v
+	}
+}
+
+// Reset is off the record path (snapshot/lifecycle code); it may allocate
+// freely and none of these lines may be flagged.
+func (h *Histogram) Reset() {
+	h.buckets = make([]uint64, 64)
+	h.labels = map[string]string{}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, then one
+// sample line per series. Histograms emit only their non-empty cumulative
+// buckets plus the mandatory +Inf bucket, _sum and _count; nanosecond
+// histograms ("ns" unit) render bucket bounds and sums in seconds, the
+// Prometheus convention for time.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	lastHeader := ""
+	for _, m := range r.gather() {
+		if m.name != lastHeader {
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typeOf(m.kind))
+			lastHeader = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			writeSample(bw, m.name, m.labels, "", formatUint(m.counter.Value()))
+		case kindCounterFunc:
+			writeSample(bw, m.name, m.labels, "", formatUint(m.cfn()))
+		case kindGauge:
+			writeSample(bw, m.name, m.labels, "", strconv.FormatInt(m.gauge.Value(), 10))
+		case kindGaugeFunc:
+			writeSample(bw, m.name, m.labels, "", formatFloat(m.gfn()))
+		case kindHistogram:
+			writeHistogram(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+func typeOf(k metricKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSample emits name{labels,extra} value. extra is a pre-rendered
+// additional label (the histogram `le`), appended after m's own labels.
+func writeSample(w io.Writer, name, labels, extra, value string) {
+	body := labels
+	if extra != "" {
+		if body != "" {
+			body += ","
+		}
+		body += extra
+	}
+	if body != "" {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, body, value)
+	} else {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	}
+}
+
+func writeHistogram(w io.Writer, m *metric) {
+	scale := 1.0
+	if m.unit == "ns" {
+		scale = 1e-9
+	}
+	buckets := m.hist.SnapshotBuckets()
+	count := m.hist.Count()
+	for _, b := range buckets {
+		le := `le="` + formatFloat(float64(b.UpperBound)*scale) + `"`
+		writeSample(w, m.name+"_bucket", m.labels, le, formatUint(b.CumCount))
+	}
+	writeSample(w, m.name+"_bucket", m.labels, `le="+Inf"`, formatUint(count))
+	writeSample(w, m.name+"_sum", m.labels, "", formatFloat(float64(m.hist.Sum())*scale))
+	writeSample(w, m.name+"_count", m.labels, "", formatUint(count))
+}
+
+// jsonMetric is the /debug/vars JSON shape for one series.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Labels string            `json:"labels,omitempty"`
+	Type   string            `json:"type"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *jsonHistSnapshot `json:"histogram,omitempty"`
+}
+
+type jsonHistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// WriteJSON renders a machine-readable snapshot of the registry: counters
+// and gauges as scalars, histograms as count/sum/min/max/mean plus the
+// quantiles the paper's evaluation plots (p50/p90/p99/p99.9).
+func WriteJSON(w io.Writer, r *Registry) error {
+	var out []jsonMetric
+	for _, m := range r.gather() {
+		jm := jsonMetric{Name: m.name, Labels: m.labels, Type: typeOf(m.kind)}
+		switch m.kind {
+		case kindCounter:
+			v := float64(m.counter.Value())
+			jm.Value = &v
+		case kindCounterFunc:
+			v := float64(m.cfn())
+			jm.Value = &v
+		case kindGauge:
+			v := float64(m.gauge.Value())
+			jm.Value = &v
+		case kindGaugeFunc:
+			v := m.gfn()
+			jm.Value = &v
+		case kindHistogram:
+			h := m.hist
+			jm.Hist = &jsonHistSnapshot{
+				Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+				Mean: h.Mean(),
+				P50:  h.Quantile(0.50), P90: h.Quantile(0.90),
+				P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+			}
+		}
+		out = append(out, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonCapture mirrors Capture with stringified kinds for readability.
+type jsonCapture struct {
+	Seq    uint64      `json:"seq"`
+	AtNS   int64       `json:"at_ns"`
+	Reason string      `json:"reason"`
+	Events []jsonEvent `json:"events"`
+}
+
+type jsonEvent struct {
+	Seq  uint64 `json:"seq"`
+	AtNS int64  `json:"at_ns"`
+	Kind string `json:"kind"`
+	Step uint8  `json:"step,omitempty"`
+	Rule uint64 `json:"rule,omitempty"`
+	A    uint64 `json:"a,omitempty"`
+	B    uint64 `json:"b,omitempty"`
+}
+
+func toJSONEvents(evs []Event) []jsonEvent {
+	out := make([]jsonEvent, len(evs))
+	for i, e := range evs {
+		out[i] = jsonEvent{
+			Seq: e.Seq, AtNS: int64(e.At), Kind: e.Kind.String(),
+			Step: e.Step, Rule: e.Rule, A: e.A, B: e.B,
+		}
+	}
+	return out
+}
+
+// WriteTraceJSON renders the tracer's live window and retained captures.
+func WriteTraceJSON(w io.Writer, t *Tracer) error {
+	caps, dropped := t.Captures()
+	jcaps := make([]jsonCapture, len(caps))
+	for i, c := range caps {
+		jcaps[i] = jsonCapture{
+			Seq: c.Seq, AtNS: int64(c.At), Reason: c.Reason,
+			Events: toJSONEvents(c.Events),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Recorded        uint64        `json:"recorded"`
+		Window          []jsonEvent   `json:"window"`
+		Captures        []jsonCapture `json:"captures"`
+		CapturesDropped uint64        `json:"captures_dropped"`
+	}{t.Len(), toJSONEvents(t.Events()), jcaps, dropped})
+}
+
+// NewMux builds the observability HTTP handler: /metrics (Prometheus
+// text), /debug/vars (JSON snapshot), /debug/trace (flight recorder,
+// when a tracer is supplied), and the standard /debug/pprof endpoints.
+func NewMux(r *Registry, t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteJSON(w, r)
+	})
+	if t != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = WriteTraceJSON(w, t)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hermes/internal/testutil"
+)
+
+// parsePromText is a minimal parser for the Prometheus text exposition
+// format: it validates line shapes and returns sample name → value.
+// Unparseable lines fail the test.
+func parsePromText(t *testing.T, r io.Reader) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = map[string]float64{}
+	types = map[string]string{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value — labels may contain spaces inside quotes,
+		// but the value is always the last space-separated field.
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		key, valStr := line[:idx], line[idx+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unbalanced label braces in %q", line)
+			}
+		}
+		samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hermes_test_ops_total", "ops processed")
+	g := r.Gauge("hermes_test_depth", "queue depth")
+	h := r.Histogram("hermes_test_latency_ns", "ns", "op latency")
+	r.CounterL("hermes_test_labeled_total", Labels("class", "guaranteed"), "labeled")
+	r.GaugeFunc("hermes_test_fn", Labels("sw", "s1"), "scrape-time fn", func() float64 { return 2.5 })
+
+	c.Add(3)
+	g.Set(-4)
+	for i := 1; i <= 100; i++ {
+		h.Record(uint64(i) * 1000)
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples, types := parsePromText(t, strings.NewReader(text))
+
+	if samples["hermes_test_ops_total"] != 3 {
+		t.Errorf("counter sample = %v, want 3", samples["hermes_test_ops_total"])
+	}
+	if samples["hermes_test_depth"] != -4 {
+		t.Errorf("gauge sample = %v, want -4", samples["hermes_test_depth"])
+	}
+	if samples[`hermes_test_fn{sw="s1"}`] != 2.5 {
+		t.Errorf("gauge-func sample = %v, want 2.5", samples[`hermes_test_fn{sw="s1"}`])
+	}
+	if samples["hermes_test_latency_ns_count"] != 100 {
+		t.Errorf("histogram count = %v, want 100", samples["hermes_test_latency_ns_count"])
+	}
+	// ns unit scales _sum to seconds: sum = 1000*(1+..+100) ns = 5.05e-3 s.
+	if got := samples["hermes_test_latency_ns_sum"]; got < 5.04e-3 || got > 5.06e-3 {
+		t.Errorf("histogram sum = %v, want ≈5.05e-3 s", got)
+	}
+	if samples[`hermes_test_latency_ns_bucket{le="+Inf"}`] != 100 {
+		t.Errorf("+Inf bucket = %v, want 100", samples[`hermes_test_latency_ns_bucket{le="+Inf"}`])
+	}
+	for name, want := range map[string]string{
+		"hermes_test_ops_total":     "counter",
+		"hermes_test_depth":         "gauge",
+		"hermes_test_latency_ns":    "histogram",
+		"hermes_test_labeled_total": "counter",
+		"hermes_test_fn":            "gauge",
+	} {
+		if types[name] != want {
+			t.Errorf("TYPE of %s = %q, want %q", name, types[name], want)
+		}
+	}
+
+	// Cumulative bucket counts must be non-decreasing in bound order.
+	var prevBound, prevCum float64 = -1, 0
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, `hermes_test_latency_ns_bucket{le="`) ||
+			strings.Contains(line, "+Inf") {
+			continue
+		}
+		var bound, cum float64
+		if _, err := fmt.Sscanf(line, `hermes_test_latency_ns_bucket{le="%g"} %g`, &bound, &cum); err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if bound <= prevBound || cum < prevCum {
+			t.Fatalf("buckets not cumulative/ordered at %q", line)
+		}
+		prevBound, prevCum = bound, cum
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := WritePrometheus(&sb2, r); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != text {
+		t.Error("two renders of an unchanged registry differ")
+	}
+}
+
+func TestRegistryIdempotentAndNilSafe(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hermes_idem_total", "x")
+	b := r.Counter("hermes_idem_total", "x")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the same instance")
+	}
+	h1 := r.Histogram("hermes_idem_ns", "ns", "x")
+	h2 := r.Histogram("hermes_idem_ns", "ns", "x")
+	if h1 != h2 {
+		t.Fatal("re-registering the same histogram must return the same instance")
+	}
+	// Distinct label sets are distinct series.
+	l1 := r.CounterL("hermes_idem_l", Labels("k", "a"), "x")
+	l2 := r.CounterL("hermes_idem_l", Labels("k", "b"), "x")
+	if l1 == l2 {
+		t.Fatal("different label sets must be different series")
+	}
+
+	var nilReg *Registry
+	nc := nilReg.Counter("whatever", "x")
+	nc.Inc() // must not panic
+	ng := nilReg.Gauge("whatever", "x")
+	ng.Set(1)
+	nh := nilReg.Histogram("whatever", "ns", "x")
+	nh.Record(1)
+	if nc.Value() != 1 || ng.Value() != 1 || nh.Count() != 1 {
+		t.Fatal("nil-registry instruments must still record")
+	}
+}
+
+func TestLabelsRendering(t *testing.T) {
+	if got := Labels("b", "2", "a", "1"); got != `a="1",b="2"` {
+		t.Fatalf("Labels not sorted: %q", got)
+	}
+	if got := Labels("k", "a\"b\\c\nd"); got != `k="a\"b\\c\nd"` {
+		t.Fatalf("Labels not escaped: %q", got)
+	}
+}
+
+// TestMuxEndpoints spins up the exposition server, scrapes every endpoint,
+// and verifies no goroutines leak after shutdown.
+func TestMuxEndpoints(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+
+	r := NewRegistry()
+	r.Counter("hermes_mux_total", "x").Add(7)
+	r.Histogram("hermes_mux_ns", "ns", "x").Record(12345)
+	tr := NewTracer(32, 4)
+	tr.Record(1000, EvAdmit, 0, 1, 2, 3)
+	tr.CaptureNow(2000, "test trigger")
+
+	srv := httptest.NewServer(NewMux(r, tr))
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	metrics := string(get("/metrics"))
+	if !strings.Contains(metrics, "hermes_mux_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "hermes_mux_ns_count 1") {
+		t.Errorf("/metrics missing histogram:\n%s", metrics)
+	}
+
+	var vars []jsonMetric
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if len(vars) != 2 {
+		t.Fatalf("/debug/vars has %d metrics, want 2", len(vars))
+	}
+
+	var trace struct {
+		Recorded uint64 `json:"recorded"`
+		Captures []struct {
+			Reason string `json:"reason"`
+		} `json:"captures"`
+	}
+	if err := json.Unmarshal(get("/debug/trace"), &trace); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	if trace.Recorded != 1 || len(trace.Captures) != 1 || trace.Captures[0].Reason != "test trigger" {
+		t.Fatalf("/debug/trace content wrong: %+v", trace)
+	}
+
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

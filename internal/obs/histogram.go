@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket scheme (DESIGN.md §11): log-linear, HDR-style. Each
+// power-of-two octave is split into 2^subBits linear sub-buckets, so the
+// relative width of any bucket is at most 1/2^subBits ≈ 3.1%. Values below
+// 2^subBits land in exact unit-width buckets. With 64-bit values this gives
+// a fixed footprint of (65-subBits)*2^subBits = 1920 buckets (~15 KiB) —
+// no resizing, no allocation, ever.
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits // 32 linear sub-buckets per octave
+	histNumBuckets = (65 - histSubBits) * histSubBuckets
+)
+
+// bucketIndex maps a value to its bucket. Values < 32 are exact; above
+// that, the bucket is (octave, top-5-bits-below-the-leading-bit).
+func bucketIndex(v uint64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 - histSubBits          // octave above the exact region
+	sub := int(v>>uint(exp)) & (histSubBuckets - 1) // next subBits bits
+	return (exp+1)*histSubBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i;
+// bucketHigh the largest.
+func bucketLow(i int) uint64 {
+	if i < histSubBuckets {
+		return uint64(i)
+	}
+	exp := i/histSubBuckets - 1
+	sub := uint64(i % histSubBuckets)
+	return (histSubBuckets + sub) << uint(exp)
+}
+
+func bucketHigh(i int) uint64 {
+	if i < histSubBuckets {
+		return uint64(i)
+	}
+	exp := i/histSubBuckets - 1
+	return bucketLow(i) + (uint64(1)<<uint(exp) - 1)
+}
+
+// Histogram is a fixed-footprint latency histogram. Record is lock-free,
+// wait-free and allocation-free; Quantile/Snapshot/Merge are read-side
+// operations that tolerate concurrent recording (they observe some
+// linearization of the concurrent Records, which is all a statistic needs).
+//
+// Values are recorded in nanoseconds by RecordDuration; Record takes raw
+// uint64 units for non-latency uses (e.g. TCAM shift counts per insert).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // math.MaxUint64 when empty
+	max     atomic.Uint64
+	buckets [histNumBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram. The zero value needs its min
+// sentinel initialised, so always construct through here (or Reset).
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxUint64)
+	return h
+}
+
+// Record adds one observation of v. Zero allocations, no locks.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordDuration records d in nanoseconds. Negative durations (clock
+// anomalies under virtual time never produce them, but wall offsets can)
+// clamp to zero rather than corrupting the high octaves.
+func (h *Histogram) RecordDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Min returns the smallest recorded value, or 0 when empty.
+func (h *Histogram) Min() uint64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest recorded value, or 0 when empty.
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean of recorded values, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0,1]) with
+// relative error bounded by the bucket width, ≈3%. Within the located
+// bucket the estimate interpolates linearly. Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank in [1, n]: same convention as stats.Summary's order statistics —
+	// q=0 is the minimum, q=1 the maximum.
+	rank := q * float64(n-1)
+	lo := uint64(rank) + 1 // observations at-or-below the target
+	frac := rank - float64(uint64(rank))
+
+	var cum uint64
+	for i := 0; i < histNumBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= lo {
+			low, high := float64(bucketLow(i)), float64(bucketHigh(i))
+			if cum == lo && frac > 0 && cum < n {
+				// Target sits between this bucket's last observation and the
+				// next non-empty bucket's first; interpolate across the gap.
+				for j := i + 1; j < histNumBuckets; j++ {
+					if h.buckets[j].Load() != 0 {
+						high = float64(bucketLow(j))
+						break
+					}
+				}
+				return low + frac*(high-low)
+			}
+			if low == high {
+				return low
+			}
+			// Spread the bucket's c observations uniformly across its range.
+			into := float64(lo-(cum-c)) - 1 + frac
+			return low + (high-low)*into/float64(c)
+		}
+	}
+	return float64(h.max.Load())
+}
+
+// QuantileDuration is Quantile for nanosecond-valued histograms.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}
+
+// Merge folds other into h. Both may be concurrently recorded into; the
+// result is some consistent interleaving.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if c := other.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	if other.count.Load() != 0 {
+		for {
+			om, cur := other.min.Load(), h.min.Load()
+			if om >= cur || h.min.CompareAndSwap(cur, om) {
+				break
+			}
+		}
+		for {
+			om, cur := other.max.Load(), h.max.Load()
+			if om <= cur || h.max.CompareAndSwap(cur, om) {
+				break
+			}
+		}
+	}
+}
+
+// Clone returns an independent copy of h's current contents.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram()
+	c.Merge(h)
+	return c
+}
+
+// Reset zeroes the histogram in place.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxUint64)
+	h.max.Store(0)
+}
+
+// HistogramBucket is one non-empty bucket in a snapshot: the bucket's
+// upper bound (inclusive) and its cumulative count.
+type HistogramBucket struct {
+	UpperBound uint64
+	CumCount   uint64
+}
+
+// SnapshotBuckets returns the non-empty buckets in ascending order with
+// cumulative counts — the shape Prometheus exposition wants. Allocates;
+// exposition-path only.
+func (h *Histogram) SnapshotBuckets() []HistogramBucket {
+	var out []HistogramBucket
+	var cum uint64
+	for i := 0; i < histNumBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, HistogramBucket{UpperBound: bucketHigh(i), CumCount: cum})
+	}
+	return out
+}

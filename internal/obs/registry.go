@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// metricKind discriminates what a registry entry holds.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// metric is one registered series: a name, optional pre-rendered label
+// pairs (already in `k="v",...` form), and exactly one live source.
+type metric struct {
+	name   string
+	labels string // rendered label body, "" when unlabeled
+	help   string
+	kind   metricKind
+	unit   string // histogram unit suffix hint: "ns" scales sums to seconds
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64
+	gfn     func() float64
+}
+
+func (m *metric) key() string { return m.name + "{" + m.labels + "}" }
+
+// Registry owns a set of named metrics and renders them deterministically
+// (sorted by name, then label set). Registration is idempotent: registering
+// the same name+labels again returns the existing instrument, so packages
+// can register from constructors without coordinating.
+//
+// A nil *Registry is safe everywhere: registration methods return live,
+// unregistered instruments (recording into them is cheap and invisible),
+// so instrumented code never branches on "is obs enabled".
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) add(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := m.key()
+	if prev, ok := r.metrics[k]; ok {
+		return prev
+	}
+	r.metrics[k] = m
+	r.order = append(r.order, k)
+	sort.Strings(r.order)
+	return m
+}
+
+// Labels renders a label set body deterministically (sorted keys). Values
+// are escaped per the Prometheus text format.
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	out := ""
+	for i, p := range pairs {
+		if i > 0 {
+			out += ","
+		}
+		out += p.k + `="` + escapeLabel(p.v) + `"`
+	}
+	return out
+}
+
+func escapeLabel(v string) string {
+	needs := false
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' || v[i] == '"' || v[i] == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return v
+	}
+	out := make([]byte, 0, len(v)+4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterL(name, "", help)
+}
+
+// CounterL registers a counter with a rendered label body (see Labels).
+func (r *Registry) CounterL(name, labels, help string) *Counter {
+	c := &Counter{}
+	if r == nil {
+		return c
+	}
+	m := r.add(&metric{name: name, labels: labels, help: help, kind: kindCounter, counter: c})
+	return m.counter
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeL(name, "", help)
+}
+
+// GaugeL registers a gauge with a rendered label body.
+func (r *Registry) GaugeL(name, labels, help string) *Gauge {
+	g := &Gauge{}
+	if r == nil {
+		return g
+	}
+	m := r.add(&metric{name: name, labels: labels, help: help, kind: kindGauge, gauge: g})
+	return m.gauge
+}
+
+// Histogram registers (or finds) an unlabeled histogram. unit should be
+// "ns" for nanosecond-valued histograms (sums render as seconds in the
+// Prometheus exposition) or "" for dimensionless ones.
+func (r *Registry) Histogram(name, unit, help string) *Histogram {
+	return r.HistogramL(name, "", unit, help)
+}
+
+// HistogramL registers a histogram with a rendered label body.
+func (r *Registry) HistogramL(name, labels, unit, help string) *Histogram {
+	h := NewHistogram()
+	if r == nil {
+		return h
+	}
+	m := r.add(&metric{name: name, labels: labels, help: help, kind: kindHistogram, unit: unit, hist: h})
+	return m.hist
+}
+
+// RegisterHistogram publishes an externally owned histogram (e.g. one
+// embedded in core.Metrics) under name. Idempotent on name+labels; if the
+// name is taken the existing registration wins and h is not exposed.
+func (r *Registry) RegisterHistogram(name, labels, unit, help string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.add(&metric{name: name, labels: labels, help: help, kind: kindHistogram, unit: unit, hist: h})
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for sources that already maintain their own counters.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.add(&metric{name: name, labels: labels, help: help, kind: kindCounterFunc, cfn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.add(&metric{name: name, labels: labels, help: help, kind: kindGaugeFunc, gfn: fn})
+}
+
+// gather returns the registered metrics in deterministic order.
+func (r *Registry) gather() []*metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, r.metrics[k])
+	}
+	return out
+}
+
+// Validate metric/label name characters loosely at registration time in
+// tests via this helper (exposition never escapes metric names).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

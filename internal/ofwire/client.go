@@ -11,6 +11,7 @@ import (
 
 	"hermes/internal/classifier"
 	"hermes/internal/core"
+	"hermes/internal/obs"
 )
 
 // ErrClientClosed is returned to callers whose requests were cut off by a
@@ -42,6 +43,13 @@ type Client struct {
 	closed  bool  // Close was called
 
 	readerDone chan struct{}
+
+	// Optional instruments, attached via Instrument before traffic starts.
+	// inflight counts XIDs awaiting replies; rtt records wall-clock
+	// round-trip time per request (ns). ofwire lives on the wire, outside
+	// the virtual-time domain, so wall-clock RTT is the honest measurement.
+	inflight *obs.Gauge
+	rtt      *obs.Histogram
 }
 
 // Dial connects to an agent daemon and performs the hello exchange.
@@ -167,6 +175,15 @@ func (c *Client) RequestTimeout() time.Duration {
 	return time.Duration(c.timeoutNS.Load())
 }
 
+// Instrument attaches observability instruments: g gauges the number of
+// in-flight requests (registered XIDs awaiting replies), h records each
+// request's round-trip time. Either may be nil. Attach before issuing
+// requests; the fields are not synchronized against in-flight traffic.
+func (c *Client) Instrument(g *obs.Gauge, h *obs.Histogram) {
+	c.inflight = g
+	c.rtt = h
+}
+
 // roundTrip sends one request and waits for its reply under the client's
 // default deadline. Multiple roundTrips may be in flight concurrently; each
 // caller blocks only on its own XID.
@@ -187,6 +204,15 @@ func (c *Client) roundTripCtx(ctx context.Context, req *Message) (*Message, erro
 	xid := c.nextXID.Add(1)
 	req.Header.XID = xid
 	ch := make(chan *Message, 1)
+
+	var start time.Time
+	if c.rtt != nil {
+		start = time.Now()
+	}
+	if c.inflight != nil {
+		c.inflight.Add(1)
+		defer c.inflight.Add(-1)
+	}
 
 	c.pmu.Lock()
 	if c.failErr != nil {
@@ -218,6 +244,11 @@ func (c *Client) roundTripCtx(ctx context.Context, req *Message) (*Message, erro
 	case resp, ok := <-ch:
 		if !ok {
 			return nil, c.Err()
+		}
+		if c.rtt != nil {
+			// Error replies completed a round trip too; only failed or
+			// abandoned requests go unrecorded.
+			c.rtt.RecordDuration(time.Since(start))
 		}
 		if resp.Header.Type == TypeError {
 			return nil, resp.Error

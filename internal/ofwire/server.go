@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hermes/internal/core"
+	"hermes/internal/obs"
 	"hermes/internal/tcam"
 )
 
@@ -76,6 +77,63 @@ func (s *AgentServer) MetricsSnapshot() core.Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.agent.Metrics().Snapshot()
+}
+
+// RegisterObs exposes the daemon on an obs registry: the agent's always-on
+// counters, table occupancy, and the server's open-connection count, all as
+// scrape-time closures. Closures read through s.agent under the server lock,
+// so they stay correct when a QoS re-carve replaces the agent. The per-op
+// latency histograms and the flight recorder are the Observer's job — pass
+// core.NewObserver(reg, ...) in the core.Config instead; this method covers
+// the state that exists even with a nil Observer.
+func (s *AgentServer) RegisterObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	counters := func(pick func(core.Metrics) int) func() uint64 {
+		return func() uint64 {
+			s.mu.Lock()
+			m := s.agent.Metrics() // cheap counter copy; histograms untouched
+			s.mu.Unlock()
+			return uint64(pick(m))
+		}
+	}
+	reg.CounterFunc("hermes_agent_inserts_total", "",
+		"controller-issued insertions", counters(func(m core.Metrics) int { return m.Inserts }))
+	reg.CounterFunc("hermes_agent_shadow_inserts_total", "",
+		"insertions on the guaranteed shadow path", counters(func(m core.Metrics) int { return m.ShadowInserts }))
+	reg.CounterFunc("hermes_agent_main_inserts_total", "",
+		"insertions on the unguaranteed main path", counters(func(m core.Metrics) int { return m.MainInserts }))
+	reg.CounterFunc("hermes_agent_bypasses_total", "",
+		"lowest-priority bypass appends", counters(func(m core.Metrics) int { return m.Bypasses }))
+	reg.CounterFunc("hermes_agent_rate_limited_total", "",
+		"insertions diverted by the token bucket", counters(func(m core.Metrics) int { return m.RateLimited }))
+	reg.CounterFunc("hermes_agent_violations_total", "",
+		"guaranteed insertions past the bound", counters(func(m core.Metrics) int { return m.Violations }))
+	reg.CounterFunc("hermes_agent_migrations_total", "",
+		"Rule Manager migrations completed", counters(func(m core.Metrics) int { return m.Migrations }))
+	reg.CounterFunc("hermes_agent_reconciles_total", "",
+		"reconcile passes after crash recovery", counters(func(m core.Metrics) int { return m.Reconciles }))
+
+	occ := func(pick func(*core.Agent) int) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(pick(s.agent))
+		}
+	}
+	reg.GaugeFunc("hermes_tcam_occupancy", obs.Labels("table", "shadow"),
+		"physical entries installed", occ((*core.Agent).ShadowOccupancy))
+	reg.GaugeFunc("hermes_tcam_occupancy", obs.Labels("table", "main"),
+		"physical entries installed", occ((*core.Agent).MainOccupancy))
+	reg.GaugeFunc("hermes_tcam_capacity", obs.Labels("table", "shadow"),
+		"entries the carved slice can hold", occ((*core.Agent).ShadowSize))
+	reg.GaugeFunc("hermes_ofwire_open_conns", "",
+		"live control channels", func() float64 {
+			s.connMu.Lock()
+			defer s.connMu.Unlock()
+			return float64(len(s.conns))
+		})
 }
 
 // now maps wall time to the agent's virtual clock.

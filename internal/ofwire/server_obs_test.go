@@ -1,0 +1,141 @@
+package ofwire
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/obs"
+	"hermes/internal/tcam"
+	"hermes/internal/testutil"
+)
+
+// TestAgentServerMetricsEndpoint drives a live agent daemon over the wire
+// and asserts that /metrics then serves parseable Prometheus text carrying
+// at least one counter, one gauge, and one histogram fed by that traffic.
+func TestAgentServerMetricsEndpoint(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+
+	reg := obs.NewRegistry()
+	observer := core.NewObserver(reg, 256)
+	srv, err := NewAgentServer("obs-sw", tcam.Profiles()[0], core.Config{
+		Guarantee:        5 * time.Millisecond,
+		DisableRateLimit: true,
+		Observer:         observer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...interface{}) {}
+	srv.RegisterObs(reg)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+
+	client, err := Dial(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	inflight := reg.Gauge("hermes_test_inflight", "test client in-flight requests")
+	rtt := reg.Histogram("hermes_test_rtt_ns", "ns", "test client round-trip time")
+	client.Instrument(inflight, rtt)
+
+	const inserts = 20
+	for i := 1; i <= inserts; i++ {
+		r := classifier.Rule{
+			ID:       classifier.RuleID(i),
+			Match:    classifier.DstMatch(classifier.NewPrefix(uint32(i)<<16|0x0A000000, 24)),
+			Priority: int32(i%7 + 1),
+		}
+		if _, err := client.Insert(r); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+
+	hsrv := httptest.NewServer(obs.NewMux(reg, observer.Tracer))
+	defer hsrv.Close()
+
+	body := httpGet(t, hsrv.URL+"/metrics")
+	if ct := contentType(t, hsrv.URL+"/metrics"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain prefix", ct)
+	}
+
+	// Counter fed by the live agent through the scrape-time closure.
+	if !strings.Contains(body, "hermes_agent_inserts_total 20") {
+		t.Errorf("/metrics missing live insert counter; got:\n%s", grepLines(body, "inserts_total"))
+	}
+	// Gauge: occupancy of the carved tables.
+	if !strings.Contains(body, `hermes_tcam_occupancy{table="shadow"}`) {
+		t.Error("/metrics missing shadow occupancy gauge")
+	}
+	// Histogram: per-op latency recorded by the Observer on every insert,
+	// with its cumulative buckets and the +Inf terminator.
+	if !strings.Contains(body, `hermes_agent_op_latency_ns_count{class="shadow"}`) &&
+		!strings.Contains(body, `hermes_agent_op_latency_ns_count{class="main"}`) {
+		t.Errorf("/metrics missing op latency histogram; got:\n%s", grepLines(body, "op_latency"))
+	}
+	if !strings.Contains(body, `le="+Inf"`) {
+		t.Error("/metrics histogram missing +Inf bucket")
+	}
+	// The wire client's RTT histogram saw all twenty round trips.
+	if !strings.Contains(body, "hermes_test_rtt_ns_count 20") {
+		t.Errorf("client RTT histogram not fed; got:\n%s", grepLines(body, "test_rtt"))
+	}
+	if !strings.Contains(body, "hermes_test_inflight 0") {
+		t.Errorf("in-flight gauge did not return to zero; got:\n%s", grepLines(body, "inflight"))
+	}
+
+	// The trace endpoint replays the lifecycle events of the same traffic.
+	trace := httpGet(t, hsrv.URL+"/debug/trace")
+	if !strings.Contains(trace, `"recorded": 20`) {
+		t.Errorf("/debug/trace did not record the inserts; got: %.200s", trace)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	return string(b)
+}
+
+func contentType(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.Header.Get("Content-Type")
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hermes/internal/classifier"
+	"hermes/internal/obs"
 )
 
 // Common table errors.
@@ -125,7 +126,17 @@ type Table struct {
 	totalDeletes int
 	totalMods    int
 	droppedOps   int
+
+	// shiftHist, when non-nil, receives the entry-shift count of every
+	// ranked insert and priority modify (the obs wiring; recording is
+	// lock-free and allocation-free).
+	shiftHist *obs.Histogram
 }
+
+// SetShiftHistogram attaches (or, with nil, detaches) an obs histogram
+// that records the per-operation shift counts — the quantity the paper's
+// latency model is built on, since insertion latency is linear in shifts.
+func (t *Table) SetShiftHistogram(h *obs.Histogram) { t.shiftHist = h }
 
 // SetFaultHook installs (or, with nil, removes) the per-operation fault
 // hook. Intended for fault-injection harnesses only.
@@ -295,6 +306,9 @@ func (t *Table) InsertRanked(r classifier.Rule, rank uint64) (time.Duration, err
 	t.index.Insert(r)
 	t.totalShifts += shifts
 	t.totalInserts++
+	if t.shiftHist != nil {
+		t.shiftHist.Record(uint64(shifts))
+	}
 	t.gen.Add(1)
 	return t.profile.InsertLatency(shifts) + f.Extra, nil
 }
@@ -398,6 +412,9 @@ func (t *Table) ModifyPriority(id classifier.RuleID, priority int32) (time.Durat
 	}
 	t.totalShifts += shifts
 	t.totalMods++
+	if t.shiftHist != nil {
+		t.shiftHist.Record(uint64(shifts))
+	}
 	t.gen.Add(1)
 	return t.profile.InsertLatency(shifts) + f.Extra, true
 }

@@ -4,11 +4,15 @@
 # benchmark: {"name", "runs", "ns_per_op", "bytes_per_op", "allocs_per_op",
 # and any b.ReportMetric extras keyed by unit}.
 #
-# Usage: scripts/bench_json.sh [output.json] [benchtime]
-#   output.json  defaults to BENCH_lookup.json in the repo root (committed
-#                as the tracked perf baseline).
-#   benchtime    defaults to 0.2s; scripts/check.sh passes a short budget
-#                for its smoke run.
+# Usage: scripts/bench_json.sh [output.json] [benchtime] [obs_output.json]
+#   output.json      defaults to BENCH_lookup.json in the repo root
+#                    (committed as the tracked perf baseline).
+#   benchtime        defaults to 0.2s; scripts/check.sh passes a short
+#                    budget for its smoke run.
+#   obs_output.json  defaults to BENCH_obs.json: the obs-overhead report —
+#                    instrumented vs. no-op agent insert+lookup plus the
+#                    obs record-path microbenches, with the computed
+#                    insert overhead percentage (budget: ≤5%).
 #
 # Stdlib awk only; no jq, no module downloads.
 set -eu
@@ -16,20 +20,16 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_lookup.json}"
 benchtime="${2:-0.2s}"
+obs_out="${3:-BENCH_obs.json}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+raw_obs="$(mktemp)"
+trap 'rm -f "$raw" "$raw_obs"' EXIT
 
-# Table-level lookup + reset benches live in internal/tcam; the agent
-# read-path bench lives in the root package.
-go test -run '^$' -bench 'BenchmarkTableLookup|BenchmarkTableReset' \
-	-benchmem -benchtime "$benchtime" ./internal/tcam | tee -a "$raw"
-go test -run '^$' -bench 'BenchmarkAgentLookupParallel|BenchmarkLookup$' \
-	-benchmem -benchtime "$benchtime" . | tee -a "$raw"
-
-awk '
+# to_json renders `go test -bench` output as a JSON benchmark array.
+to_json() {
+	awk '
 /^Benchmark/ {
-	# Benchmark lines: name  runs  value unit  value unit ...
 	if (n++) printf ",\n"
 	printf "  {\"name\": \"%s\", \"runs\": %s", $1, $2
 	for (i = 3; i + 1 <= NF; i += 2) {
@@ -44,7 +44,17 @@ awk '
 	printf "}"
 }
 END { printf "\n" }
-' "$raw" > "$out.tmp"
+' "$1"
+}
+
+# Table-level lookup + reset benches live in internal/tcam; the agent
+# read-path bench lives in the root package.
+go test -run '^$' -bench 'BenchmarkTableLookup|BenchmarkTableReset' \
+	-benchmem -benchtime "$benchtime" ./internal/tcam | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkAgentLookupParallel|BenchmarkLookup$' \
+	-benchmem -benchtime "$benchtime" . | tee -a "$raw"
+
+to_json "$raw" > "$out.tmp"
 
 {
 	echo "{"
@@ -57,3 +67,37 @@ END { printf "\n" }
 rm -f "$out.tmp"
 
 echo "wrote $out"
+
+# --- obs overhead: instrumented vs no-op agent insert+lookup -----------------
+# The agent pair benches live in the root package; the record-path
+# microbenches (0 allocs/op) in internal/obs.
+go test -run '^$' -bench 'BenchmarkAgentInsert/|BenchmarkAgentLookup/' \
+	-benchmem -benchtime "$benchtime" . | tee -a "$raw_obs"
+go test -run '^$' -bench 'BenchmarkHistogramRecord|BenchmarkCounterAddParallel|BenchmarkTracerRecord' \
+	-benchmem -benchtime "$benchtime" ./internal/obs | tee -a "$raw_obs"
+
+to_json "$raw_obs" > "$obs_out.tmp"
+
+# Insert overhead percentage: (obs - noop) / noop * 100, from the agent pair.
+overhead="$(awk '
+$1 ~ /^BenchmarkAgentInsert\/noop/ { noop = $3 }
+$1 ~ /^BenchmarkAgentInsert\/obs/  { obs = $3 }
+END {
+	if (noop > 0 && obs > 0) printf "%.2f", (obs - noop) / noop * 100
+	else printf "null"
+}
+' "$raw_obs")"
+
+{
+	echo "{"
+	echo "\"benchtime\": \"$benchtime\","
+	echo "\"insert_overhead_percent\": $overhead,"
+	echo "\"overhead_budget_percent\": 5,"
+	echo "\"benchmarks\": ["
+	cat "$obs_out.tmp"
+	echo "]"
+	echo "}"
+} > "$obs_out"
+rm -f "$obs_out.tmp"
+
+echo "wrote $obs_out (insert overhead: ${overhead}%)"

@@ -36,15 +36,22 @@ if grep -Eq 'DIVERGED|FAILED' /tmp/hermes-chaos.$$; then
 fi
 rm -f /tmp/hermes-chaos.$$
 
-echo ">> bench-json smoke: lookup benches run and produce parseable JSON"
+echo ">> bench-json smoke: lookup + obs-overhead benches run and produce parseable JSON"
 bench_json="/tmp/hermes-bench-lookup.$$"
-./scripts/bench_json.sh "$bench_json" 20x >/dev/null
+bench_obs="/tmp/hermes-bench-obs.$$"
+./scripts/bench_json.sh "$bench_json" 20x "$bench_obs" >/dev/null
 if ! grep -q 'BenchmarkTableLookup/indexed' "$bench_json"; then
-  rm -f "$bench_json"
+  rm -f "$bench_json" "$bench_obs"
   echo "bench-json smoke failed: no TableLookup results in output" >&2
   exit 1
 fi
-rm -f "$bench_json"
+if ! grep -q 'BenchmarkAgentInsert/obs' "$bench_obs" ||
+   ! grep -q 'insert_overhead_percent' "$bench_obs"; then
+  rm -f "$bench_json" "$bench_obs"
+  echo "bench-json smoke failed: no obs-overhead comparison in output" >&2
+  exit 1
+fi
+rm -f "$bench_json" "$bench_obs"
 
 echo ">> fuzz: codec round-trip (5s)"
 go test -run='^$' -fuzz=FuzzCodecRoundTrip -fuzztime=5s ./internal/ofwire
