@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint fuzz bench bench-json chaos
+.PHONY: all build test check lint fuzz bench bench-json chaos loadgen-smoke loadgen-1m
 
 all: build
 
@@ -43,3 +43,20 @@ bench:
 # diffs).
 bench-json:
 	./scripts/bench_json.sh
+
+# Open-loop SLO smoke: a deterministic 4k-flow schedule replayed against
+# two in-process agents, verdict rewritten to BENCH_loadgen.json
+# (committed baseline; exit 1 on SLO breach).
+loadgen-smoke:
+	$(GO) run ./cmd/hermes-loadgen -flows 4000 -rate 20000 -switches 2 \
+		-hold 20ms -classes 3,1 -seed 42 -workers 16 \
+		-p99-budget 30s -max-loss-rate 0 -out BENCH_loadgen.json
+
+# Million-flow soak: the ISSUE acceptance run. Open-loop Poisson arrivals,
+# 1M flows at 12k/s against four in-process agents — takes a couple of
+# minutes of wall clock (the schedule spans ~83 s of virtual time plus
+# drain). Same seed replays a byte-identical schedule.
+loadgen-1m:
+	$(GO) run ./cmd/hermes-loadgen -flows 1000000 -rate 12000 -switches 4 \
+		-hold 20ms -workers 32 -queue-depth 65536 -classes 3,1 -seed 42 \
+		-p99-budget 10s -max-loss-rate 0 -out BENCH_loadgen_1m.json

@@ -91,6 +91,14 @@ type Config struct {
 	// histogram, all labeled with the switch ID. Nil disables exposition
 	// with zero hot-path cost.
 	Obs *obs.Registry
+	// OnResult, when non-nil, observes every finished operation — the
+	// completion-notification seam load generators use to feed a ledger
+	// without wrapping each result channel. It fires exactly once per
+	// submitted op (successes, remote rejections, circuit-open fast
+	// failures, and shutdown drains alike), before the result is delivered
+	// to the submitter's channel. It runs on worker goroutines: keep it
+	// fast and never block.
+	OnResult func(OpResult)
 }
 
 func (c Config) withDefaults() Config {
@@ -218,7 +226,7 @@ func (f *Fleet) submit(switchID string, o *op) (<-chan OpResult, error) {
 	o.done = make(chan OpResult, 1)
 	if !w.brk.allow() {
 		w.tele.fail()
-		o.done <- OpResult{Switch: w.id, RuleID: o.rule.ID, Err: &CircuitOpenError{Switch: w.id}}
+		w.complete(o, OpResult{Switch: w.id, RuleID: o.rule.ID, Err: &CircuitOpenError{Switch: w.id}})
 		return o.done, nil
 	}
 	if err := w.enqueue(o); err != nil {

@@ -506,3 +506,186 @@ func TestFleetValidation(t *testing.T) {
 		t.Fatalf("delete: %v", res.Err)
 	}
 }
+
+// resultLedger is an OnResult hook that tallies completions by outcome,
+// the way a load generator's ledger does.
+type resultLedger struct {
+	mu          sync.Mutex
+	total       int
+	ok          int
+	rejected    int // remote typed errors
+	circuitOpen int
+	closed      int
+	other       int
+}
+
+func (l *resultLedger) observe(res OpResult) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	var remote *ofwire.ErrorBody
+	var open *CircuitOpenError
+	switch {
+	case res.Err == nil:
+		l.ok++
+	case errors.As(res.Err, &remote):
+		l.rejected++
+	case errors.As(res.Err, &open):
+		l.circuitOpen++
+	case errors.Is(res.Err, ErrFleetClosed):
+		l.closed++
+	default:
+		l.other++
+	}
+}
+
+func (l *resultLedger) counts() (total, ok, rejected, circuitOpen, closed, other int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total, l.ok, l.rejected, l.circuitOpen, l.closed, l.other
+}
+
+// TestFleetOnResultObservesEveryOp: the completion hook must fire exactly
+// once per submitted op on every path — successes, remote rejections,
+// circuit-open fast failures — and always before the result reaches the
+// submitter's channel.
+func TestFleetOnResultObservesEveryOp(t *testing.T) {
+	specs, servers := startAgents(t, 2, core.Config{DisableRateLimit: true})
+	ledger := &resultLedger{}
+	f, err := New(Config{
+		OnResult:      ledger.observe,
+		ProbeInterval: 20 * time.Millisecond,
+		DialTimeout:   500 * time.Millisecond,
+		Breaker:       BreakerConfig{FailureThreshold: 2, OpenTimeout: 10 * time.Second},
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const n = 40
+	for i := 1; i <= n; i++ {
+		if res := f.Insert(specs[i%2].ID, testRule(i)); res.Err != nil {
+			t.Fatalf("insert %d: %v", i, res.Err)
+		}
+	}
+	// Duplicate inserts: remote rejections, observed as such.
+	for i := 1; i <= 5; i++ {
+		if res := f.Insert(specs[i%2].ID, testRule(i)); res.Err == nil {
+			t.Fatalf("duplicate insert %d unexpectedly succeeded", i)
+		}
+	}
+	total, ok, rejected, _, _, other := ledger.counts()
+	if total != n+5 || ok != n || rejected != 5 || other != 0 {
+		t.Fatalf("ledger total/ok/rejected/other = %d/%d/%d/%d, want %d/%d/5/0",
+			total, ok, rejected, other, n+5, n)
+	}
+
+	// Kill switch 0 and wait for the breaker to trip: the circuit-open fast
+	// path bypasses the worker queue and must still report to the hook.
+	if err := servers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if f.Snapshot().Switches[0].Breaker == BreakerOpen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var open *CircuitOpenError
+	if res := f.Insert(specs[0].ID, testRule(500)); !errors.As(res.Err, &open) {
+		t.Fatalf("dead-switch insert err = %v, want CircuitOpenError", res.Err)
+	}
+	if _, _, _, circuitOpen, _, _ := ledger.counts(); circuitOpen != 1 {
+		t.Fatalf("circuit-open completions = %d, want 1", circuitOpen)
+	}
+}
+
+// TestFleetOnResultObservesShutdownDrain: ops still queued when Close cuts
+// the fleet down are failed with ErrFleetClosed, and the hook must see each
+// of those exactly once too — a loadgen ledger may not leak in-flight ops.
+func TestFleetOnResultObservesShutdownDrain(t *testing.T) {
+	// A peer that answers echoes but swallows flow-mods wedges the worker.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				ofwire.WriteMessage(conn, &ofwire.Message{Header: ofwire.Header{Type: ofwire.TypeHello}}) //nolint:errcheck
+				for {
+					req, err := ofwire.ReadMessage(conn)
+					if err != nil {
+						return
+					}
+					if req.Header.Type == ofwire.TypeEchoRequest {
+						resp := &ofwire.Message{Header: ofwire.Header{Type: ofwire.TypeEchoReply,
+							XID: req.Header.XID}, Raw: req.Raw}
+						if err := ofwire.WriteMessage(conn, resp); err != nil {
+							return
+						}
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	ledger := &resultLedger{}
+	f, err := New(Config{OnResult: ledger.observe, QueueDepth: 16, BatchSize: 1,
+		ProbeInterval: time.Hour},
+		[]SwitchSpec{{ID: "wedged", Addr: lis.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const ops = 6
+	chans := make([]<-chan OpResult, ops)
+	for i := 0; i < ops; i++ {
+		ch, err := f.InsertAsync("wedged", testRule(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	time.Sleep(50 * time.Millisecond) // let the first op wedge in flight
+	f.Close()                         //nolint:errcheck
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Err == nil {
+				t.Errorf("op %d succeeded on a wedged switch", i)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("op %d never completed after Close", i)
+		}
+	}
+	total, ok, rejected, circuitOpen, closed, other := ledger.counts()
+	if total != ops || ok != 0 {
+		t.Fatalf("ledger total/ok = %d/%d, want %d/0", total, ok, ops)
+	}
+	// How each op fails depends on timing: in-flight ops die with wire
+	// errors, queued ops drain with ErrFleetClosed — unless the op
+	// timeout fires first and the accumulated failures open the breaker,
+	// in which case the remainder complete with CircuitOpenError. The
+	// contract is conservation, not the split: every op is observed
+	// exactly once, never as a success, and never as a remote rejection
+	// (the switch swallowed the flow-mods, it did not answer them).
+	if rejected != 0 {
+		t.Fatalf("rejected = %d on a switch that never replied", rejected)
+	}
+	if circuitOpen+closed+other != ops {
+		t.Fatalf("circuitOpen+closed+other = %d+%d+%d, want %d in total",
+			circuitOpen, closed, other, ops)
+	}
+}

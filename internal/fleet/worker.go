@@ -169,10 +169,19 @@ func (w *worker) dispatch(batch []*op) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			o.done <- w.execute(o)
+			w.complete(o, w.execute(o))
 		}()
 	}
 	wg.Wait()
+}
+
+// complete delivers one finished op: the completion hook (when configured)
+// observes the result first, then the submitter's channel gets it.
+func (w *worker) complete(o *op, res OpResult) {
+	if h := w.f.cfg.OnResult; h != nil {
+		h(res)
+	}
+	o.done <- res
 }
 
 // drainFail fails any ops still queued at shutdown.
@@ -180,7 +189,7 @@ func (w *worker) drainFail() {
 	for {
 		select {
 		case o := <-w.queue:
-			o.done <- OpResult{Switch: w.id, RuleID: o.rule.ID, Err: ErrFleetClosed}
+			w.complete(o, OpResult{Switch: w.id, RuleID: o.rule.ID, Err: ErrFleetClosed})
 		default:
 			return
 		}

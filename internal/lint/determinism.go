@@ -21,6 +21,7 @@ var DeterminismAnalyzer = &Analyzer{
 		"internal/workload",
 		"internal/faultinject",
 		"internal/obs",
+		"internal/loadgen",
 	},
 	Run: runDeterminism,
 }

@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"sort"
+	"time"
+
+	"hermes/internal/bgp"
+	"hermes/internal/classifier"
+	"hermes/internal/workload"
+)
+
+// Adapter sub-stream labels (see schedule.go).
+const (
+	labelBGPTrace uint64 = 100 + iota
+	labelJobSalt
+)
+
+// FromBGP synthesizes a BGPStream-shaped update trace, replays it through
+// a router's best-path selection, and converts the resulting FIB churn
+// into a schedule: the §8.1.3 replay experiment as offered load. All
+// events carry the given class — FIB updates are one traffic class from
+// the switch's point of view.
+func FromBGP(seed int64, name string, cfg bgp.TraceConfig, class uint8) *Schedule {
+	rng := workload.SubStream(seed, labelBGPTrace)
+	router := bgp.NewRouter(name)
+	var events []Event
+	for _, u := range bgp.GenerateTrace(rng, cfg) {
+		for _, op := range router.Process(u) {
+			var kind OpKind
+			switch op.Type {
+			case bgp.FIBInsert:
+				kind = OpInsert
+			case bgp.FIBDelete:
+				kind = OpDelete
+			case bgp.FIBModify:
+				kind = OpModify
+			default:
+				continue
+			}
+			events = append(events, Event{At: op.At, Op: kind, Class: class, Rule: op.Rule()})
+		}
+	}
+	return &Schedule{Name: "bgp-" + name, Seed: seed, Events: events}
+}
+
+// FromJobs converts shuffle-storm job arrivals into per-flow rule churn:
+// every flow of a job inserts a rule at the job's arrival (plus the
+// flow's start delay) and, when hold > 0, deletes it hold later — the
+// flow completed and its rule is reclaimed. Short jobs (the
+// latency-sensitive bulk of the trace, Fig. 1) are tagged shortClass,
+// long jobs longClass, so an SLO can hold the short-job tail to a tight
+// budget while bulk transfers get a loose one.
+//
+// Rule IDs are numbered from firstID in (job, flow) order, so the same
+// jobs always yield the same schedule.
+func FromJobs(jobs []workload.Job, hold time.Duration, shortClass, longClass uint8, firstID classifier.RuleID) *Schedule {
+	if firstID == 0 {
+		firstID = 1
+	}
+	var events []Event
+	id := firstID
+	for _, j := range jobs {
+		class := longClass
+		if j.Short() {
+			class = shortClass
+		}
+		for fi, f := range j.Flows {
+			at := j.Arrival + f.StartDelay
+			// The flow's endpoints shape the match; the salt keeps
+			// distinct (job, flow) pairs in distinct /24s even when
+			// endpoints repeat.
+			h := mix64(uint64(j.ID)<<20 ^ uint64(fi) ^ uint64(f.Src)<<42 ^ uint64(f.Dst)<<52 ^ labelJobSalt)
+			r := classifier.Rule{
+				ID:       id,
+				Match:    classifier.DstMatch(classifier.NewPrefix(uint32(h), 24)),
+				Priority: int32(h>>32)%16 + 1,
+				Action:   classifier.Action{Type: classifier.ActionForward, Port: int(uint64(f.Dst) % 48)},
+			}
+			events = append(events, Event{At: at, Op: OpInsert, Class: class, Rule: r})
+			if hold > 0 {
+				events = append(events, Event{At: at + hold, Op: OpDelete, Class: class, Rule: r})
+			}
+			id++
+		}
+	}
+	// Start delays and holds interleave across jobs; replay order is time
+	// order. The sort is stable so simultaneous events keep (job, flow)
+	// order and the schedule stays deterministic.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return &Schedule{Name: "shuffle-storm", Events: events}
+}

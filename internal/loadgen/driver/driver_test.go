@@ -1,0 +1,229 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hermes/internal/core"
+	"hermes/internal/fleet"
+	"hermes/internal/loadgen"
+	"hermes/internal/ofwire"
+	"hermes/internal/tcam"
+	"hermes/internal/testutil"
+)
+
+// startAgents launches n in-process Hermes agents on loopback and arms
+// the goroutine-leak checker.
+func startAgents(t *testing.T, n int) []string {
+	t.Helper()
+	testutil.VerifyNoLeaks(t)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := ofwire.NewAgentServer(fmt.Sprintf("sw-%d", i), tcam.Pica8P3290,
+			core.Config{Guarantee: 5 * time.Millisecond, DisableRateLimit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(lis) //nolint:errcheck
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = lis.Addr().String()
+	}
+	return addrs
+}
+
+func smokeSchedule(t *testing.T, seed int64) *loadgen.Schedule {
+	t.Helper()
+	s, err := loadgen.Generate(loadgen.Config{
+		Flows:        2000,
+		Rate:         100000,
+		Arrival:      loadgen.ArrivalPoisson,
+		Distinct:     800,
+		Hold:         10 * time.Millisecond,
+		ClassWeights: []int{3, 1},
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRunWireSmoke is the end-to-end contract: an open-loop replay over
+// live wire clients completes every scheduled operation, conserves the
+// ledger, drains every XID, and yields a verdict that passes a sane SLO
+// and fails an absurd one.
+func TestRunWireSmoke(t *testing.T) {
+	addrs := startAgents(t, 2)
+	tgt, err := DialWire(addrs, time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+
+	s := smokeSchedule(t, 42)
+	led := loadgen.NewLedger(2)
+	rep, err := Run(context.Background(), s, tgt, led, Config{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tot := led.Totals()
+	if got, want := tot.Submitted, uint64(len(s.Events)); got != want {
+		t.Fatalf("submitted = %d, want every scheduled op (%d)", got, want)
+	}
+	if tot.Completed() != tot.Submitted {
+		t.Fatalf("completed %d != submitted %d: ops leaked", tot.Completed(), tot.Submitted)
+	}
+	if tot.Rejected != 0 || tot.Lost != 0 {
+		t.Fatalf("rejected/lost = %d/%d on a healthy in-process target", tot.Rejected, tot.Lost)
+	}
+	if rep.Shed != 0 {
+		t.Fatalf("shed %d ops at this modest rate", rep.Shed)
+	}
+	if tgt.Outstanding() != 0 {
+		t.Fatalf("%d XIDs still open after drain", tgt.Outstanding())
+	}
+	if got, want := tgt.WireRTT().Count(), uint64(len(s.Events)); got != want {
+		t.Fatalf("wire RTT samples = %d, want %d", got, want)
+	}
+	if rep.AchievedRate <= 0 || rep.OfferedRate <= 0 {
+		t.Fatalf("rates not computed: %+v", rep)
+	}
+
+	run := rep.RunInfo(s, "wire", tgt.Switches())
+	if run.ScheduleDigest != fmt.Sprintf("%016x", s.Digest()) || run.Switches != 2 {
+		t.Fatalf("run info wrong: %+v", run)
+	}
+	// Loose SLO passes; an absurd 1 ns p99 budget must breach and the
+	// verdict must say so machine-readably.
+	if v := loadgen.Evaluate(led, loadgen.Uniform(2, loadgen.ClassSLO{P99: 5 * time.Second}), run); !v.Pass {
+		t.Fatalf("loose SLO breached: %v", v.Breaches)
+	}
+	v := loadgen.Evaluate(led, loadgen.Uniform(2, loadgen.ClassSLO{P99: time.Nanosecond}), run)
+	if v.Pass || len(v.Breaches) == 0 {
+		t.Fatal("1 ns p99 budget did not breach")
+	}
+	b, err := v.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"pass": false`) {
+		t.Fatalf("verdict JSON does not carry the gate bit:\n%s", b)
+	}
+}
+
+// TestRunSameSeedSameSchedule: two runs from the same seed replay
+// byte-identical schedules (the digest lands in both verdicts) and
+// complete the same operation totals.
+func TestRunSameSeedSameSchedule(t *testing.T) {
+	addrs := startAgents(t, 1)
+	digests := make([]string, 2)
+	totals := make([]uint64, 2)
+	for i := range digests {
+		tgt, err := DialWire(addrs, time.Second, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := smokeSchedule(t, 7)
+		led := loadgen.NewLedger(2)
+		rep, err := Run(context.Background(), s, tgt, led, Config{Workers: 8, TimeScale: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[i] = rep.RunInfo(s, "wire", 1).ScheduleDigest
+		totals[i] = led.Totals().Submitted
+		// Drain the table so the second replay starts from empty.
+		if tgt.Outstanding() != 0 {
+			t.Fatalf("run %d left XIDs open", i)
+		}
+		tgt.Close()
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("same-seed digests diverge: %s vs %s", digests[0], digests[1])
+	}
+	if totals[0] != totals[1] {
+		t.Fatalf("same-seed totals diverge: %d vs %d", totals[0], totals[1])
+	}
+}
+
+// TestRunFleetTarget drives the same smoke through the fleet layer:
+// queues, batching and breakers between the driver and the agents, with
+// the fleet's completion hook feeding a second conservation check.
+func TestRunFleetTarget(t *testing.T) {
+	addrs := startAgents(t, 2)
+	specs := make([]fleet.SwitchSpec, len(addrs))
+	for i, a := range addrs {
+		specs[i] = fleet.SwitchSpec{ID: fmt.Sprintf("sw-%d", i), Addr: a}
+	}
+	var hookResults atomic.Uint64
+	f, err := fleet.New(fleet.Config{
+		BatchSize: 16,
+		OnResult:  func(fleet.OpResult) { hookResults.Add(1) },
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	s := smokeSchedule(t, 11)
+	led := loadgen.NewLedger(2)
+	tgt := NewFleetTarget(f)
+	if _, err := Run(context.Background(), s, tgt, led, Config{Workers: 16, TimeScale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	tot := led.Totals()
+	if tot.Submitted != uint64(len(s.Events)) || tot.Completed() != tot.Submitted {
+		t.Fatalf("fleet-mode conservation broken: submitted=%d completed=%d events=%d",
+			tot.Submitted, tot.Completed(), len(s.Events))
+	}
+	if tot.Rejected != 0 || tot.Lost != 0 {
+		t.Fatalf("fleet-mode rejected/lost = %d/%d", tot.Rejected, tot.Lost)
+	}
+	if got := hookResults.Load(); got != uint64(len(s.Events)) {
+		t.Fatalf("fleet OnResult saw %d completions, want %d", got, len(s.Events))
+	}
+}
+
+// TestRunCancelled: cancelling mid-run stops the pacer, drains what was
+// queued, and reports the cancellation.
+func TestRunCancelled(t *testing.T) {
+	addrs := startAgents(t, 1)
+	tgt, err := DialWire(addrs, time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+
+	s, err := loadgen.Generate(loadgen.Config{
+		Flows: 1000, Rate: 100, Arrival: loadgen.ArrivalConstant, Seed: 1,
+	}) // 10 s of schedule; the cancel cuts it short
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	led := loadgen.NewLedger(1)
+	rep, err := Run(ctx, s, tgt, led, Config{Workers: 4})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if rep.Wall >= 5*time.Second {
+		t.Fatalf("cancelled run took %v", rep.Wall)
+	}
+	tot := led.Totals()
+	if tot.Completed() != tot.Submitted {
+		t.Fatalf("cancelled run leaked ops: %d/%d", tot.Completed(), tot.Submitted)
+	}
+	if tgt.Outstanding() != 0 {
+		t.Fatalf("%d XIDs open after cancelled drain", tgt.Outstanding())
+	}
+}

@@ -1,0 +1,238 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/fleet"
+	"hermes/internal/loadgen"
+	"hermes/internal/obs"
+	"hermes/internal/ofwire"
+)
+
+// Target is where scheduled operations land: a set of raw wire clients or
+// a fleet. Apply blocks until the operation completes and must be safe
+// for concurrent use — the driver's workers call it in parallel.
+type Target interface {
+	// Apply performs one operation and returns the switch's result.
+	Apply(op loadgen.OpKind, r classifier.Rule) (ofwire.FlowModResult, error)
+	// Switches is the fan-out width, for reporting.
+	Switches() int
+	// Close releases connections. The driver does not call it; the
+	// owner who dialed the target closes it.
+	Close() error
+}
+
+// Tracker is the per-connection XID ledger: it implements
+// ofwire.FlowLifecycle, timing every flow-mod from submission to
+// completion and recording the wire-level setup latency into an obs
+// histogram. XIDs are a per-connection namespace, so each client gets
+// its own Tracker; trackers share the histogram and counters, which are
+// connection-independent totals (the lesson of the ofwire lifecycle
+// tests: never key cross-connection totals by XID).
+type Tracker struct {
+	wireRTT *obs.Histogram
+
+	mu        sync.Mutex
+	open      map[uint32]time.Time
+	submitted uint64
+	completed uint64
+}
+
+// NewTracker returns a tracker recording wire setup latency into rtt
+// (shared across trackers when aggregating a whole target).
+func NewTracker(rtt *obs.Histogram) *Tracker {
+	return &Tracker{wireRTT: rtt, open: make(map[uint32]time.Time)}
+}
+
+// FlowSubmitted implements ofwire.FlowLifecycle.
+func (t *Tracker) FlowSubmitted(xid uint32, _ classifier.RuleID) {
+	now := time.Now()
+	t.mu.Lock()
+	t.submitted++
+	t.open[xid] = now
+	t.mu.Unlock()
+}
+
+// FlowCompleted implements ofwire.FlowLifecycle.
+func (t *Tracker) FlowCompleted(xid uint32, _ classifier.RuleID, _ ofwire.FlowModResult, err error) {
+	now := time.Now()
+	t.mu.Lock()
+	at, ok := t.open[xid]
+	if ok {
+		delete(t.open, xid)
+		t.completed++
+	}
+	t.mu.Unlock()
+	if ok && err == nil && t.wireRTT != nil {
+		t.wireRTT.RecordDuration(now.Sub(at))
+	}
+}
+
+// Outstanding is the number of submitted flow-mods not yet completed on
+// this connection. Zero once a run has drained.
+func (t *Tracker) Outstanding() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.open)
+}
+
+// Counts returns the connection's submitted/completed totals.
+func (t *Tracker) Counts() (submitted, completed uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.submitted, t.completed
+}
+
+// WireTarget drives agents over raw pipelined ofwire clients, one per
+// switch, routing each rule to a switch by identity hash — the same
+// stable routing the fleet uses, so a rule's insert, modifies and delete
+// all land on the same agent.
+type WireTarget struct {
+	clients  []*ofwire.Client
+	trackers []*Tracker
+	wireRTT  *obs.Histogram
+}
+
+// DialWire connects one client per address. The request timeout bounds
+// how long a flow-mod may stay in flight before it is abandoned (and
+// counted lost).
+func DialWire(addrs []string, dialTimeout, requestTimeout time.Duration) (*WireTarget, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("driver: no switch addresses")
+	}
+	w := &WireTarget{wireRTT: obs.NewHistogram()}
+	for _, addr := range addrs {
+		c, err := ofwire.Dial(addr, dialTimeout)
+		if err != nil {
+			w.Close() //nolint:errcheck
+			return nil, fmt.Errorf("driver: dial %s: %w", addr, err)
+		}
+		if requestTimeout > 0 {
+			c.SetRequestTimeout(requestTimeout)
+		}
+		tr := NewTracker(w.wireRTT)
+		c.SetLifecycle(tr)
+		w.clients = append(w.clients, c)
+		w.trackers = append(w.trackers, tr)
+	}
+	return w, nil
+}
+
+func (w *WireTarget) route(id classifier.RuleID) *ofwire.Client {
+	return w.clients[mix64(uint64(id))%uint64(len(w.clients))]
+}
+
+// Apply implements Target.
+func (w *WireTarget) Apply(op loadgen.OpKind, r classifier.Rule) (ofwire.FlowModResult, error) {
+	c := w.route(r.ID)
+	switch op {
+	case loadgen.OpInsert:
+		return c.Insert(r)
+	case loadgen.OpModify:
+		return c.Modify(r)
+	case loadgen.OpDelete:
+		return c.Delete(r.ID)
+	default:
+		return ofwire.FlowModResult{}, fmt.Errorf("driver: unknown op %v", op)
+	}
+}
+
+// Switches implements Target.
+func (w *WireTarget) Switches() int { return len(w.clients) }
+
+// WireRTT is the aggregated wire-level setup-latency histogram across
+// every connection.
+func (w *WireTarget) WireRTT() *obs.Histogram { return w.wireRTT }
+
+// Outstanding sums the open flow-mods across connections; zero once a
+// run has drained.
+func (w *WireTarget) Outstanding() int {
+	n := 0
+	for _, tr := range w.trackers {
+		n += tr.Outstanding()
+	}
+	return n
+}
+
+// Close closes every client.
+func (w *WireTarget) Close() error {
+	var first error
+	for _, c := range w.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("driver: close wire target: %w", first)
+	}
+	return nil
+}
+
+// FleetTarget drives operations through a fleet — queues, batching,
+// circuit breakers and retries included — exercising the whole
+// controller-side stack rather than the bare protocol.
+type FleetTarget struct {
+	f *fleet.Fleet
+}
+
+// NewFleetTarget wraps an existing fleet. The caller keeps ownership
+// (Close is a no-op); wire the ledger into fleet.Config.OnResult for
+// completion-stream observation if desired.
+func NewFleetTarget(f *fleet.Fleet) *FleetTarget { return &FleetTarget{f: f} }
+
+// Apply implements Target, routing by the fleet's stable rule routing.
+func (t *FleetTarget) Apply(op loadgen.OpKind, r classifier.Rule) (ofwire.FlowModResult, error) {
+	sw := t.f.Route(r.ID)
+	var res fleet.OpResult
+	switch op {
+	case loadgen.OpInsert:
+		res = t.f.Insert(sw, r)
+	case loadgen.OpModify:
+		res = t.f.Modify(sw, r)
+	case loadgen.OpDelete:
+		res = t.f.Delete(sw, r.ID)
+	default:
+		return ofwire.FlowModResult{}, fmt.Errorf("driver: unknown op %v", op)
+	}
+	if res.Err != nil {
+		return res.Result, fmt.Errorf("driver: fleet %s on %s: %w", op, sw, res.Err)
+	}
+	return res.Result, nil
+}
+
+// Switches implements Target.
+func (t *FleetTarget) Switches() int { return t.f.Size() }
+
+// Close implements Target; the fleet's owner closes the fleet.
+func (t *FleetTarget) Close() error { return nil }
+
+// Classify maps a completed operation to its ledger outcome. Only
+// inserts can be diverted: the Gate Keeper's guaranteed/best-effort
+// split applies to insertions; modifies and deletes hit installed state
+// directly.
+func Classify(op loadgen.OpKind, res ofwire.FlowModResult, err error) loadgen.Outcome {
+	if err != nil {
+		var remote *ofwire.ErrorBody
+		if errors.As(err, &remote) {
+			return loadgen.OutcomeRejected
+		}
+		return loadgen.OutcomeLost
+	}
+	if op == loadgen.OpInsert && !res.Guaranteed && res.Path == core.PathMain {
+		return loadgen.OutcomeDiverted
+	}
+	return loadgen.OutcomeInstalled
+}
+
+// mix64 is the SplitMix64 finalizer (see loadgen): stable rule→switch
+// routing.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

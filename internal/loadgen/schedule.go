@@ -1,0 +1,435 @@
+// Package loadgen builds deterministic open-loop arrival schedules for
+// driving Hermes agents at scale and turns the measured outcomes into
+// machine-readable SLO verdicts.
+//
+// The package is split along the determinism boundary the repo's lint
+// enforces: everything here — schedule generation, the outcome ledger,
+// verdict evaluation — is replayable (no wall clock, no global
+// randomness; the same seed yields a byte-identical schedule). The
+// wall-clock executor that paces a schedule against live agents lives in
+// the loadgen/driver subpackage.
+//
+// A schedule is open-loop: event times are fixed up front, so arrivals
+// fire on time whether or not earlier flow-mods have completed. That is
+// what exposes guarantee violations — a closed-loop driver would slow
+// down with the switch and hide the backlog the paper's Eq. 1/2 budgets
+// are about.
+package loadgen
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/workload"
+)
+
+// OpKind is the kind of one scheduled flow-table operation.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	// OpInsert installs a new rule.
+	OpInsert OpKind = iota + 1
+	// OpModify rewrites the action of an installed rule.
+	OpModify
+	// OpDelete removes an installed rule.
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpModify:
+		return "modify"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled operation: at virtual time At, apply Op to Rule.
+// Class tags the event with its service class so the ledger and the SLO
+// can hold different budgets for different traffic (paper Eq. 1/2:
+// per-class insertion-latency guarantees).
+type Event struct {
+	At    time.Duration
+	Op    OpKind
+	Class uint8
+	Rule  classifier.Rule
+}
+
+// Schedule is an ordered open-loop event stream plus the provenance
+// needed to reproduce it.
+type Schedule struct {
+	Name   string
+	Seed   int64
+	Events []Event
+}
+
+// Duration is the virtual time of the last event.
+func (s *Schedule) Duration() time.Duration {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].At
+}
+
+// Counts tallies the schedule by operation kind.
+func (s *Schedule) Counts() (inserts, modifies, deletes int) {
+	for _, e := range s.Events {
+		switch e.Op {
+		case OpInsert:
+			inserts++
+		case OpModify:
+			modifies++
+		case OpDelete:
+			deletes++
+		}
+	}
+	return
+}
+
+// Arrivals counts the flow arrivals (inserts + modifies) — the offered
+// load; deletes are bookkeeping that bounds the working set.
+func (s *Schedule) Arrivals() int {
+	ins, mod, _ := s.Counts()
+	return ins + mod
+}
+
+// appendEvent encodes one event into the canonical binary form shared by
+// Digest and MarshalBinary: fixed-width little-endian fields, no padding,
+// so two schedules are byte-identical iff their event streams are.
+func appendEvent(b []byte, e Event) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.At))
+	b = append(b, byte(e.Op), e.Class)
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Rule.ID))
+	b = binary.LittleEndian.AppendUint32(b, e.Rule.Match.Dst.Addr)
+	b = append(b, e.Rule.Match.Dst.Len)
+	b = binary.LittleEndian.AppendUint32(b, e.Rule.Match.Src.Addr)
+	b = append(b, e.Rule.Match.Src.Len)
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.Rule.Priority))
+	b = append(b, byte(e.Rule.Action.Type))
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.Rule.Action.Port))
+	return b
+}
+
+// eventSize is the encoded size of one event (see appendEvent).
+const eventSize = 8 + 2 + 8 + 5 + 5 + 4 + 1 + 4
+
+// MarshalBinary renders the whole schedule in the canonical encoding.
+// Same seed, same config ⇒ byte-identical output.
+func (s *Schedule) MarshalBinary() []byte {
+	b := make([]byte, 0, len(s.Events)*eventSize)
+	for _, e := range s.Events {
+		b = appendEvent(b, e)
+	}
+	return b
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Digest is an FNV-64a hash over the canonical encoding, streamed so a
+// million-event schedule digests without materializing the byte form.
+// Two runs with equal digests replayed byte-identical schedules.
+func (s *Schedule) Digest() uint64 {
+	h := uint64(fnvOffset64)
+	var buf [eventSize]byte
+	for _, e := range s.Events {
+		for _, c := range appendEvent(buf[:0], e) {
+			h = (h ^ uint64(c)) * fnvPrime64
+		}
+	}
+	return h
+}
+
+// ArrivalKind selects the arrival process shaping event times.
+type ArrivalKind uint8
+
+// Arrival processes.
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps at the mean
+	// rate — the microbenchmark arrival model (§8.1.1).
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalConstant spaces arrivals exactly 1/rate apart.
+	ArrivalConstant
+	// ArrivalFlashCrowd is Poisson at the base rate with a window during
+	// which the instantaneous rate ramps up to BurstFactor× and back — a
+	// flash-crowd / BGP-burst shape (§2.3 observes >1000 updates/s tails).
+	ArrivalFlashCrowd
+)
+
+func (k ArrivalKind) String() string {
+	switch k {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalConstant:
+		return "constant"
+	case ArrivalFlashCrowd:
+		return "flash-crowd"
+	default:
+		return fmt.Sprintf("arrival(%d)", uint8(k))
+	}
+}
+
+// ParseArrival maps the CLI spelling of an arrival process to its kind.
+func ParseArrival(s string) (ArrivalKind, error) {
+	switch s {
+	case "poisson":
+		return ArrivalPoisson, nil
+	case "constant":
+		return ArrivalConstant, nil
+	case "flash-crowd", "flashcrowd":
+		return ArrivalFlashCrowd, nil
+	default:
+		return 0, fmt.Errorf("loadgen: unknown arrival process %q", s)
+	}
+}
+
+// Config shapes a synthetic schedule.
+type Config struct {
+	// Flows is the number of flow arrivals (inserts + modifies) to
+	// schedule. Deletes generated by Hold come on top.
+	Flows int
+	// Rate is the mean arrival rate in flows/second.
+	Rate float64
+	// Arrival selects the arrival process.
+	Arrival ArrivalKind
+	// BurstFactor is the flash-crowd peak rate multiplier (default 10).
+	BurstFactor float64
+	// BurstStart and BurstLen position the flash-crowd window as
+	// fractions of the nominal run length (defaults 0.4 and 0.2).
+	BurstStart, BurstLen float64
+
+	// Distinct is the flow-universe size; arrivals pick flows from it
+	// with Zipf popularity, so hot flows re-arrive (modifies) while the
+	// tail brings fresh inserts (default: Flows).
+	Distinct uint64
+	// ZipfS is the Zipf skew exponent, > 1 (default 1.1).
+	ZipfS float64
+
+	// Hold is how long an installed flow stays before its delete is
+	// scheduled; it bounds the working set below TCAM capacity. A
+	// re-arrival extends the hold. Zero disables deletes (the working set
+	// then grows to Distinct).
+	Hold time.Duration
+
+	// ClassWeights splits arrivals across service classes by weight;
+	// class i gets ClassWeights[i] shares. A flow's class is a stable
+	// function of its identity. Default: one class.
+	ClassWeights []int
+
+	// Seed roots every random sub-stream; equal seeds (and configs)
+	// produce byte-identical schedules.
+	Seed int64
+
+	// FirstID numbers flow rules starting here (default 1). Rule IDs
+	// stay below the agent's reserved partition-ID space as long as
+	// FirstID + Distinct does.
+	FirstID classifier.RuleID
+}
+
+// withDefaults validates and fills defaults, returning the effective
+// config.
+func (c Config) withDefaults() (Config, error) {
+	if c.Flows <= 0 {
+		return c, fmt.Errorf("loadgen: Flows = %d, need > 0", c.Flows)
+	}
+	if c.Rate <= 0 {
+		return c, fmt.Errorf("loadgen: Rate = %g, need > 0", c.Rate)
+	}
+	if c.Distinct == 0 {
+		c.Distinct = uint64(c.Flows)
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.BurstFactor == 0 {
+		c.BurstFactor = 10
+	}
+	if c.BurstStart == 0 {
+		c.BurstStart = 0.4
+	}
+	if c.BurstLen == 0 {
+		c.BurstLen = 0.2
+	}
+	if len(c.ClassWeights) == 0 {
+		c.ClassWeights = []int{1}
+	}
+	if len(c.ClassWeights) > 256 {
+		return c, fmt.Errorf("loadgen: %d classes, max 256", len(c.ClassWeights))
+	}
+	total := 0
+	for i, w := range c.ClassWeights {
+		if w < 0 {
+			return c, fmt.Errorf("loadgen: ClassWeights[%d] = %d, need >= 0", i, w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return c, fmt.Errorf("loadgen: all class weights are zero")
+	}
+	if c.FirstID == 0 {
+		c.FirstID = 1
+	}
+	return c, nil
+}
+
+// Sub-stream labels: each consumer of randomness gets an independent
+// SplitMix64-derived stream so adding one consumer never perturbs the
+// draws of another.
+const (
+	labelArrival uint64 = iota + 1
+	labelPopularity
+	labelFlowSalt
+)
+
+// pendingDelete is one scheduled rule expiry.
+type pendingDelete struct {
+	at   time.Duration
+	flow uint64
+}
+
+type deleteHeap []pendingDelete
+
+func (h deleteHeap) Len() int            { return len(h) }
+func (h deleteHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h deleteHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deleteHeap) Push(x interface{}) { *h = append(*h, x.(pendingDelete)) }
+func (h *deleteHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Generate builds a synthetic schedule. The flow universe is Zipf-popular:
+// a re-arrival of an installed flow becomes a modify (the cheap
+// constant-time TCAM action), a first arrival or an arrival after expiry
+// becomes an insert. With Hold set, expiries surface as deletes in event
+// order, so replaying the schedule keeps the installed set bounded.
+func Generate(cfg Config) (*Schedule, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	arr := workload.SubStream(cfg.Seed, labelArrival)
+	pop := workload.NewZipf(workload.SubStream(cfg.Seed, labelPopularity), cfg.ZipfS, 1, cfg.Distinct)
+	flowSalt := uint64(workload.SubSeed(cfg.Seed, labelFlowSalt))
+
+	nominal := time.Duration(float64(cfg.Flows) / cfg.Rate * float64(time.Second))
+	burstFrom := time.Duration(cfg.BurstStart * float64(nominal))
+	burstTo := burstFrom + time.Duration(cfg.BurstLen*float64(nominal))
+
+	events := make([]Event, 0, cfg.Flows+cfg.Flows/2)
+	expiry := make(map[uint64]time.Duration) // flow → current delete time
+	var pending deleteHeap
+
+	flushDue := func(now time.Duration) {
+		for pending.Len() > 0 && pending[0].at <= now {
+			d := heap.Pop(&pending).(pendingDelete)
+			if exp, ok := expiry[d.flow]; !ok || exp != d.at {
+				continue // superseded by a re-arrival extending the hold
+			}
+			delete(expiry, d.flow)
+			events = append(events, Event{
+				At:    d.at,
+				Op:    OpDelete,
+				Class: classOf(d.flow, flowSalt, cfg.ClassWeights),
+				Rule:  flowRule(cfg, d.flow, flowSalt, 0),
+			})
+		}
+	}
+
+	var now time.Duration
+	for i := 0; i < cfg.Flows; i++ {
+		rate := cfg.Rate
+		if cfg.Arrival == ArrivalFlashCrowd && now >= burstFrom && now < burstTo {
+			// Triangular ramp: peak at the window midpoint.
+			mid := float64(burstFrom+burstTo) / 2
+			half := float64(burstTo-burstFrom) / 2
+			frac := 1 - math.Abs(float64(now)-mid)/half
+			rate *= 1 + (cfg.BurstFactor-1)*frac
+		}
+		var gap time.Duration
+		if cfg.Arrival == ArrivalConstant {
+			gap = time.Duration(float64(time.Second) / rate)
+		} else {
+			gap = time.Duration(arr.ExpFloat64() / rate * float64(time.Second))
+		}
+		now += gap
+		flushDue(now)
+
+		flow := pop.Next()
+		op := OpInsert
+		if _, installed := expiry[flow]; installed {
+			op = OpModify
+		}
+		if cfg.Hold == 0 {
+			expiry[flow] = -1 // sentinel: installed, never expires
+		} else {
+			exp := now + cfg.Hold
+			expiry[flow] = exp // a re-arrival extends the hold
+			heap.Push(&pending, pendingDelete{at: exp, flow: flow})
+		}
+		events = append(events, Event{
+			At:    now,
+			Op:    op,
+			Class: classOf(flow, flowSalt, cfg.ClassWeights),
+			Rule:  flowRule(cfg, flow, flowSalt, uint32(i)),
+		})
+	}
+	// Drain outstanding holds so a full replay ends with an empty table.
+	flushDue(1 << 62)
+
+	return &Schedule{Name: "synthetic-" + cfg.Arrival.String(), Seed: cfg.Seed, Events: events}, nil
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// classOf assigns a flow its stable service class by weighted hash.
+func classOf(flow, salt uint64, weights []int) uint8 {
+	if len(weights) == 1 {
+		return 0
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	pick := int(mix64(flow^salt^0xC1A55) % uint64(total))
+	for i, w := range weights {
+		if pick < w {
+			return uint8(i)
+		}
+		pick -= w
+	}
+	return uint8(len(weights) - 1)
+}
+
+// flowRule derives the TCAM rule for a flow: a /24 destination prefix and
+// a priority that are stable functions of the flow identity (a modify
+// must address the same entry), and a forwarding port that varies with
+// the arrival ordinal (so modifies change something real).
+func flowRule(cfg Config, flow, salt uint64, ordinal uint32) classifier.Rule {
+	h := mix64(flow ^ salt)
+	return classifier.Rule{
+		ID:       cfg.FirstID + classifier.RuleID(flow),
+		Match:    classifier.DstMatch(classifier.NewPrefix(uint32(h), 24)),
+		Priority: int32(h>>32)%16 + 1,
+		Action:   classifier.Action{Type: classifier.ActionForward, Port: int(ordinal % 48)},
+	}
+}

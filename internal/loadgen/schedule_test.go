@@ -1,0 +1,296 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hermes/internal/bgp"
+	"hermes/internal/workload"
+)
+
+func baseConfig() Config {
+	return Config{
+		Flows:    5000,
+		Rate:     10000,
+		Arrival:  ArrivalPoisson,
+		Distinct: 2000,
+		Hold:     50 * time.Millisecond,
+		Seed:     42,
+	}
+}
+
+// TestGenerateDeterministic is the reproducibility contract: same seed,
+// same config ⇒ byte-identical schedule; different seed ⇒ different
+// stream.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same-seed digests diverge: %016x vs %016x", a.Digest(), b.Digest())
+	}
+	if !bytes.Equal(a.MarshalBinary(), b.MarshalBinary()) {
+		t.Fatal("same-seed schedules are not byte-identical")
+	}
+
+	cfg := baseConfig()
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateShape checks the structural invariants every synthetic
+// schedule must hold: time-ordered events, exactly Flows arrivals, every
+// modify preceded by a live insert, every delete matched to one, and the
+// hold bounding the installed working set.
+func TestGenerateShape(t *testing.T) {
+	cfg := baseConfig()
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Arrivals(); got != cfg.Flows {
+		t.Fatalf("arrivals = %d, want %d", got, cfg.Flows)
+	}
+	installed := map[uint64]bool{}
+	maxLive, live := 0, 0
+	var prev time.Duration
+	for i, e := range s.Events {
+		if e.At < prev {
+			t.Fatalf("event %d out of order: %v after %v", i, e.At, prev)
+		}
+		prev = e.At
+		id := uint64(e.Rule.ID)
+		switch e.Op {
+		case OpInsert:
+			if installed[id] {
+				t.Fatalf("event %d: insert of live rule %d", i, id)
+			}
+			installed[id] = true
+			live++
+			if live > maxLive {
+				maxLive = live
+			}
+		case OpModify:
+			if !installed[id] {
+				t.Fatalf("event %d: modify of absent rule %d", i, id)
+			}
+		case OpDelete:
+			if !installed[id] {
+				t.Fatalf("event %d: delete of absent rule %d", i, id)
+			}
+			delete(installed, id)
+			live--
+		}
+	}
+	// A full replay ends with an empty table.
+	if len(installed) != 0 {
+		t.Fatalf("%d rules still installed after the final flush", len(installed))
+	}
+	// The hold bounds the working set: at 10k flows/s with a 50 ms hold,
+	// ~500 concurrent rules; anywhere near the flow universe means holds
+	// are not expiring.
+	if maxLive >= int(cfg.Distinct) {
+		t.Fatalf("working set peaked at %d, the whole universe", maxLive)
+	}
+
+	// Zipf popularity makes hot flows re-arrive: a healthy share of
+	// arrivals must be modifies.
+	_, mods, _ := s.Counts()
+	if mods == 0 {
+		t.Fatal("no modifies: flow popularity is not skewed")
+	}
+}
+
+// TestGenerateArrivalProcesses: constant spacing is exact; the flash
+// crowd packs more arrivals into its window than the calm Poisson
+// baseline does.
+func TestGenerateArrivalProcesses(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Arrival = ArrivalConstant
+	cfg.Hold = 0
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(float64(time.Second) / cfg.Rate)
+	for i := 1; i < 100; i++ {
+		if gap := s.Events[i].At - s.Events[i-1].At; gap != want {
+			t.Fatalf("constant arrival gap %v, want %v", gap, want)
+		}
+	}
+
+	count := func(s *Schedule, from, to time.Duration) int {
+		n := 0
+		for _, e := range s.Events {
+			if e.Op != OpDelete && e.At >= from && e.At < to {
+				n++
+			}
+		}
+		return n
+	}
+	pois := baseConfig()
+	pois.Hold = 0
+	base, err := Generate(pois)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd := pois
+	crowd.Arrival = ArrivalFlashCrowd
+	crowd.BurstFactor = 10
+	burst, err := Generate(crowd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The window is positioned on the nominal run length.
+	nominal := time.Duration(float64(pois.Flows) / pois.Rate * float64(time.Second))
+	from := time.Duration(crowd.BurstStart * float64(nominal))
+	to := from + time.Duration(crowd.BurstLen*float64(nominal))
+	if b, p := count(burst, from, to), count(base, from, to); b < 2*p {
+		t.Fatalf("flash crowd put %d arrivals in the window vs %d calm — no crowd", b, p)
+	}
+}
+
+// TestGenerateClassesAndIDs: class assignment is a stable per-flow
+// function honoring the weights, and rule IDs stay in the configured
+// range (below the agent's reserved partition space).
+func TestGenerateClassesAndIDs(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ClassWeights = []int{3, 1}
+	cfg.FirstID = 1000
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classByRule := map[uint64]uint8{}
+	counts := map[uint8]int{}
+	for _, e := range s.Events {
+		id := uint64(e.Rule.ID)
+		if id < 1000 || id > 1000+cfg.Distinct {
+			t.Fatalf("rule ID %d outside [1000, %d]", id, 1000+cfg.Distinct)
+		}
+		if c, seen := classByRule[id]; seen && c != e.Class {
+			t.Fatalf("rule %d changed class %d→%d", id, c, e.Class)
+		}
+		classByRule[id] = e.Class
+		if e.Op != OpDelete {
+			counts[e.Class]++
+		}
+	}
+	if len(counts) != 2 {
+		t.Fatalf("saw %d classes, want 2", len(counts))
+	}
+	// 3:1 weighting with generous slack.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 6 {
+		t.Fatalf("class ratio %.2f nowhere near 3:1 (%d vs %d)", ratio, counts[0], counts[1])
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Flows: 0, Rate: 1}); err == nil {
+		t.Fatal("zero flows accepted")
+	}
+	if _, err := Generate(Config{Flows: 1, Rate: 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Generate(Config{Flows: 1, Rate: 1, ClassWeights: []int{0, 0}}); err == nil {
+		t.Fatal("all-zero class weights accepted")
+	}
+	if _, err := ParseArrival("fibonacci"); err == nil {
+		t.Fatal("unknown arrival process accepted")
+	}
+}
+
+// TestFromBGP: the adapter replays FIB churn deterministically and every
+// delete/modify references a previously inserted prefix rule.
+func TestFromBGP(t *testing.T) {
+	cfg := bgp.TraceConfig{
+		Duration: 5 * time.Second, Peers: 4, Prefixes: 500,
+		BaseRate: 200, BurstRate: 1000, BurstProb: 0.2,
+		BurstLen: time.Second, WithdrawFrac: 0.3,
+	}
+	a := FromBGP(7, "test", cfg, 1)
+	b := FromBGP(7, "test", cfg, 1)
+	if a.Digest() != b.Digest() {
+		t.Fatal("same-seed BGP schedules diverge")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("empty BGP schedule")
+	}
+	installed := map[uint64]bool{}
+	for i, e := range a.Events {
+		if e.Class != 1 {
+			t.Fatalf("event %d class = %d, want 1", i, e.Class)
+		}
+		id := uint64(e.Rule.ID)
+		switch e.Op {
+		case OpInsert:
+			if installed[id] {
+				t.Fatalf("event %d: duplicate FIB insert for rule %d", i, id)
+			}
+			installed[id] = true
+		case OpModify, OpDelete:
+			if !installed[id] {
+				t.Fatalf("event %d: %v of absent rule %d", i, e.Op, id)
+			}
+			if e.Op == OpDelete {
+				delete(installed, id)
+			}
+		}
+	}
+}
+
+// TestFromJobs: shuffle storms become bursts of inserts classed by job
+// size, each with a matching delete one hold later, in time order.
+func TestFromJobs(t *testing.T) {
+	jobs := []workload.Job{
+		{ID: 1, Arrival: 0, Flows: []workload.FlowSpec{
+			{Src: 1, Dst: 2, Bytes: 1e6}, {Src: 1, Dst: 3, Bytes: 1e6},
+		}},
+		{ID: 2, Arrival: 10 * time.Millisecond, Flows: []workload.FlowSpec{
+			{Src: 2, Dst: 3, Bytes: 2e9},
+		}},
+	}
+	const hold = 100 * time.Millisecond
+	s := FromJobs(jobs, hold, 0, 1, 1)
+	ins, _, dels := s.Counts()
+	if ins != 3 || dels != 3 {
+		t.Fatalf("inserts/deletes = %d/%d, want 3/3", ins, dels)
+	}
+	var prev time.Duration
+	short, long := 0, 0
+	for i, e := range s.Events {
+		if e.At < prev {
+			t.Fatalf("event %d out of order", i)
+		}
+		prev = e.At
+		if e.Op != OpInsert {
+			continue
+		}
+		switch e.Class {
+		case 0:
+			short++
+		case 1:
+			long++
+		}
+	}
+	if short != 2 || long != 1 {
+		t.Fatalf("short/long inserts = %d/%d, want 2/1", short, long)
+	}
+	// Deterministic without any seed: same input, same digest.
+	if s.Digest() != FromJobs(jobs, hold, 0, 1, 1).Digest() {
+		t.Fatal("FromJobs is not deterministic")
+	}
+}

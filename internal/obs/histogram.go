@@ -129,17 +129,29 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns an estimate of the q-th quantile (q in [0,1]) with
 // relative error bounded by the bucket width, ≈3%. Within the located
-// bucket the estimate interpolates linearly. Empty histograms return 0.
+// bucket the estimate interpolates linearly, and the result is clamped to
+// the observed [Min, Max] range (so Quantile(0) == Min and Quantile(1) ==
+// Max exactly, even when the extremes share a bucket with other samples).
+// Empty histograms return 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	n := h.count.Load()
 	if n == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	return quantileScan(q, n, func(i int) uint64 { return h.buckets[i].Load() },
+		h.min.Load(), h.max.Load())
+}
+
+// quantileScan locates the q-th quantile over log-linear buckets read
+// through load. It is shared by the live Histogram and HistogramSnapshot;
+// n must be > 0 and minV/maxV are the observed extremes used for edge
+// clamping.
+func quantileScan(q float64, n uint64, load func(int) uint64, minV, maxV uint64) float64 {
+	if q <= 0 {
+		return float64(minV)
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return float64(maxV)
 	}
 	// Rank in [1, n]: same convention as stats.Summary's order statistics —
 	// q=0 is the minimum, q=1 the maximum.
@@ -147,9 +159,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 	lo := uint64(rank) + 1 // observations at-or-below the target
 	frac := rank - float64(uint64(rank))
 
+	res := float64(maxV)
 	var cum uint64
+scan:
 	for i := 0; i < histNumBuckets; i++ {
-		c := h.buckets[i].Load()
+		c := load(i)
 		if c == 0 {
 			continue
 		}
@@ -160,22 +174,35 @@ func (h *Histogram) Quantile(q float64) float64 {
 				// Target sits between this bucket's last observation and the
 				// next non-empty bucket's first; interpolate across the gap.
 				for j := i + 1; j < histNumBuckets; j++ {
-					if h.buckets[j].Load() != 0 {
+					if load(j) != 0 {
 						high = float64(bucketLow(j))
 						break
 					}
 				}
-				return low + frac*(high-low)
+				res = low + frac*(high-low)
+				break scan
 			}
 			if low == high {
-				return low
+				res = low
+				break scan
 			}
 			// Spread the bucket's c observations uniformly across its range.
 			into := float64(lo-(cum-c)) - 1 + frac
-			return low + (high-low)*into/float64(c)
+			res = low + (high-low)*into/float64(c)
+			break scan
 		}
 	}
-	return float64(h.max.Load())
+	// Bucket interpolation knows positions only to bucket precision; the
+	// recorded extremes are exact, so never report outside them. This is
+	// what keeps single-bucket and single-sample histograms honest: the
+	// estimate cannot stray below Min or above Max.
+	if res < float64(minV) {
+		res = float64(minV)
+	}
+	if res > float64(maxV) {
+		res = float64(maxV)
+	}
+	return res
 }
 
 // QuantileDuration is Quantile for nanosecond-valued histograms.

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"time"
+)
+
+// HistogramSnapshot is an immutable point-in-time copy of a Histogram.
+// Snapshots exist so aggregation (merging per-worker or per-class latency
+// into one distribution, or diffing a run's start and end states) happens
+// on frozen data instead of racing the scrape path: take a snapshot per
+// source, then Merge/Sub/Quantile freely with no atomics and no torn
+// reads. The loadgen verdict engine is the primary consumer.
+type HistogramSnapshot struct {
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [histNumBuckets]uint64
+}
+
+// Snapshot copies h's current contents. The count is derived from the
+// bucket copies (not the live count word) so the snapshot is always
+// self-consistent even when taken mid-Record: every quantile scan
+// terminates inside the copied buckets.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.buckets[i] = c
+		s.count += c
+	}
+	if s.count == 0 {
+		return s
+	}
+	s.sum = h.sum.Load()
+	s.min = h.min.Load()
+	s.max = h.max.Load()
+	// A racing Record may have bumped a bucket before publishing min/max;
+	// normalize the sentinel and bound the extremes by the copied buckets.
+	if s.min == math.MaxUint64 {
+		s.min = s.firstBucketLow()
+	}
+	if s.max == 0 {
+		s.max = s.lastBucketHigh()
+	}
+	return s
+}
+
+func (s *HistogramSnapshot) firstBucketLow() uint64 {
+	for i := 0; i < histNumBuckets; i++ {
+		if s.buckets[i] != 0 {
+			return bucketLow(i)
+		}
+	}
+	return 0
+}
+
+func (s *HistogramSnapshot) lastBucketHigh() uint64 {
+	for i := histNumBuckets - 1; i >= 0; i-- {
+		if s.buckets[i] != 0 {
+			return bucketHigh(i)
+		}
+	}
+	return 0
+}
+
+// Count returns the number of observations in the snapshot.
+func (s *HistogramSnapshot) Count() uint64 { return s.count }
+
+// Sum returns the sum of observed values.
+func (s *HistogramSnapshot) Sum() uint64 { return s.sum }
+
+// Min returns the smallest observed value, or 0 when empty.
+func (s *HistogramSnapshot) Min() uint64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observed value, or 0 when empty.
+func (s *HistogramSnapshot) Max() uint64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.count)
+}
+
+// Quantile estimates the q-th quantile with the same convention and error
+// bound as Histogram.Quantile. Empty snapshots return 0.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return quantileScan(q, s.count, func(i int) uint64 { return s.buckets[i] }, s.min, s.max)
+}
+
+// QuantileDuration is Quantile for nanosecond-valued snapshots.
+func (s *HistogramSnapshot) QuantileDuration(q float64) time.Duration {
+	return time.Duration(s.Quantile(q))
+}
+
+// Merge folds other into s. Merging an empty snapshot (from either side)
+// is exact: the sentinel-free extremes of the non-empty side survive, so
+// fleets where some workers never recorded aggregate correctly.
+func (s *HistogramSnapshot) Merge(other *HistogramSnapshot) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if s.count == 0 {
+		s.min, s.max = other.min, other.max
+	} else {
+		if other.min < s.min {
+			s.min = other.min
+		}
+		if other.max > s.max {
+			s.max = other.max
+		}
+	}
+	for i := range s.buckets {
+		s.buckets[i] += other.buckets[i]
+	}
+	s.count += other.count
+	s.sum += other.sum
+}
+
+// Clone returns an independent copy.
+func (s *HistogramSnapshot) Clone() *HistogramSnapshot {
+	c := *s
+	return &c
+}
+
+// Sub returns the interval distribution between prev (earlier) and s
+// (later) of the same grow-only histogram: exactly the observations
+// recorded after prev was taken. A nil prev acts as an empty baseline.
+// Counts saturate at zero, so a Reset between the snapshots degrades to an
+// empty or partial interval instead of underflowing.
+//
+// The interval's extremes are known exactly when prev is empty (the
+// interval is everything); otherwise they are bounded to bucket precision,
+// tightened by the overall extremes where those constrain the interval.
+func (s *HistogramSnapshot) Sub(prev *HistogramSnapshot) *HistogramSnapshot {
+	d := &HistogramSnapshot{}
+	if prev == nil || prev.count == 0 {
+		*d = *s
+		return d
+	}
+	first, last := -1, -1
+	for i := range s.buckets {
+		if s.buckets[i] <= prev.buckets[i] {
+			continue
+		}
+		c := s.buckets[i] - prev.buckets[i]
+		d.buckets[i] = c
+		d.count += c
+		if first < 0 {
+			first = i
+		}
+		last = i
+	}
+	if d.count == 0 {
+		return d
+	}
+	if s.sum > prev.sum {
+		d.sum = s.sum - prev.sum
+	}
+	// True interval extremes lie inside the first/last delta buckets. The
+	// overall min is ≤ every interval value and the overall max ≥, so they
+	// tighten the bucket bounds where they overlap.
+	d.min = bucketLow(first)
+	if s.min > d.min {
+		d.min = s.min
+	}
+	d.max = bucketHigh(last)
+	if s.max < d.max {
+		d.max = s.max
+	}
+	if d.min > d.max {
+		d.min = d.max
+	}
+	return d
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotMatchesLive(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		h.Record(uint64(rng.Int63n(1 << 22)))
+	}
+	s := h.Snapshot()
+	if s.Count() != h.Count() || s.Sum() != h.Sum() || s.Min() != h.Min() || s.Max() != h.Max() {
+		t.Fatalf("snapshot scalars diverge: %d/%d/%d/%d vs %d/%d/%d/%d",
+			s.Count(), s.Sum(), s.Min(), s.Max(), h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got, want := s.Quantile(q), h.Quantile(q); got != want {
+			t.Fatalf("q=%v: snapshot %g != live %g", q, got, want)
+		}
+	}
+	// Snapshot is frozen: further records must not leak in.
+	h.Record(1)
+	if s.Count() == h.Count() {
+		t.Fatal("snapshot shares state with the live histogram")
+	}
+}
+
+func TestSnapshotEmptyAndSingleBucketMerges(t *testing.T) {
+	empty := NewHistogram().Snapshot()
+	if empty.Count() != 0 || empty.Min() != 0 || empty.Max() != 0 || empty.Quantile(0.99) != 0 {
+		t.Fatal("empty snapshot statistics must be zero")
+	}
+
+	// empty ⊕ empty stays empty.
+	e2 := empty.Clone()
+	e2.Merge(NewHistogram().Snapshot())
+	if e2.Count() != 0 || e2.Quantile(0.5) != 0 {
+		t.Fatal("merging two empty snapshots is not empty")
+	}
+
+	// Single-bucket source merged into empty: extremes and quantiles exact.
+	h := NewHistogram()
+	h.Record(777)
+	single := h.Snapshot()
+	m := NewHistogram().Snapshot()
+	m.Merge(single)
+	if m.Count() != 1 || m.Min() != 777 || m.Max() != 777 {
+		t.Fatalf("empty+single merge: count=%d min=%d max=%d", m.Count(), m.Min(), m.Max())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := m.Quantile(q); got != 777 {
+			t.Fatalf("single-value q=%v = %g, want 777", q, got)
+		}
+	}
+
+	// Merging an empty snapshot into a populated one must not clobber the
+	// extremes (the sentinel-handling edge case).
+	m.Merge(empty)
+	if m.Min() != 777 || m.Max() != 777 || m.Count() != 1 {
+		t.Fatalf("populated+empty merge corrupted extremes: min=%d max=%d", m.Min(), m.Max())
+	}
+
+	// Two single-bucket snapshots in distant buckets.
+	h2 := NewHistogram()
+	h2.Record(1_000_000)
+	m.Merge(h2.Snapshot())
+	if m.Count() != 2 || m.Min() != 777 || m.Max() != 1_000_000 {
+		t.Fatalf("distant merge: count=%d min=%d max=%d", m.Count(), m.Min(), m.Max())
+	}
+	if got := m.Quantile(1); got != 1_000_000 {
+		t.Fatalf("merged q=1 = %g, want exactly 1000000", got)
+	}
+	if got := m.Quantile(0); got != 777 {
+		t.Fatalf("merged q=0 = %g, want exactly 777", got)
+	}
+}
+
+func TestQuantileClampedToObservedRange(t *testing.T) {
+	// Bucket interpolation used to report values outside [min, max] for
+	// sparse histograms (e.g. q=1 landing at the bucket's low bound, below
+	// the true maximum). The extremes are exact; quantiles must respect
+	// them.
+	h := NewHistogram()
+	h.Record(10)
+	h.Record(1000)
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("q=1 = %g, want exactly 1000", got)
+	}
+	if got := h.Quantile(0); got != 10 {
+		t.Fatalf("q=0 = %g, want exactly 10", got)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.999} {
+		got := h.Quantile(q)
+		if got < 10 || got > 1000 {
+			t.Fatalf("q=%v = %g outside observed range [10,1000]", q, got)
+		}
+	}
+}
+
+func TestSnapshotSubInterval(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(100) // first batch: all at 100
+	}
+	before := h.Snapshot()
+
+	// Identity: diffing a snapshot against itself is empty.
+	if d := before.Sub(before); d.Count() != 0 || d.Quantile(0.99) != 0 {
+		t.Fatal("self-diff is not empty")
+	}
+	// Nil baseline: the diff is the whole snapshot.
+	if d := before.Sub(nil); d.Count() != 100 || d.Min() != 100 || d.Max() != 100 {
+		t.Fatal("nil-baseline diff lost data")
+	}
+
+	for i := 0; i < 300; i++ {
+		h.Record(1_000_000) // second batch: all at 1e6
+	}
+	after := h.Snapshot()
+	d := after.Sub(before)
+	if d.Count() != 300 {
+		t.Fatalf("interval count = %d, want 300", d.Count())
+	}
+	// The interval holds only second-batch samples: its p50 must sit at
+	// the 1e6 bucket, not at 100, and extremes must stay within bucket
+	// precision of 1e6.
+	if got := d.Quantile(0.5); got < 950_000 || got > 1_050_000 {
+		t.Fatalf("interval p50 = %g, want ≈1e6", got)
+	}
+	if d.Min() <= 100 {
+		t.Fatalf("interval min = %d leaked the first batch", d.Min())
+	}
+	if d.Max() > after.Max() {
+		t.Fatalf("interval max %d exceeds overall max %d", d.Max(), after.Max())
+	}
+	if d.Sum() != after.Sum()-before.Sum() {
+		t.Fatalf("interval sum = %d, want %d", d.Sum(), after.Sum()-before.Sum())
+	}
+
+	// Per-worker aggregation pattern: diffs from two sources merge into
+	// one distribution with conserved counts.
+	other := NewHistogram()
+	other.Record(500)
+	agg := other.Snapshot().Sub(nil)
+	agg.Merge(d)
+	if agg.Count() != 301 || agg.Min() != 500 || agg.Max() != d.Max() {
+		t.Fatalf("aggregate count=%d min=%d max=%d", agg.Count(), agg.Min(), agg.Max())
+	}
+}
+
+// TestSnapshotDuringConcurrentRecord proves the snapshot path is safe and
+// self-consistent (quantile scans terminate, count == bucket mass) while
+// writers hammer the histogram.
+func TestSnapshotDuringConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(uint64(rng.Int63n(1 << 28)))
+				}
+			}
+		}(int64(w))
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		var mass uint64
+		for b := 0; b < histNumBuckets; b++ {
+			mass += s.buckets[b]
+		}
+		if mass != s.Count() {
+			t.Errorf("snapshot count %d != bucket mass %d", s.Count(), mass)
+			break
+		}
+		if s.Count() > 0 {
+			if q := s.Quantile(0.99); q < float64(s.Min()) || q > float64(s.Max()) {
+				t.Errorf("q=0.99 %g outside [%d,%d]", q, s.Min(), s.Max())
+				break
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -50,6 +50,28 @@ type Client struct {
 	// the virtual-time domain, so wall-clock RTT is the honest measurement.
 	inflight *obs.Gauge
 	rtt      *obs.Histogram
+
+	// lifecycle, when attached via SetLifecycle, receives XID-keyed
+	// submitted/completed notifications for every flow-mod.
+	lifecycle FlowLifecycle
+}
+
+// FlowLifecycle observes the controller-side lifecycle of flow-mod
+// requests, keyed by transaction ID. FlowSubmitted fires just before the
+// request enters the pipeline; FlowCompleted fires exactly once per
+// submitted XID — with a decoded result on a reply, or with a non-nil
+// error when the request failed, was abandoned at its deadline, or was cut
+// off by a connection reset or Close. The submitted/completed pairing is
+// exact even when the client dies mid-flight: every in-flight XID at the
+// moment of a reset completes with that reset's error, which is how a
+// load-generation ledger tells "installed" from "lost".
+//
+// Both callbacks run on the goroutine issuing the request. Implementations
+// must be safe for concurrent use; pipelined requests complete
+// concurrently.
+type FlowLifecycle interface {
+	FlowSubmitted(xid uint32, id classifier.RuleID)
+	FlowCompleted(xid uint32, id classifier.RuleID, res FlowModResult, err error)
 }
 
 // Dial connects to an agent daemon and performs the hello exchange.
@@ -179,9 +201,19 @@ func (c *Client) RequestTimeout() time.Duration {
 // in-flight requests (registered XIDs awaiting replies), h records each
 // request's round-trip time. Either may be nil. Attach before issuing
 // requests; the fields are not synchronized against in-flight traffic.
+// Reattaching the same instruments to a freshly dialed client after a
+// reconnect resumes recording into the same series.
 func (c *Client) Instrument(g *obs.Gauge, h *obs.Histogram) {
 	c.inflight = g
 	c.rtt = h
+}
+
+// SetLifecycle attaches a flow-mod lifecycle observer. Attach before
+// issuing requests, like Instrument; nil detaches. As with Instrument,
+// reattach the observer to the replacement client after a reconnect to
+// keep one continuous ledger across resets.
+func (c *Client) SetLifecycle(l FlowLifecycle) {
+	c.lifecycle = l
 }
 
 // roundTrip sends one request and waits for its reply under the client's
@@ -201,8 +233,14 @@ func (c *Client) roundTrip(req *Message) (*Message, error) {
 // own XID: the connection and the other in-flight requests stay healthy,
 // and a late reply to the abandoned XID is dropped by the read loop.
 func (c *Client) roundTripCtx(ctx context.Context, req *Message) (*Message, error) {
-	xid := c.nextXID.Add(1)
-	req.Header.XID = xid
+	xid := req.Header.XID
+	if xid == 0 {
+		// The flow-mod path pre-assigns XIDs so lifecycle observers see the
+		// ID before the request enters the pipeline; everything else gets
+		// one here. Live XIDs are never reused: the counter only grows.
+		xid = c.nextXID.Add(1)
+		req.Header.XID = xid
+	}
 	ch := make(chan *Message, 1)
 
 	var start time.Time
@@ -304,19 +342,48 @@ func (c *Client) ModifyCtx(ctx context.Context, r classifier.Rule) (FlowModResul
 }
 
 func (c *Client) flowMod(cmd FlowModCommand, r classifier.Rule) (FlowModResult, error) {
-	resp, err := c.roundTrip(&Message{
+	req := &Message{
 		Header:  Header{Type: TypeFlowMod},
 		FlowMod: FlowModFromRule(cmd, r),
-	})
-	return decodeFlowModResult(resp, err)
+	}
+	c.notifySubmitted(req, r.ID)
+	resp, err := c.roundTrip(req)
+	res, err := decodeFlowModResult(resp, err)
+	c.notifyCompleted(req, r.ID, res, err)
+	return res, err
 }
 
 func (c *Client) flowModCtx(ctx context.Context, cmd FlowModCommand, r classifier.Rule) (FlowModResult, error) {
-	resp, err := c.roundTripCtx(ctx, &Message{
+	req := &Message{
 		Header:  Header{Type: TypeFlowMod},
 		FlowMod: FlowModFromRule(cmd, r),
-	})
-	return decodeFlowModResult(resp, err)
+	}
+	c.notifySubmitted(req, r.ID)
+	resp, err := c.roundTripCtx(ctx, req)
+	res, err := decodeFlowModResult(resp, err)
+	c.notifyCompleted(req, r.ID, res, err)
+	return res, err
+}
+
+// notifySubmitted pre-assigns the request's XID and announces it to the
+// lifecycle observer. No-op without an observer — the XID is then assigned
+// inside roundTripCtx as usual.
+func (c *Client) notifySubmitted(req *Message, id classifier.RuleID) {
+	if c.lifecycle == nil {
+		return
+	}
+	req.Header.XID = c.nextXID.Add(1)
+	c.lifecycle.FlowSubmitted(req.Header.XID, id)
+}
+
+// notifyCompleted reports the request's terminal outcome. Every submitted
+// flow-mod reaches here exactly once: replies, error replies, abandoned
+// deadlines and connection failures all complete the XID.
+func (c *Client) notifyCompleted(req *Message, id classifier.RuleID, res FlowModResult, err error) {
+	if c.lifecycle == nil {
+		return
+	}
+	c.lifecycle.FlowCompleted(req.Header.XID, id, res, err)
 }
 
 func decodeFlowModResult(resp *Message, err error) (FlowModResult, error) {

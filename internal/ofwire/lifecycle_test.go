@@ -1,0 +1,239 @@
+package ofwire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/obs"
+	"hermes/internal/testutil"
+)
+
+// recordingLifecycle is a FlowLifecycle that keeps an exact submitted /
+// completed ledger, the way the loadgen tracker does. Totals are plain
+// counters — XIDs are a per-connection namespace, so a ledger spanning a
+// reconnect must not key its totals by XID (the replacement client reuses
+// low XIDs). The per-XID map tracks only the current connection's
+// still-open requests.
+type recordingLifecycle struct {
+	mu        sync.Mutex
+	submitted int
+	installed int
+	rejected  int // typed remote errors: switch alive
+	lost      int // wire failures / abandonment
+	open      map[uint32]classifier.RuleID
+}
+
+func newRecordingLifecycle() *recordingLifecycle {
+	return &recordingLifecycle{open: make(map[uint32]classifier.RuleID)}
+}
+
+func (l *recordingLifecycle) FlowSubmitted(xid uint32, id classifier.RuleID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.submitted++
+	l.open[xid] = id
+}
+
+func (l *recordingLifecycle) FlowCompleted(xid uint32, id classifier.RuleID, res FlowModResult, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.open[xid]; !ok {
+		// Completion for an XID that was never submitted (or completed
+		// twice) would corrupt any ledger; surface it as a lost/installed
+		// mismatch by not counting.
+		return
+	}
+	delete(l.open, xid)
+	switch {
+	case err == nil:
+		l.installed++
+	default:
+		var remote *ErrorBody
+		if errors.As(err, &remote) {
+			l.rejected++
+		} else {
+			l.lost++
+		}
+	}
+}
+
+func (l *recordingLifecycle) counts() (submitted, installed, rejected, lost int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.submitted, l.installed, l.rejected, l.lost
+}
+
+func flowRule(id classifier.RuleID) classifier.Rule {
+	return classifier.Rule{
+		ID:       id,
+		Match:    classifier.DstMatch(classifier.NewPrefix(0x0A000000|uint32(id)<<8, 24)),
+		Priority: 10,
+		Action:   classifier.Action{Type: classifier.ActionForward, Port: 1},
+	}
+}
+
+// TestLifecycleCompletesEveryXID drives a mix of successful inserts,
+// rejected duplicates and deletes through a live server and checks exact
+// submitted == completed conservation with the right classification.
+func TestLifecycleCompletesEveryXID(t *testing.T) {
+	_, addr := startServer(t, core.Config{DisableRateLimit: true})
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	lc := newRecordingLifecycle()
+	c.SetLifecycle(lc)
+
+	const n = 50
+	for i := 1; i <= n; i++ {
+		if _, err := c.Insert(flowRule(classifier.RuleID(i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// Duplicates: remote typed errors, classified rejected, not lost.
+	for i := 1; i <= 5; i++ {
+		if _, err := c.Insert(flowRule(classifier.RuleID(i))); err == nil {
+			t.Fatalf("duplicate insert %d unexpectedly succeeded", i)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := c.Delete(classifier.RuleID(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+
+	sub, inst, rej, lost := lc.counts()
+	if sub != 2*n+5 {
+		t.Fatalf("submitted = %d, want %d", sub, 2*n+5)
+	}
+	if inst != 2*n || rej != 5 || lost != 0 {
+		t.Fatalf("installed/rejected/lost = %d/%d/%d, want %d/5/0", inst, rej, lost, 2*n)
+	}
+	// Every submitted XID completed: no request is still open.
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if len(lc.open) != 0 {
+		t.Fatalf("%d XIDs still open after all requests returned", len(lc.open))
+	}
+}
+
+// TestLifecycleMidRunResetCountsInFlightAsLost is the reconnect-tracking
+// contract: a scripted peer absorbs a batch of pipelined flow-mods and
+// then resets the connection without replying. Every in-flight XID must
+// complete exactly once with a wire error (lost) — never as installed —
+// and a replacement client with the same instruments must keep recording
+// into the same RTT histogram after the reattach.
+func TestLifecycleMidRunResetCountsInFlightAsLost(t *testing.T) {
+	const inflight = 8
+	lc := newRecordingLifecycle()
+	var inflightG obs.Gauge
+	rtt := obs.NewHistogram()
+
+	sawAll := make(chan struct{})
+	c := fakePeer(t, func(conn net.Conn) error {
+		// Absorb the whole batch, reply to none, then die mid-run.
+		for i := 0; i < inflight; i++ {
+			if _, err := ReadMessage(conn); err != nil {
+				return err
+			}
+		}
+		close(sawAll)
+		return conn.Close()
+	})
+	c.Instrument(&inflightG, rtt)
+	c.SetLifecycle(lc)
+
+	var wg sync.WaitGroup
+	succeeded := make(chan classifier.RuleID, inflight)
+	for i := 1; i <= inflight; i++ {
+		wg.Add(1)
+		go func(id classifier.RuleID) {
+			defer wg.Done()
+			if _, err := c.Insert(flowRule(id)); err == nil {
+				succeeded <- id
+			}
+		}(classifier.RuleID(i))
+	}
+	<-sawAll
+	wg.Wait()
+	close(succeeded)
+	for id := range succeeded {
+		t.Errorf("insert %d succeeded across a reset", id)
+	}
+
+	sub, inst, rej, lost := lc.counts()
+	if sub != inflight || lost != inflight || inst != 0 || rej != 0 {
+		t.Fatalf("submitted/installed/rejected/lost = %d/%d/%d/%d, want %d/0/0/%d",
+			sub, inst, rej, lost, inflight, inflight)
+	}
+	if rtt.Count() != 0 {
+		t.Fatalf("rtt recorded %d abandoned round trips", rtt.Count())
+	}
+	if inflightG.Value() != 0 {
+		t.Fatalf("in-flight gauge = %d after drain, want 0", inflightG.Value())
+	}
+
+	// Reconnect: a fresh client (new connection, same instruments, same
+	// ledger) must resume recording into the same histogram.
+	testutil.VerifyNoLeaks(t)
+	_, addr := startServer(t, core.Config{DisableRateLimit: true})
+	c2, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.Instrument(&inflightG, rtt)
+	c2.SetLifecycle(lc)
+
+	const after = 10
+	for i := 1; i <= after; i++ {
+		if _, err := c2.Insert(flowRule(classifier.RuleID(100 + i))); err != nil {
+			t.Fatalf("post-reconnect insert %d: %v", i, err)
+		}
+	}
+	if rtt.Count() != after {
+		t.Fatalf("rtt count after reattach = %d, want %d", rtt.Count(), after)
+	}
+	sub, inst, _, lost = lc.counts()
+	if sub != inflight+after || inst != after || lost != inflight {
+		t.Fatalf("post-reconnect ledger submitted/installed/lost = %d/%d/%d, want %d/%d/%d",
+			sub, inst, lost, inflight+after, after, inflight)
+	}
+	if inflightG.Value() != 0 {
+		t.Fatalf("in-flight gauge = %d at rest, want 0", inflightG.Value())
+	}
+}
+
+// TestLifecycleAbandonedDeadlineIsLostNotInstalled: a request abandoned at
+// its deadline (stalled switch) must complete as lost even though the
+// connection stays healthy.
+func TestLifecycleAbandonedDeadlineIsLostNotInstalled(t *testing.T) {
+	release := make(chan struct{})
+	c := fakePeer(t, func(conn net.Conn) error {
+		if _, err := ReadMessage(conn); err != nil {
+			return err
+		}
+		<-release // stall past the deadline; reply never comes
+		return nil
+	})
+	defer close(release)
+	lc := newRecordingLifecycle()
+	c.SetLifecycle(lc)
+	c.SetRequestTimeout(20 * time.Millisecond)
+
+	if _, err := c.Insert(flowRule(1)); err == nil {
+		t.Fatal("stalled insert unexpectedly succeeded")
+	}
+	sub, inst, rej, lost := lc.counts()
+	if sub != 1 || lost != 1 || inst != 0 || rej != 0 {
+		t.Fatalf("submitted/installed/rejected/lost = %d/%d/%d/%d, want 1/0/0/1",
+			sub, inst, rej, lost)
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import "testing"
+
+func TestSubSeedIndependentStreams(t *testing.T) {
+	if SubSeed(1, 0) == SubSeed(1, 1) {
+		t.Fatal("adjacent labels produced the same seed")
+	}
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Fatal("different roots produced the same seed")
+	}
+	// Consuming extra draws on one stream must not shift another.
+	a := SubStream(7, 3)
+	b := SubStream(7, 4)
+	for i := 0; i < 100; i++ {
+		a.Uint64()
+	}
+	b2 := SubStream(7, 4)
+	for i := 0; i < 16; i++ {
+		if b.Uint64() != b2.Uint64() {
+			t.Fatal("stream 4 perturbed by draws on stream 3")
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	draw := func() []uint64 {
+		z := NewZipf(SubStream(42, 9), 1.2, 1, 1<<20)
+		out := make([]uint64, 64)
+		for i := range out {
+			out[i] = z.Next()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %d != %d with same seed", i, a[i], b[i])
+		}
+	}
+	c := NewZipf(SubStream(43, 9), 1.2, 1, 1<<20)
+	same := true
+	for i := range a {
+		if c.Next() != a[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestZipfHeavyTail(t *testing.T) {
+	const n, draws = 100000, 200000
+	z := NewZipf(SubStream(1, 0), 1.2, 1, n)
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Rank order: flow 0 must dominate a deep-tail flow by a wide margin.
+	if counts[0] < 100*counts[n/2]+1 {
+		t.Fatalf("no head: count(0)=%d count(mid)=%d", counts[0], counts[n/2])
+	}
+	// Heavy tail: the top 10 flows carry a large share, yet thousands of
+	// distinct mice still appear.
+	var top int
+	for k := uint64(0); k < 10; k++ {
+		top += counts[k]
+	}
+	if float64(top)/draws < 0.25 {
+		t.Fatalf("top-10 share %.3f too small for s=1.2", float64(top)/draws)
+	}
+	if len(counts) < 1000 {
+		t.Fatalf("only %d distinct flows drawn; tail collapsed", len(counts))
+	}
+}
+
+func TestZipfParameterClamping(t *testing.T) {
+	// s ≤ 1, v < 1 and n = 0 must clamp, not panic.
+	z := NewZipf(SubStream(1, 1), 0.5, 0, 0)
+	for i := 0; i < 100; i++ {
+		if got := z.Next(); got != 0 {
+			t.Fatalf("n=1 sampler drew %d", got)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 # benchmark: {"name", "runs", "ns_per_op", "bytes_per_op", "allocs_per_op",
 # and any b.ReportMetric extras keyed by unit}.
 #
-# Usage: scripts/bench_json.sh [output.json] [benchtime] [obs_output.json]
+# Usage: scripts/bench_json.sh [output.json] [benchtime] [obs_output.json] [loadgen_output.json]
 #   output.json      defaults to BENCH_lookup.json in the repo root
 #                    (committed as the tracked perf baseline).
 #   benchtime        defaults to 0.2s; scripts/check.sh passes a short
@@ -13,6 +13,11 @@
 #                    instrumented vs. no-op agent insert+lookup plus the
 #                    obs record-path microbenches, with the computed
 #                    insert overhead percentage (budget: ≤5%).
+#   loadgen_output.json  defaults to BENCH_loadgen.json: the open-loop
+#                    load-driver verdict — offered vs achieved rate and
+#                    per-class p50/p99/p999 setup latency + violation and
+#                    loss rates against the declared SLO budgets. The
+#                    script fails if the smoke SLO breaches.
 #
 # Stdlib awk only; no jq, no module downloads.
 set -eu
@@ -21,6 +26,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_lookup.json}"
 benchtime="${2:-0.2s}"
 obs_out="${3:-BENCH_obs.json}"
+loadgen_out="${4:-BENCH_loadgen.json}"
 
 raw="$(mktemp)"
 raw_obs="$(mktemp)"
@@ -101,3 +107,15 @@ END {
 rm -f "$obs_out.tmp"
 
 echo "wrote $obs_out (insert overhead: ${overhead}%)"
+
+# --- loadgen verdict: open-loop SLO smoke against live in-process agents ----
+# The verdict JSON is the benchmark artifact: schedule digest, offered vs
+# achieved rate, per-class latency quantiles and violation/loss rates
+# against the declared budgets. Deterministic seed, so the offered
+# schedule is identical run to run; a breach exits nonzero and fails the
+# script.
+go run ./cmd/hermes-loadgen -flows 4000 -rate 20000 -switches 2 -hold 20ms \
+	-classes 3,1 -seed 42 -workers 16 -p99-budget 30s -max-loss-rate 0 \
+	-out "$loadgen_out" >/dev/null
+
+echo "wrote $loadgen_out"
