@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint fuzz bench bench-json chaos loadgen-smoke loadgen-1m
+.PHONY: all build test check lint lint-bench fuzz bench bench-json chaos loadgen-smoke loadgen-1m
 
 all: build
 
@@ -10,10 +10,22 @@ build:
 test:
 	$(GO) test ./...
 
-# Project-specific static analysis (DESIGN.md §8): determinism, narrowing,
-# lockcheck, wrapcheck, testgoroutine.
+# hermes-vet (DESIGN.md §13): CFG/dataflow static analysis of the
+# project's concurrency and hot-path invariants — determinism (intra- and
+# interprocedural wall-clock reach), zero-alloc hot paths, lock
+# discipline, snapshot immutability after atomic.Pointer publication,
+# blocking channel ops under locks, wire narrowing, error wrapping,
+# test-goroutine hygiene, and //lint:ignore hygiene.
 lint:
 	$(GO) run ./cmd/hermes-lint ./...
+
+# Wall-time budget for the full-repo lint run. The engine loads and
+# type-checks every package and solves interprocedural fixpoints, so this
+# catches accidental quadratic blowups in the analyzers before they make
+# `make lint` (and every CI run) crawl. Override: LINT_BUDGET=60 make lint-bench
+LINT_BUDGET ?= 120
+lint-bench:
+	./scripts/lint_bench.sh $(LINT_BUDGET)
 
 # Short-budget native fuzzing of the wire codec and the prefix parser.
 fuzz:

@@ -1,16 +1,26 @@
-// Command hermes-lint runs the project-specific static analyzers that
-// enforce Hermes's invariants (DESIGN.md §8): deterministic simulation,
-// wire-codec bounds safety, lock discipline, error-chain preservation and
-// test-goroutine hygiene.
+// Command hermes-lint is the front end of hermes-vet, the project's
+// static analysis engine (DESIGN.md §13): per-function control-flow
+// graphs, a module-wide call graph, and a forward-dataflow framework that
+// the analyzers share. The suite mechanically enforces Hermes's
+// invariants — deterministic simulation (intra- and interprocedural),
+// zero-alloc hot paths (including allocations laundered through helper
+// calls), lock discipline, snapshot immutability after atomic
+// publication, blocking channel operations inside critical sections,
+// wire-codec bounds safety, error-chain preservation, test-goroutine
+// hygiene, and the hygiene of the //lint:ignore escape hatch itself.
 //
 // Usage:
 //
-//	hermes-lint [-json] [-list] [pattern ...]
+//	hermes-lint [-json | -sarif] [-list] [pattern ...]
 //
 // Patterns are directories or "dir/..." trees; the default is "./...".
-// Exit status is 0 when clean, 1 when findings are reported, 2 on a load
-// or type-check failure. Findings can be suppressed at a specific line
-// with "//lint:ignore <analyzer> <reason>".
+// -json emits findings as a JSON array stable-sorted by position;
+// -sarif emits a SARIF 2.1.0 log for code-scanning upload (paths
+// relative to the current directory). Exit status is 0 when clean, 1
+// when findings are reported, and 2 on a usage, load, or type-check
+// failure. Findings can be suppressed at a specific line with
+// "//lint:ignore <analyzer> <reason>" — the reason is mandatory and the
+// analyzer name is checked (lintdirective flags violations).
 package main
 
 import (
@@ -22,37 +32,62 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one lint invocation and returns the process exit code:
+// 0 clean, 1 findings, 2 usage/load error.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("hermes-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (stable-sorted by position)")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 for code-scanning upload")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "hermes-lint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, fset, err := lint.Load(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hermes-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "hermes-lint:", err)
+		return 2
 	}
 	findings := lint.Run(analyzers, pkgs, fset)
-	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
-			fmt.Fprintln(os.Stderr, "hermes-lint:", err)
-			os.Exit(2)
+
+	switch {
+	case *jsonOut:
+		err = lint.WriteJSON(stdout, findings)
+	case *sarifOut:
+		root, rootErr := os.Getwd()
+		if rootErr != nil {
+			root = ""
 		}
-	} else {
-		lint.WriteText(os.Stdout, findings)
+		err = lint.WriteSARIF(stdout, analyzers, findings, root)
+	default:
+		lint.WriteText(stdout, findings)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "hermes-lint:", err)
+		return 2
 	}
 	if len(findings) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

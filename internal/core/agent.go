@@ -691,6 +691,7 @@ func (a *Agent) Lookup(dst, src uint32) (classifier.Rule, bool) {
 	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	//lint:ignore hotpathalloc snapshot rebuild is the amortized slow path, entered only after viewRebuildAfter stale reads at quiesced generations
 	if v := a.freshView(); v != nil {
 		return v.lookup(dst, src)
 	}
@@ -756,6 +757,7 @@ func (a *Agent) LogicalLookup(dst, src uint32) (classifier.Rule, bool) {
 	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	//lint:ignore hotpathalloc snapshot rebuild is the amortized slow path, entered only after viewRebuildAfter stale reads at quiesced generations
 	if v := a.freshView(); v != nil && v.logical != nil {
 		return v.logical.Lookup(dst, src)
 	}

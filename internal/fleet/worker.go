@@ -131,6 +131,7 @@ func (w *worker) enqueue(o *op) error {
 	select {
 	case w.queue <- o:
 		return nil
+	//lint:ignore chanblock stop is close-only (no sender to rendezvous with) and Close releases emu before closing it; the run loop keeps draining queue until then, so the select always makes progress
 	case <-w.stop:
 		return ErrFleetClosed
 	}

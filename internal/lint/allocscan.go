@@ -21,8 +21,9 @@ import (
 // functions instead of the lookup ones. Snapshot, exposition, and capture
 // paths allocate freely.
 var AllocscanAnalyzer = &Analyzer{
-	Name: "allocscan",
-	Doc:  "flags per-call heap allocation in the packet-lookup and metric-record hot paths",
+	Name:       "allocscan",
+	Doc:        "flags per-call heap allocation in the packet-lookup and metric-record hot paths",
+	DedupGroup: "alloc",
 	Paths: []string{
 		"internal/tcam",
 		"internal/classifier",

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // DeterminismAnalyzer guards the replayable-simulation invariant: the
@@ -11,19 +12,38 @@ import (
 // *rand.Rand values threaded through APIs are fine; package-level
 // math/rand functions and time.Now are not.
 var DeterminismAnalyzer = &Analyzer{
-	Name: "determinism",
-	Doc:  "flags wall-clock time and global math/rand use inside deterministic packages",
-	Paths: []string{
-		"internal/sim",
-		"internal/predict",
-		"internal/classifier",
-		"internal/tcam",
-		"internal/workload",
-		"internal/faultinject",
-		"internal/obs",
-		"internal/loadgen",
-	},
-	Run: runDeterminism,
+	Name:       "determinism",
+	Doc:        "flags wall-clock time and global math/rand use inside deterministic packages",
+	DedupGroup: "walltime",
+	Paths:      deterministicPaths,
+	Run:        runDeterminism,
+}
+
+// deterministicPaths are the packages promised to draw no wall-clock time
+// and no global randomness. The determinism analyzer checks their bodies
+// directly; the walltime analyzer chases helper calls that launder a
+// wall-clock read in from outside this set.
+var deterministicPaths = []string{
+	"internal/sim",
+	"internal/predict",
+	"internal/classifier",
+	"internal/tcam",
+	"internal/workload",
+	"internal/faultinject",
+	"internal/obs",
+	"internal/loadgen",
+}
+
+// isDeterministicPath reports whether a package import path (module- or
+// corpus-relative) falls inside the deterministic set.
+func isDeterministicPath(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, suffix := range deterministicPaths {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 // bannedTime are the wall-clock entry points; the virtual clock

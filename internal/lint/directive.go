@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LintDirectiveAnalyzer polices the escape hatch: every //lint:ignore
+// must name an analyzer this suite actually runs (a typo silently
+// suppresses nothing and rots) and must carry reason text (an
+// unexplained suppression is indistinguishable from a silenced bug — the
+// reason is the reviewable artifact). Bare ignores still suppress, so a
+// stale tree keeps linting the same, but they are themselves findings
+// until justified.
+//
+// Findings of this analyzer are exempt from suppression (see
+// Package.suppressed): a directive cannot vouch for itself.
+var LintDirectiveAnalyzer = &Analyzer{
+	Name: "lintdirective",
+	Doc:  "flags //lint:ignore directives with unknown analyzers or missing reason text",
+	Run:  runLintDirective,
+}
+
+func runLintDirective(p *Pass) {
+	for _, file := range p.Files() {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				checkDirective(p, c, strings.Fields(strings.TrimPrefix(text, ignorePrefix)))
+			}
+		}
+	}
+}
+
+func checkDirective(p *Pass, c *ast.Comment, fields []string) {
+	if len(fields) == 0 {
+		p.Reportf(c.Pos(), "//lint:ignore names no analyzer; write //lint:ignore <analyzer> <reason>")
+		return
+	}
+	for _, name := range strings.Split(fields[0], ",") {
+		if !p.Prog.KnownAnalyzer(name) {
+			p.Reportf(c.Pos(), "//lint:ignore names unknown analyzer %q; this directive suppresses nothing", name)
+		}
+	}
+	if len(fields) < 2 {
+		p.Reportf(c.Pos(), "bare //lint:ignore %s without reason text; justify the suppression", fields[0])
+	}
+}

@@ -1,12 +1,21 @@
-// Package lint implements hermes-lint: project-specific static analysis
+// Package lint implements hermes-vet: project-specific static analysis
 // enforcing invariants the Go compiler cannot see but Hermes's guarantees
 // depend on — deterministic simulation, wire-codec bounds safety, lock
-// discipline around shared switch state, error-chain preservation, and
-// test-goroutine hygiene (DESIGN.md §8).
+// discipline around shared switch state, error-chain preservation,
+// test-goroutine hygiene, and the concurrency/hot-path contracts of the
+// lock-free agent read path (DESIGN.md §8, §13).
 //
 // The package is stdlib-only (go/parser, go/ast, go/types and the source
 // importer); it loads packages straight from the tree so it works offline
 // with zero module downloads, exactly like the rest of the module.
+//
+// Architecturally it is a small analysis engine rather than a bag of AST
+// walks: packages load in parallel into a Program, which lazily builds
+// per-function control-flow graphs (cfg.go), a module-wide call graph
+// (callgraph.go) and shared interprocedural summaries (memoized via
+// Program.Cached), and analyzers run concurrently against a Pass that
+// exposes all of it. Findings carry severities, are stably sorted, deduped
+// across analyzer families, and render as text, JSON, or SARIF.
 package lint
 
 import (
@@ -18,15 +27,27 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+)
+
+// Severity classifies a finding for reporting backends (SARIF levels, CI
+// annotation styling). Every severity fails the lint gate; the distinction
+// is informational.
+type Severity string
+
+const (
+	SeverityError   Severity = "error"
+	SeverityWarning Severity = "warning"
 )
 
 // Finding is one analyzer hit, addressable as file:line:col.
 type Finding struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Message  string `json:"message"`
+	Analyzer string   `json:"analyzer"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
 }
 
 func (f Finding) String() string {
@@ -37,6 +58,15 @@ func (f Finding) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
+
+	// Severity defaults to SeverityError when empty.
+	Severity Severity
+
+	// DedupGroup names a family of analyzers that report the same root
+	// cause at the same position (e.g. allocscan and its interprocedural
+	// upgrade hotpathalloc). When two findings from one group land on the
+	// same file:line:col, only the first in analyzer-name order survives.
+	DedupGroup string
 
 	// Paths restricts the analyzer to packages whose import path (with
 	// any external-test "_test" suffix stripped) ends in one of these
@@ -52,13 +82,80 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
+// Program is the shared analysis state for one Run: every loaded package
+// plus lazily built, memoized cross-cutting structures. All methods are
+// safe for concurrent use by analyzers running in parallel.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	// analyzerNames is the suite under execution, for directive
+	// validation.
+	analyzerNames map[string]bool
+
+	cgOnce sync.Once
+	cg     *CallGraph
+
+	mu    sync.Mutex
+	cfgs  map[*ast.BlockStmt]*CFG
+	cache map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+}
+
+// CallGraph returns the module-wide call graph, built on first use.
+func (prog *Program) CallGraph() *CallGraph {
+	prog.cgOnce.Do(func() { prog.cg = BuildCallGraph(prog.Pkgs) })
+	return prog.cg
+}
+
+// FuncCFG returns the (cached) control-flow graph for a function body.
+func (prog *Program) FuncCFG(body *ast.BlockStmt) *CFG {
+	prog.mu.Lock()
+	c, ok := prog.cfgs[body]
+	prog.mu.Unlock()
+	if ok {
+		return c
+	}
+	c = BuildCFG(body)
+	prog.mu.Lock()
+	prog.cfgs[body] = c
+	prog.mu.Unlock()
+	return c
+}
+
+// Cached memoizes an expensive program-wide computation (interprocedural
+// summaries) under a key, running build exactly once across all analyzer
+// goroutines.
+func (prog *Program) Cached(key string, build func() any) any {
+	prog.mu.Lock()
+	e, ok := prog.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		prog.cache[key] = e
+	}
+	prog.mu.Unlock()
+	e.once.Do(func() { e.val = build() })
+	return e.val
+}
+
+// KnownAnalyzer reports whether name belongs to the suite under execution
+// (used by the lintdirective analyzer to validate //lint:ignore targets).
+func (prog *Program) KnownAnalyzer(name string) bool {
+	return name == "all" || prog.analyzerNames[name]
+}
+
 // Pass is one (analyzer, package) unit of work.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	Prog     *Program
 
-	findings *[]Finding
+	findings []Finding
 }
 
 // Files returns the package files this analyzer should inspect, honoring
@@ -75,6 +172,23 @@ func (p *Pass) Files() []*ast.File {
 	return out
 }
 
+// FuncCFG returns the cached control-flow graph for a function body.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *CFG { return p.Prog.FuncCFG(body) }
+
+// DeclInScope applies the analyzer's test-file filters to a declaration —
+// the call-graph analyzers iterate graph nodes rather than Files() and
+// must honor the same SkipTests/TestsOnly contract.
+func (p *Pass) DeclInScope(decl ast.Node) bool {
+	test := strings.HasSuffix(p.Fset.Position(decl.Pos()).Filename, "_test.go")
+	if test && p.Analyzer.SkipTests {
+		return false
+	}
+	if !test && p.Analyzer.TestsOnly {
+		return false
+	}
+	return true
+}
+
 // Reportf records one finding unless a //lint:ignore directive suppresses
 // it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
@@ -82,8 +196,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	if p.Pkg.suppressed(p.Analyzer.Name, position) {
 		return
 	}
-	*p.findings = append(*p.findings, Finding{
+	sev := p.Analyzer.Severity
+	if sev == "" {
+		sev = SeverityError
+	}
+	p.findings = append(p.findings, Finding{
 		Analyzer: p.Analyzer.Name,
+		Severity: sev,
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
@@ -117,7 +236,7 @@ func (p *Pass) PkgNameOf(e ast.Expr) string {
 	return ""
 }
 
-// Analyzers returns the full hermes-lint suite.
+// Analyzers returns the full hermes-vet suite.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -126,6 +245,11 @@ func Analyzers() []*Analyzer {
 		WrapcheckAnalyzer,
 		TestGoroutineAnalyzer,
 		AllocscanAnalyzer,
+		SnapshotSafetyAnalyzer,
+		HotPathAllocAnalyzer,
+		WallTimeAnalyzer,
+		ChanBlockAnalyzer,
+		LintDirectiveAnalyzer,
 	}
 }
 
@@ -146,18 +270,44 @@ func (a *Analyzer) appliesTo(pkg *Package) bool {
 	return false
 }
 
-// Run applies every analyzer to every package and returns the sorted
-// findings.
+// Run applies every analyzer to every package — (analyzer, package) pairs
+// execute concurrently against the shared Program — and returns the
+// stably sorted, cross-analyzer-deduped findings.
 func Run(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet) []Finding {
-	var findings []Finding
+	prog := &Program{
+		Fset:          fset,
+		Pkgs:          pkgs,
+		analyzerNames: make(map[string]bool, len(analyzers)),
+		cfgs:          make(map[*ast.BlockStmt]*CFG),
+		cache:         make(map[string]*cacheEntry),
+	}
+	for _, a := range analyzers {
+		prog.analyzerNames[a.Name] = true
+	}
+
+	var (
+		mu       sync.Mutex
+		findings []Finding
+		wg       sync.WaitGroup
+	)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if !a.appliesTo(pkg) {
 				continue
 			}
-			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, findings: &findings})
+			wg.Add(1)
+			go func(a *Analyzer, pkg *Package) {
+				defer wg.Done()
+				pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Prog: prog}
+				a.Run(pass)
+				mu.Lock()
+				findings = append(findings, pass.findings...)
+				mu.Unlock()
+			}(a, pkg)
 		}
 	}
+	wg.Wait()
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -169,9 +319,44 @@ func Run(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet) []Finding 
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings
+	return dedup(analyzers, findings)
+}
+
+// dedup collapses findings from one DedupGroup landing on the same
+// position: the interprocedural upgrades (hotpathalloc, walltime) see
+// everything their intraprocedural siblings see, and without this every
+// direct violation would be reported twice. Input must be sorted; the
+// first finding (lowest analyzer name) at a position wins.
+func dedup(analyzers []*Analyzer, findings []Finding) []Finding {
+	group := make(map[string]string, len(analyzers))
+	for _, a := range analyzers {
+		if a.DedupGroup != "" {
+			group[a.Name] = a.DedupGroup
+		}
+	}
+	out := findings[:0]
+	var curFile string
+	var curLine, curCol int
+	seen := map[string]bool{}
+	for _, f := range findings {
+		if f.File != curFile || f.Line != curLine || f.Col != curCol {
+			curFile, curLine, curCol = f.File, f.Line, f.Col
+			seen = map[string]bool{}
+		}
+		if g := group[f.Analyzer]; g != "" {
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // WriteText renders findings one per line for terminals and CI logs.
@@ -181,7 +366,9 @@ func WriteText(w io.Writer, findings []Finding) {
 	}
 }
 
-// WriteJSON renders findings as a JSON array for tooling.
+// WriteJSON renders findings as a JSON array for tooling. The array is
+// stable-sorted by position (Run's output order), so CI diffs are
+// deterministic run to run.
 func WriteJSON(w io.Writer, findings []Finding) error {
 	if findings == nil {
 		findings = []Finding{}
@@ -228,6 +415,11 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDir
 }
 
 func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	if analyzer == "lintdirective" {
+		// A directive cannot vouch for itself: bare or mistargeted ignores
+		// stay visible even under //lint:ignore all.
+		return false
+	}
 	for _, d := range p.ignores[pos.Filename] {
 		if d.analyzer != analyzer && d.analyzer != "all" {
 			continue

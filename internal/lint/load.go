@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -26,32 +27,196 @@ type Package struct {
 	ignores map[string][]ignoreDirective
 }
 
+// loader resolves imports for the whole Run and caches the result, so a
+// module-internal package is type-checked once no matter how many loaded
+// packages import it, and packages inside a testdata/src corpus can import
+// each other (the interprocedural analyzers need cross-package corpus
+// edges). Resolution order:
+//
+//  1. a testdata/src tree named by the patterns (corpus packages
+//     impersonate real module paths, so the corpus shadows the module
+//     when — and only when — the corpus is what's being linted),
+//  2. the enclosing module (path relative to the go.mod root),
+//  3. the compiler source importer (standard library).
+//
+// Import-variant type-checks exclude _test.go files, which keeps the
+// dependency graph acyclic (Go guarantees that for non-test imports) and
+// therefore deadlock-free under the per-path once guards that make the
+// loader safe for the parallel load below.
+type loader struct {
+	fset          *token.FileSet
+	base          types.Importer // source importer: stdlib and anything unresolved
+	baseMu        sync.Mutex
+	modRoot       string
+	modPath       string
+	testdataRoots []string
+
+	impMu   sync.Mutex
+	imports map[string]*importEntry
+}
+
+type importEntry struct {
+	once sync.Once
+	pkg  *types.Package
+	err  error
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	dir := l.dirFor(path)
+	if dir == "" {
+		l.baseMu.Lock()
+		defer l.baseMu.Unlock()
+		return l.base.Import(path)
+	}
+	l.impMu.Lock()
+	e, ok := l.imports[path]
+	if !ok {
+		e = &importEntry{}
+		l.imports[path] = e
+	}
+	l.impMu.Unlock()
+	e.once.Do(func() { e.pkg, e.err = l.checkImportVariant(path, dir) })
+	return e.pkg, e.err
+}
+
+// dirFor maps an import path to a source directory, or "" when the path is
+// outside both the corpus trees and the module.
+func (l *loader) dirFor(path string) string {
+	for _, root := range l.testdataRoots {
+		if d := filepath.Join(root, filepath.FromSlash(path)); hasGoFiles(d) {
+			return d
+		}
+	}
+	if path == l.modPath {
+		if hasGoFiles(l.modRoot) {
+			return l.modRoot
+		}
+		return ""
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		if d := filepath.Join(l.modRoot, filepath.FromSlash(rest)); hasGoFiles(d) {
+			return d
+		}
+	}
+	return ""
+}
+
+// checkImportVariant parses and type-checks the non-test files of dir — the
+// view an importing package sees.
+func (l *loader) checkImportVariant(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, file)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files for import %q in %s", path, dir)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, l.fset, files, nil)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking import %s: %w", path, typeErrs[0])
+	}
+	return pkg, nil
+}
+
 // Load parses and type-checks every package named by the patterns. A
 // pattern is a directory or a "dir/..." tree; "./..." covers the module.
 // Directories named "testdata" are skipped during tree walks unless the
 // pattern root itself points into one (so the lint self-test corpus can be
-// linted explicitly but never pollutes a whole-module run).
+// linted explicitly but never pollutes a whole-module run). Parsing and
+// type-checking run in parallel across directories; shared dependencies
+// are resolved once through the loader.
 func Load(patterns []string) ([]*Package, *token.FileSet, error) {
 	dirs, err := expandPatterns(patterns)
 	if err != nil {
 		return nil, nil, err
 	}
-
 	fset := token.NewFileSet()
+	if len(dirs) == 0 {
+		return nil, fset, nil
+	}
+
 	// The source importer type-checks dependencies (including the standard
 	// library) from source, keeping the tool free of export-data and
 	// network dependencies. Cgo preprocessing is impossible in that mode,
 	// so force the pure-Go variants of std packages like net.
 	build.Default.CgoEnabled = false
-	imp := importer.ForCompiler(fset, "source", nil)
+
+	abs0, err := filepath.Abs(dirs[0])
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: %w", err)
+	}
+	modRoot, modPath, err := findModule(abs0)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &loader{
+		fset:    fset,
+		base:    importer.ForCompiler(fset, "source", nil),
+		modRoot: modRoot,
+		modPath: modPath,
+		imports: make(map[string]*importEntry),
+	}
+	seenRoots := map[string]bool{}
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: %w", err)
+		}
+		slashed := filepath.ToSlash(abs)
+		if i := strings.LastIndex(slashed, "/testdata/src/"); i >= 0 {
+			root := filepath.FromSlash(slashed[:i+len("/testdata/src")])
+			if !seenRoots[root] {
+				seenRoots[root] = true
+				l.testdataRoots = append(l.testdataRoots, root)
+			}
+		}
+	}
+	sort.Strings(l.testdataRoots)
+
+	// Parse every directory in parallel (token.FileSet is synchronized),
+	// then type-check in parallel; the loader serializes only the shared
+	// dependency work.
+	type dirResult struct {
+		dir  string
+		pkgs []*Package
+		err  error
+	}
+	results := make([]dirResult, len(dirs))
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			pkgs, err := loadDir(fset, l, dir)
+			results[i] = dirResult{dir: dir, pkgs: pkgs, err: err}
+		}(i, dir)
+	}
+	wg.Wait()
 
 	var pkgs []*Package
-	for _, dir := range dirs {
-		loaded, err := loadDir(fset, imp, dir)
-		if err != nil {
-			return nil, nil, err
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
 		}
-		pkgs = append(pkgs, loaded...)
+		pkgs = append(pkgs, r.pkgs...)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, fset, nil

@@ -2,20 +2,21 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
 // LockcheckAnalyzer guards the lock discipline around shared TCAM, client
 // and telemetry state: a function that takes mu.Lock() must release it on
-// every return path, either inline before the return or via defer. The
-// check is a conservative structural walk — conditional branches merge by
-// intersection, so only paths that definitely hold the lock are reported —
-// with //lint:ignore lockcheck as the escape hatch for intentional
-// lock-handoff patterns.
+// every return path, either inline before the return or via defer. It is
+// the canonical hermes-vet must-analysis: a forward dataflow over the
+// function CFG with intersection at merges, so only locks held on *every*
+// path into a return are reported (no false positives from branches that
+// already released), with //lint:ignore lockcheck as the escape hatch for
+// intentional lock-handoff patterns.
 var LockcheckAnalyzer = &Analyzer{
-	Name: "lockcheck",
-	Doc:  "flags return paths that leave a mutex locked",
+	Name:       "lockcheck",
+	Doc:        "flags return paths that leave a mutex locked",
+	DedupGroup: "lock",
 	Paths: []string{
 		"internal/fleet",
 		"internal/ofwire",
@@ -38,37 +39,6 @@ func (k lockKey) String() string {
 	return k.recv
 }
 
-type lockState map[lockKey]token.Pos
-
-func (s lockState) clone() lockState {
-	out := make(lockState, len(s))
-	for k, v := range s {
-		out[k] = v
-	}
-	return out
-}
-
-// intersect keeps only keys locked in every fall-through branch.
-func intersect(states []lockState) lockState {
-	if len(states) == 0 {
-		return lockState{}
-	}
-	out := lockState{}
-	for k, pos := range states[0] {
-		in := true
-		for _, other := range states[1:] {
-			if _, ok := other[k]; !ok {
-				in = false
-				break
-			}
-		}
-		if in {
-			out[k] = pos
-		}
-	}
-	return out
-}
-
 func runLockcheck(p *Pass) {
 	for _, file := range p.Files() {
 		// Every function body — declarations and literals — is analyzed
@@ -83,24 +53,125 @@ func runLockcheck(p *Pass) {
 			default:
 				return true
 			}
-			if body == nil {
-				return true
-			}
-			w := &lockWalker{pass: p}
-			state := lockState{}
-			terminated := w.walkStmts(body.List, state)
-			if !terminated {
-				for k := range state {
-					p.Reportf(body.Rbrace, "function ends with %s still held", k)
-				}
+			if body != nil {
+				checkLockFlow(p, body)
 			}
 			return true
 		})
 	}
 }
 
-type lockWalker struct {
-	pass *Pass
+// lockTransfer is the dataflow transfer function: Lock/RLock generate the
+// held fact, Unlock/RUnlock (inline, deferred, or inside a deferred
+// closure) kill it. Nested function literals are opaque — they run on
+// their own schedule and are analyzed as their own functions.
+func lockTransfer(n ast.Node, in Set[lockKey]) Set[lockKey] {
+	switch st := n.(type) {
+	case *ast.ExprStmt:
+		if key, acquire, ok := lockCall(st.X); ok {
+			if acquire {
+				in.Add(key)
+			} else {
+				in.Del(key)
+			}
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases on every path from here on; so does
+		// an unlock buried in a deferred closure.
+		if key, acquire, ok := lockCall(st.Call); ok && !acquire {
+			in.Del(key)
+			return in
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				if e, ok := inner.(*ast.ExprStmt); ok {
+					if key, acquire, ok := lockCall(e.X); ok && !acquire {
+						in.Del(key)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return in
+}
+
+// checkLockFlow solves must-held-locks over the body's CFG and reports
+// returns (and the function end) reached with a lock still held. Paths
+// that leave via panic are exempt: the deferred unlocks of callers, and
+// the test harness, own that case.
+func checkLockFlow(p *Pass, body *ast.BlockStmt) {
+	cfg := p.FuncCFG(body)
+	res := Forward(cfg, MeetIntersect, NewSet[lockKey](), lockTransfer)
+
+	for _, b := range cfg.Blocks {
+		if !b.Reachable() || res.In[b] == nil {
+			continue
+		}
+		state := res.In[b].Clone()
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				for k := range state {
+					p.Reportf(ret.Pos(),
+						"return with %s still held; unlock before returning or use defer", k)
+				}
+			}
+			state = lockTransfer(n, state)
+		}
+	}
+
+	// Fall-off-the-end: the exit block's fall-through predecessors.
+	held := NewSet[lockKey]()
+	for _, pred := range cfg.Exit.Preds {
+		if pred.Term != nil || res.Out[pred] == nil {
+			continue
+		}
+		for k := range res.Out[pred] {
+			held.Add(k)
+		}
+	}
+	for k := range held {
+		p.Reportf(body.Rbrace, "function ends with %s still held", k)
+	}
+}
+
+// heldNowTransfer tracks locks held *at this instant*, for analyses that
+// care about the critical section itself rather than leak-at-return:
+// unlike lockTransfer, a deferred Unlock does not release here — the lock
+// stays held until the function actually returns.
+func heldNowTransfer(n ast.Node, in Set[lockKey]) Set[lockKey] {
+	if st, ok := n.(*ast.ExprStmt); ok {
+		if key, acquire, ok := lockCall(st.X); ok {
+			if acquire {
+				in.Add(key)
+			} else {
+				in.Del(key)
+			}
+		}
+	}
+	return in
+}
+
+// mustHeldAt computes, for one function body, the set of locks definitely
+// held immediately before each CFG node — shared with the chanblock
+// analyzer, which flags potentially blocking channel operations inside
+// critical sections. Deferred unlocks do not clear the state: the
+// critical section extends to the return.
+func mustHeldAt(p *Pass, body *ast.BlockStmt) map[ast.Node]Set[lockKey] {
+	cfg := p.FuncCFG(body)
+	res := Forward(cfg, MeetIntersect, NewSet[lockKey](), heldNowTransfer)
+	out := make(map[ast.Node]Set[lockKey])
+	for _, b := range cfg.Blocks {
+		if !b.Reachable() || res.In[b] == nil {
+			continue
+		}
+		state := res.In[b].Clone()
+		for _, n := range b.Nodes {
+			out[n] = state.Clone()
+			state = heldNowTransfer(n, state)
+		}
+	}
+	return out
 }
 
 // lockCall decodes m.Lock()/m.Unlock()/m.RLock()/m.RUnlock() calls.
@@ -134,163 +205,4 @@ func isPanicCall(e ast.Expr) bool {
 	}
 	id, ok := call.Fun.(*ast.Ident)
 	return ok && id.Name == "panic"
-}
-
-// walkStmts interprets a statement list, mutating state; it reports
-// whether control definitely leaves the list (return/branch/panic).
-func (w *lockWalker) walkStmts(stmts []ast.Stmt, state lockState) bool {
-	for _, s := range stmts {
-		if w.walkStmt(s, state) {
-			return true
-		}
-	}
-	return false
-}
-
-func (w *lockWalker) walkStmt(s ast.Stmt, state lockState) bool {
-	switch st := s.(type) {
-	case *ast.ExprStmt:
-		if key, acquire, ok := lockCall(st.X); ok {
-			if acquire {
-				state[key] = st.X.Pos()
-			} else {
-				delete(state, key)
-			}
-			return false
-		}
-		return isPanicCall(st.X)
-
-	case *ast.DeferStmt:
-		// defer mu.Unlock() releases on every path from here on; so does
-		// an unlock buried in a deferred closure.
-		if key, acquire, ok := lockCall(st.Call); ok && !acquire {
-			delete(state, key)
-			return false
-		}
-		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			ast.Inspect(lit.Body, func(n ast.Node) bool {
-				if e, ok := n.(*ast.ExprStmt); ok {
-					if key, acquire, ok := lockCall(e.X); ok && !acquire {
-						delete(state, key)
-					}
-				}
-				return true
-			})
-		}
-		return false
-
-	case *ast.ReturnStmt:
-		for k, pos := range state {
-			_ = pos
-			w.pass.Reportf(st.Pos(), "return with %s still held; unlock before returning or use defer", k)
-		}
-		return true
-
-	case *ast.BranchStmt:
-		return true
-
-	case *ast.BlockStmt:
-		return w.walkStmts(st.List, state)
-
-	case *ast.LabeledStmt:
-		return w.walkStmt(st.Stmt, state)
-
-	case *ast.IfStmt:
-		if st.Init != nil {
-			w.walkStmt(st.Init, state)
-		}
-		thenState := state.clone()
-		thenTerm := w.walkStmts(st.Body.List, thenState)
-		elseState := state.clone()
-		elseTerm := false
-		if st.Else != nil {
-			elseTerm = w.walkStmt(st.Else, elseState)
-		}
-		var fallthroughs []lockState
-		if !thenTerm {
-			fallthroughs = append(fallthroughs, thenState)
-		}
-		if !elseTerm {
-			fallthroughs = append(fallthroughs, elseState)
-		}
-		if len(fallthroughs) == 0 {
-			return true
-		}
-		replace(state, intersect(fallthroughs))
-		return false
-
-	case *ast.ForStmt:
-		if st.Init != nil {
-			w.walkStmt(st.Init, state)
-		}
-		w.walkStmts(st.Body.List, state.clone())
-		return false
-
-	case *ast.RangeStmt:
-		w.walkStmts(st.Body.List, state.clone())
-		return false
-
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return w.walkCases(s, state)
-
-	default:
-		return false
-	}
-}
-
-// walkCases handles switch/type-switch/select uniformly: each clause runs
-// on a copy of the entry state; fall-through is the intersection of the
-// clauses that do not terminate (plus the entry state when a switch has no
-// default, since it may match nothing).
-func (w *lockWalker) walkCases(s ast.Stmt, state lockState) bool {
-	var clauses []ast.Stmt
-	hasDefault := false
-	switch st := s.(type) {
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			w.walkStmt(st.Init, state)
-		}
-		clauses = st.Body.List
-	case *ast.TypeSwitchStmt:
-		if st.Init != nil {
-			w.walkStmt(st.Init, state)
-		}
-		clauses = st.Body.List
-	case *ast.SelectStmt:
-		clauses = st.Body.List
-	}
-	var fallthroughs []lockState
-	for _, c := range clauses {
-		var body []ast.Stmt
-		switch cc := c.(type) {
-		case *ast.CaseClause:
-			if cc.List == nil {
-				hasDefault = true
-			}
-			body = cc.Body
-		case *ast.CommClause:
-			body = cc.Body
-		}
-		cs := state.clone()
-		if !w.walkStmts(body, cs) {
-			fallthroughs = append(fallthroughs, cs)
-		}
-	}
-	if _, isSelect := s.(*ast.SelectStmt); !isSelect && !hasDefault {
-		fallthroughs = append(fallthroughs, state.clone())
-	}
-	if len(fallthroughs) == 0 {
-		return len(clauses) > 0
-	}
-	replace(state, intersect(fallthroughs))
-	return false
-}
-
-func replace(dst, src lockState) {
-	for k := range dst {
-		delete(dst, k)
-	}
-	for k, v := range src {
-		dst[k] = v
-	}
 }

@@ -1,0 +1,44 @@
+// Package classifier is the hotpathalloc corpus: allocations hidden one
+// and two calls below a zero-alloc root, where the intraprocedural
+// allocscan cannot see them, plus a direct allocation both analyzers see
+// (the "alloc" dedup group must keep exactly one finding — allocscan's).
+package classifier
+
+type Index struct {
+	scratch []uint32
+	table   map[uint32][]uint32
+}
+
+// expand allocates: one hop below the root.
+func (ix *Index) expand(n int) {
+	ix.scratch = append(ix.scratch, make([]uint32, n)...)
+}
+
+// widen launders the allocation through a second hop.
+func (ix *Index) widen(n int) {
+	ix.expand(n)
+}
+
+// Lookup is a zero-alloc root; both helper calls carry an allocation in.
+func (ix *Index) Lookup(key uint32) ([]uint32, bool) {
+	if len(ix.scratch) == 0 {
+		ix.expand(8) // want:hotpathalloc
+	}
+	ix.widen(4) // want:hotpathalloc
+	v, ok := ix.table[key]
+	return v, ok
+}
+
+// LookupVia chains through another root: the callee justifies its own
+// budget, so this call site stays clean.
+func (ix *Index) LookupVia(key uint32) ([]uint32, bool) {
+	return ix.Lookup(key)
+}
+
+// lookupSlow allocates directly. allocscan and hotpathalloc both see
+// these positions; dedup keeps the allocscan finding only.
+func (ix *Index) lookupSlow(key uint32) []uint32 {
+	out := make([]uint32, 0, 4)        // want:allocscan
+	out = append(out, ix.table[key]...) // want:allocscan
+	return out
+}

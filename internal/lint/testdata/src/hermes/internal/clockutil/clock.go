@@ -1,0 +1,22 @@
+// Package clockutil is corpus scaffolding for the walltime analyzer: a
+// helper package *outside* the deterministic set that reads the wall
+// clock. Its own body is legal; what the analyzer must catch is a
+// deterministic package laundering the clock in through these helpers.
+package clockutil
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed launders Stamp through one more hop.
+func Elapsed(since int64) int64 {
+	return Stamp() - since
+}
+
+// Span is pure arithmetic: no wall clock anywhere below it.
+func Span(a, b int64) int64 {
+	return b - a
+}

@@ -1,0 +1,18 @@
+// Package directive is the lintdirective corpus: a suppression must name
+// an analyzer the suite actually runs and must justify itself with
+// reason text. Bare and mistargeted directives are findings — and they
+// cannot suppress themselves.
+package directive
+
+func directives() {
+	a := 1
+	_ = a /* want:lintdirective */ //lint:ignore determinism
+	b := 2
+	_ = b /* want:lintdirective */ //lint:ignore nosuchpass typo'd names suppress nothing
+	c := 3
+	_ = c /* want:lintdirective */ //lint:ignore
+	d := 4
+	_ = d //lint:ignore lockcheck corpus: a justified suppression with reason text is clean
+}
+
+var _ = directives

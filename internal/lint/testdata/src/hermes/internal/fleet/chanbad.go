@@ -1,0 +1,62 @@
+// chanbad.go is the chanblock corpus: rendezvous on unbuffered channels
+// inside critical sections, the deadlock shape where the partner
+// goroutine needs the same lock to reach its end of the channel.
+package fleet
+
+import "sync"
+
+type notifier struct {
+	mu     sync.Mutex
+	wake   chan struct{} // unbuffered
+	drain  chan int      // buffered: sends complete without a partner
+	events chan int      // unbuffered
+}
+
+func newNotifier() *notifier {
+	return &notifier{
+		wake:   make(chan struct{}),
+		drain:  make(chan int, 8),
+		events: make(chan int),
+	}
+}
+
+// signal parks inside the critical section until a partner arrives.
+func (n *notifier) signal() {
+	n.mu.Lock()
+	n.wake <- struct{}{} // want:chanblock
+	n.mu.Unlock()
+}
+
+// await receives under a deferred unlock: the lock is held until return,
+// so the receive still blocks the critical section.
+func (n *notifier) await() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return <-n.events // want:chanblock
+}
+
+// record sends on a buffered channel: cannot rendezvous-block.
+func (n *notifier) record(v int) {
+	n.mu.Lock()
+	n.drain <- v
+	n.mu.Unlock()
+}
+
+// tryWake is non-blocking by construction: select with default.
+func (n *notifier) tryWake() {
+	n.mu.Lock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+	n.mu.Unlock()
+}
+
+// wakeUnlocked sends after releasing the lock.
+func (n *notifier) wakeUnlocked() {
+	n.mu.Lock()
+	n.mu.Unlock()
+	n.wake <- struct{}{}
+}
+
+var _ = newNotifier

@@ -1,0 +1,25 @@
+// Package predict is the walltime corpus: a deterministic package whose
+// own body never mentions time.Now — the intraprocedural determinism
+// analyzer sees nothing — but whose helper calls transitively read the
+// wall clock.
+package predict
+
+import "hermes/internal/clockutil"
+
+func horizon(last int64) int64 {
+	t := clockutil.Stamp() // want:walltime
+	return t - last
+}
+
+func window(last int64) int64 {
+	return clockutil.Elapsed(last) // want:walltime
+}
+
+// spread only reaches pure arithmetic: clean.
+func spread(a, b int64) int64 {
+	return clockutil.Span(a, b)
+}
+
+var _ = horizon
+var _ = window
+var _ = spread

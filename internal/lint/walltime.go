@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WallTimeAnalyzer is the interprocedural half of the determinism
+// invariant: the intraprocedural determinism analyzer flags time.Now
+// written *inside* a deterministic package, but a helper in a
+// non-deterministic package can launder the wall clock in — sim calls
+// util.Stamp(), util.Stamp calls time.Now, and every experiment stops
+// replaying. This pass walks the module call graph (callgraph.go): any
+// function reachable from a call site in a deterministic package that
+// transitively reads the wall clock is reported at that call site, with
+// the chain that carries the clock in. Calls to helpers *within* the
+// deterministic set are exempt here — determinism already polices their
+// bodies directly, and reporting both would double every finding.
+var WallTimeAnalyzer = &Analyzer{
+	Name:       "walltime",
+	Doc:        "flags calls from deterministic packages to helpers that transitively read the wall clock",
+	DedupGroup: "walltime",
+	Paths:      deterministicPaths,
+	// Tests may legitimately reach harness helpers that poll wall-clock
+	// deadlines (leak detection); determinism still flags direct use.
+	SkipTests: true,
+	Run:       runWallTime,
+}
+
+// wallClockReach computes, once per Run, which module functions
+// transitively reach time.Now/Since/Until.
+func wallClockReach(prog *Program) map[string]*ReachInfo {
+	return prog.Cached("walltime.reach", func() any {
+		g := prog.CallGraph()
+		return g.Reaches(func(fn *FuncNode) (token.Pos, bool) {
+			return directWallClockUse(fn)
+		})
+	}).(map[string]*ReachInfo)
+}
+
+// directWallClockUse finds the first banned time.* selector in a function
+// body.
+func directWallClockUse(fn *FuncNode) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !bannedTime[sel.Sel.Name] {
+			return true
+		}
+		if pn, ok := fn.Pkg.Info.Uses[identOf(sel.X)].(*types.PkgName); ok &&
+			pn.Imported().Path() == "time" {
+			pos = sel.Pos()
+			found = true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+func runWallTime(p *Pass) {
+	reach := wallClockReach(p.Prog)
+	g := p.Prog.CallGraph()
+	for _, id := range g.order {
+		node := g.Funcs[id]
+		if node.Pkg != p.Pkg || !p.DeclInScope(node.Decl) {
+			continue
+		}
+		for _, cs := range node.Calls {
+			if cs.Callee == "" {
+				continue
+			}
+			info := reach[cs.Callee]
+			if info == nil {
+				continue
+			}
+			callee := g.Node(cs.Callee)
+			if callee == nil || isDeterministicPath(callee.Pkg.Path) {
+				// Determinism checks those bodies line by line already.
+				continue
+			}
+			chain := append([]string{shortFuncID(cs.Callee)}, g.Chain(reach, cs.Callee)...)
+			sink := finalWallClockPos(p, reach, cs.Callee)
+			p.Reportf(cs.Call.Pos(),
+				"call reaches wall-clock time via %s (time.Now/Since at %s); inject a virtual clock",
+				joinChain(chain), sink)
+		}
+	}
+}
+
+// finalWallClockPos walks the witness chain down to the direct wall-clock
+// read and renders its position.
+func finalWallClockPos(p *Pass, reach map[string]*ReachInfo, id string) string {
+	for depth := 0; depth < 32; depth++ {
+		info := reach[id]
+		if info == nil {
+			return "?"
+		}
+		if info.Direct {
+			pos := p.Fset.Position(info.Pos)
+			return shortPath(pos.Filename, pos.Line)
+		}
+		id = info.Via
+	}
+	return "?"
+}
+
+func joinChain(chain []string) string {
+	return strings.Join(chain, " → ")
+}
+
+// shortPath trims a filename to its last two path elements for message
+// brevity (full paths are already in the finding position).
+func shortPath(file string, line int) string {
+	parts := strings.Split(file, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return fmt.Sprintf("%s:%d", strings.Join(parts, "/"), line)
+}

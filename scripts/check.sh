@@ -13,7 +13,7 @@ go vet ./...
 echo ">> go build ./..."
 go build ./...
 
-echo ">> hermes-lint ./... (project invariants, DESIGN.md §8)"
+echo ">> hermes-lint ./... (hermes-vet invariants, DESIGN.md §13)"
 go run ./cmd/hermes-lint ./...
 
 echo ">> hermes-lint self-test: the known-bad corpus must produce findings"
@@ -23,6 +23,12 @@ if [ "$corpus_status" -ne 1 ]; then
   echo "hermes-lint self-test failed: expected exit 1 on the corpus, got $corpus_status" >&2
   exit 1
 fi
+
+echo ">> hermes-vet corpus self-test under -race (exact want:-marker agreement)"
+go test -race -count=1 -run 'TestCorpus|TestEveryAnalyzerCovered' ./internal/lint
+
+echo ">> lint-bench: full-repo lint wall-time budget"
+./scripts/lint_bench.sh "${LINT_BUDGET:-120}"
 
 echo ">> go test -race ./..."
 go test -race ./...
