@@ -1,0 +1,157 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/fleet"
+	"hermes/internal/intent"
+	"hermes/internal/obs"
+	"hermes/internal/workload"
+)
+
+// Declarative mode: instead of replaying the workload as imperative
+// flow-mods, pour it into an intent.Store and let the level-triggered
+// reconciler drive the fleet to match — reconnects, faults, and resync
+// ticks all funnel into the same per-switch queues, so a killed switch
+// simply stays pending while the rest of the fleet converges.
+
+// fleetTarget adapts a fleet manager to the reconciler's Target seam. An
+// open breaker reads as not-ready, which the controller turns into a
+// rate-limited requeue instead of a doomed RPC burst.
+type fleetTarget struct{ f *fleet.Fleet }
+
+func (t fleetTarget) Ready(sw string) bool {
+	st, err := t.f.BreakerState(sw)
+	return err == nil && st != fleet.BreakerOpen
+}
+
+func (t fleetTarget) Observe(sw string) ([]classifier.Rule, error) {
+	return t.f.ObservedRules(sw)
+}
+
+func (t fleetTarget) Apply(sw string, op intent.Op) error {
+	var res fleet.OpResult
+	switch op.Kind {
+	case intent.OpInsert:
+		res = t.f.Insert(sw, op.Rule)
+	case intent.OpModify:
+		res = t.f.Modify(sw, op.Rule)
+	case intent.OpDelete:
+		res = t.f.Delete(sw, op.Rule.ID)
+	}
+	return res.Err
+}
+
+// reconnectHook lets the fleet's OnReconnect callback be bound to a
+// controller that is constructed after the fleet. Unset, it is a no-op.
+type reconnectHook struct {
+	mu sync.Mutex
+	fn func(switchID string)
+}
+
+func (h *reconnectHook) set(fn func(string)) {
+	h.mu.Lock()
+	h.fn = fn
+	h.mu.Unlock()
+}
+
+func (h *reconnectHook) call(sw string) {
+	h.mu.Lock()
+	fn := h.fn
+	h.mu.Unlock()
+	if fn != nil {
+		fn(sw)
+	}
+}
+
+// runDeclarative feeds the workload into the desired-state store, runs
+// the reconciler in goroutine mode against the live fleet, and reports
+// per-switch convergence. kill, when >= 0, closes that agent's server
+// halfway through the churn, demonstrating that the rest of the fleet
+// converges while the dead switch stays pending.
+func runDeclarative(f *fleet.Fleet, reg *obs.Registry, hook *reconnectHook,
+	stream []workload.TimedRule, resync time.Duration, seed int64,
+	kill func(), wait time.Duration) {
+
+	start := time.Now()
+	store := intent.NewStore(f.Route)
+	shards := f.Size()
+	if shards > 4 {
+		shards = 4
+	}
+	ctrl, err := intent.New(intent.Config{
+		Switches: f.Switches(),
+		Shards:   shards,
+		ID:       "fleetd",
+		Store:    store,
+		Target:   fleetTarget{f},
+		Now:      func() time.Duration { return time.Since(start) },
+		Resync:   resync,
+		Seed:     seed,
+		Obs:      reg,
+		Permanent: func(err error) bool {
+			return errors.Is(err, fleet.ErrFleetClosed)
+		},
+	})
+	if err != nil {
+		fatalf("controller: %v", err)
+	}
+	hook.set(func(sw string) { ctrl.MarkDirty(sw, intent.DirtyReconnect) })
+	ctrl.Run()
+	defer ctrl.Close()
+	fmt.Printf("declarative mode: reconciling %d rules across %d switches (%d shards, resync %v)\n",
+		len(stream), f.Size(), shards, resync)
+
+	for i, tr := range stream {
+		if kill != nil && i == len(stream)/2 {
+			kill()
+		}
+		r := tr.Rule
+		r.ID = classifier.RuleID(i + 1)
+		store.Set(r)
+	}
+
+	// Wait for the fleet to settle: every switch either converged at the
+	// final generation or visibly stuck (killed / halted).
+	gen := store.Generation()
+	deadline := time.Now().Add(wait)
+	settled := func() bool {
+		for _, sw := range f.Switches() {
+			if _, dead := ctrl.Halted(sw); dead {
+				continue
+			}
+			if g, ok := ctrl.ConvergedGeneration(sw); !ok || g != gen {
+				return false
+			}
+		}
+		return true
+	}
+	for !settled() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Println()
+	converged := 0
+	for _, sw := range f.Switches() {
+		st, _ := f.BreakerState(sw)
+		if herr, dead := ctrl.Halted(sw); dead {
+			fmt.Printf("  %-8s HALTED (%v)\n", sw, herr)
+			continue
+		}
+		if g, ok := ctrl.ConvergedGeneration(sw); ok && g == gen {
+			converged++
+			fmt.Printf("  %-8s converged at generation %d (breaker %v)\n", sw, g, st)
+		} else {
+			fmt.Printf("  %-8s PENDING at generation %d/%d (breaker %v) — expected with -kill\n",
+				sw, g, gen, st)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("declared %d rules (store generation %d) — %d/%d switches converged in %v\n",
+		store.Len(), gen, converged, f.Size(), elapsed.Round(time.Millisecond))
+}

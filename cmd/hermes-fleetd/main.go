@@ -47,6 +47,10 @@ func main() {
 	rateLimit := flag.Bool("ratelimit", false, "enable Gate Keeper admission control")
 	retry := flag.Bool("retry", false, "retry diverted insertions with backoff")
 	kill := flag.Int("kill", -1, "kill this switch index mid-replay (circuit-breaker demo)")
+	declarative := flag.Bool("declarative", false,
+		"drive the fleet through the intent reconciler instead of imperative replay")
+	resync := flag.Duration("resync", 2*time.Second, "declarative-mode periodic resync interval")
+	wait := flag.Duration("wait", 15*time.Second, "declarative-mode convergence deadline")
 	seed := flag.Int64("seed", 1, "workload and jitter seed")
 	obsAddr := flag.String("obs-addr", "",
 		"serve fleet /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
@@ -88,6 +92,7 @@ func main() {
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	hook := &reconnectHook{}
 	f, err := fleet.New(fleet.Config{
 		QueueDepth:    *queue,
 		BatchSize:     *batch,
@@ -96,6 +101,7 @@ func main() {
 		RetryDiverted: *retry,
 		Seed:          *seed,
 		Obs:           reg,
+		OnReconnect:   hook.call,
 	}, specs)
 	if err != nil {
 		fatalf("%v", err)
@@ -115,6 +121,18 @@ func main() {
 	stream := workload.MicroBench(rand.New(rand.NewSource(*seed)), workload.MicroBenchConfig{
 		Rules: *rules, RatePerSec: 1e9, OverlapFrac: *overlap, MaxPriority: 64,
 	})
+
+	if *declarative {
+		var killFn func()
+		if *kill >= 0 {
+			killFn = func() {
+				fmt.Printf("... killing %s mid-churn\n", specs[*kill].ID)
+				servers[*kill].Close() //nolint:errcheck
+			}
+		}
+		runDeclarative(f, reg, hook, stream, *resync, *seed, killFn, *wait)
+		return
+	}
 
 	// Replay at full speed; a collector drains results as they complete so
 	// the whole stream stays in flight against the workers' queues.

@@ -781,6 +781,23 @@ func (a *Agent) LogicalRules() []classifier.Rule {
 	return append([]classifier.Rule(nil), a.logical...)
 }
 
+// Rules returns the controller-visible rule set the agent currently holds
+// — the original (unfragmented) rules, sorted by ID. This is the state a
+// level-triggered reconciler diffs a desired set against: it reflects
+// what the agent believes is installed, and the agent's own
+// CheckConsistency/Reconcile pair keeps it faithful to the physical
+// tables across crashes and truncations.
+func (a *Agent) Rules() []classifier.Rule {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]classifier.Rule, 0, len(a.rules))
+	for _, st := range a.rules {
+		out = append(out, st.original)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // TracksLogical reports whether the agent maintains the reference
 // monolithic table (Config.TrackLogical).
 func (a *Agent) TracksLogical() bool { return a.cfg.TrackLogical }

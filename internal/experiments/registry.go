@@ -27,6 +27,7 @@ var registry = map[string]Runner{
 	"autotune":     AutoTune,
 	"shadowswitch": ShadowSwitchComparison,
 	"chaos":        Chaos,
+	"reconcile":    Reconcile,
 }
 
 // IDs returns the known experiment IDs in stable order.
@@ -54,6 +55,6 @@ func Order() []string {
 	return []string{
 		"table1", "fig1", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "predsweep", "bgp",
-		"ablations", "autotune", "shadowswitch", "chaos",
+		"ablations", "autotune", "shadowswitch", "chaos", "reconcile",
 	}
 }

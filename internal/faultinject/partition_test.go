@@ -1,0 +1,187 @@
+package faultinject
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestWirePartitionBlackhole: during a partition writes succeed without
+// delivering, reads block until heal and then fail with
+// ErrInjectedPartition on a closed connection; after heal a fresh
+// connection passes traffic again.
+func TestWirePartitionBlackhole(t *testing.T) {
+	w := NewWire(WireConfig{Seed: 1})
+	under := &memConn{}
+	c := w.Wrap(under)
+
+	w.Partition(50 * time.Millisecond)
+	if !w.Partitioned() {
+		t.Fatal("Partition did not take effect")
+	}
+
+	// Writes are swallowed: success to the caller, nothing on the wire.
+	frame := []byte{1, 2, 0, 16, 0, 0, 0, 7}
+	n, err := c.Write(frame)
+	if err != nil || n != len(frame) {
+		t.Fatalf("partitioned write: n=%d err=%v, want clean success", n, err)
+	}
+	if under.out.Len() != 0 {
+		t.Fatalf("partitioned write delivered %d bytes to the wire", under.out.Len())
+	}
+
+	// Reads block until the heal timer fires, then fail terminally. The
+	// data sitting in the buffer must NOT be delivered early.
+	under.in.Write(frame)
+	done := make(chan error, 1)
+	go func() {
+		_, rerr := c.Read(make([]byte, 8))
+		done <- rerr
+	}()
+	select {
+	case rerr := <-done:
+		t.Fatalf("read returned (%v) while the partition was in force", rerr)
+	case <-time.After(20 * time.Millisecond):
+		// Still blocked mid-partition, as required.
+	}
+	err = <-done
+	if !errors.Is(err, ErrInjectedPartition) {
+		t.Fatalf("partitioned read: err=%v, want ErrInjectedPartition", err)
+	}
+	if !under.closed {
+		t.Fatal("partitioned read did not close the connection")
+	}
+	if w.Partitioned() {
+		t.Fatal("partition still in force after heal")
+	}
+	if got := w.Counts().Partitions; got != 1 {
+		t.Fatalf("Partitions count = %d, want 1", got)
+	}
+
+	// A re-dialed connection passes traffic after heal.
+	under2 := &memConn{}
+	c2 := w.Wrap(under2)
+	if _, err := c2.Write(frame); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	if under2.out.Len() != len(frame) {
+		t.Fatalf("post-heal write delivered %d bytes, want %d", under2.out.Len(), len(frame))
+	}
+}
+
+// TestWirePartitionScripted: a scripted Partition fault opens the
+// blackhole from the wire schedule itself, and an in-force partition is
+// not extended by a second trigger.
+func TestWirePartitionScripted(t *testing.T) {
+	w := NewWire(WireConfig{Script: []WireFault{
+		{Partition: 40 * time.Millisecond},
+		{Partition: 10 * time.Hour}, // must NOT extend the first
+	}})
+	under := &memConn{}
+	c := w.Wrap(under)
+
+	// Op 1 (write) trips the scripted partition; the write itself is then
+	// swallowed by it.
+	if _, err := c.Write([]byte{1}); err != nil {
+		t.Fatalf("scripted partition write: %v", err)
+	}
+	if !w.Partitioned() {
+		t.Fatal("scripted fault did not open the partition")
+	}
+	// Op 2 (read) consumes the second scripted fault, which must not
+	// extend the existing partition — the read unblocks on the first
+	// partition's 40ms heal, not after 10h.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjectedPartition) {
+			t.Fatalf("scripted partitioned read: err=%v, want ErrInjectedPartition", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read still blocked: in-force partition was extended")
+	}
+	if got := w.Counts().Partitions; got != 1 {
+		t.Fatalf("Partitions count = %d, want 1 (no extension)", got)
+	}
+}
+
+// TestWirePartitionSeededSchedulesStable: plans with PartitionProb == 0
+// draw exactly the historical decision stream — adding the partition
+// fault class must not perturb existing seeded chaos schedules.
+func TestWirePartitionSeededSchedulesStable(t *testing.T) {
+	cfg := WireConfig{Seed: 42, ResetProb: 0.1, CorruptProb: 0.1, PartialProb: 0.1}
+	a := pump(NewWire(cfg), 64)
+	cfg.PartitionProb = 0 // explicit: the default must not consume draws
+	b := pump(NewWire(cfg), 64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("zero PartitionProb changed the seeded fault schedule")
+	}
+}
+
+// TestChannelScheduleDeterministic: same seed, same schedule; different
+// seeds diverge; events are sorted, in (0, horizon], and partitions carry
+// bounded positive durations.
+func TestChannelScheduleDeterministic(t *testing.T) {
+	const horizon = 10 * time.Second
+	a := ChannelSchedule(7, horizon, 32)
+	b := ChannelSchedule(7, horizon, 32)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different channel schedules")
+	}
+	c := ChannelSchedule(8, horizon, 32)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical channel schedules")
+	}
+	if len(a) != 32 {
+		t.Fatalf("schedule has %d events, want 32", len(a))
+	}
+	var partitions int
+	for i, ev := range a {
+		if ev.At <= 0 || ev.At > horizon {
+			t.Fatalf("event %d at %v outside (0, %v]", i, ev.At, horizon)
+		}
+		if i > 0 && ev.At < a[i-1].At {
+			t.Fatalf("event %d at %v before predecessor %v", i, ev.At, a[i-1].At)
+		}
+		switch ev.Kind {
+		case ChannelReset:
+			if ev.For != 0 {
+				t.Fatalf("reset event %d carries duration %v", i, ev.For)
+			}
+			if ev.HealAt() != ev.At {
+				t.Fatalf("reset event %d heals at %v, want %v", i, ev.HealAt(), ev.At)
+			}
+		case ChannelPartition:
+			partitions++
+			if ev.For <= 0 || ev.For > horizon/8 {
+				t.Fatalf("partition event %d duration %v outside (0, %v]", i, ev.For, horizon/8)
+			}
+			if ev.HealAt() != ev.At+ev.For {
+				t.Fatalf("partition event %d heals at %v, want %v", i, ev.HealAt(), ev.At+ev.For)
+			}
+		default:
+			t.Fatalf("event %d has unknown kind %v", i, ev.Kind)
+		}
+	}
+	if partitions == 0 || partitions == 32 {
+		t.Fatalf("schedule has %d/32 partitions, want a mix of kinds", partitions)
+	}
+	// The channel stream must be independent of the switch stream for the
+	// same seed: SwitchSchedule(7, ...) and ChannelSchedule(7, ...) use
+	// different sub-seed labels, so their event times must not coincide.
+	sw := SwitchSchedule(7, horizon, 32)
+	same := 0
+	for i := range sw {
+		if sw[i].At == a[i].At {
+			same++
+		}
+	}
+	if same == len(sw) {
+		t.Fatal("channel schedule reuses the switch schedule's stream")
+	}
+}

@@ -12,6 +12,12 @@ import (
 // decided to reset. Callers treat it like any peer-initiated teardown.
 var ErrInjectedReset = errors.New("faultinject: injected connection reset")
 
+// ErrInjectedPartition is the error a blocked reader surfaces once a
+// network partition heals. The connection is closed alongside it, so the
+// caller re-dials instead of resuming a stream whose framing it can no
+// longer trust.
+var ErrInjectedPartition = errors.New("faultinject: injected network partition")
+
 // WireFault is one scripted decision for a single Read or Write call. The
 // zero value passes the operation through untouched. At most one of Reset,
 // Corrupt, and PartialWrite should be set; Delay composes with any of them.
@@ -31,10 +37,16 @@ type WireFault struct {
 	// PartialWrite, when > 0 on a write, transmits only that many bytes and
 	// then closes the connection, modeling a crash mid-frame.
 	PartialWrite int
+	// Partition, when > 0, opens a plan-wide bidirectional blackhole for
+	// that interval: every wrapped connection swallows writes (reported as
+	// successful, never delivered) and blocks reads until the partition
+	// heals, at which point blocked readers get ErrInjectedPartition on a
+	// closed connection. The triggering operation itself still proceeds.
+	Partition time.Duration
 }
 
 func (f WireFault) active() bool {
-	return f.Delay > 0 || f.Reset || f.Corrupt || f.PartialWrite > 0
+	return f.Delay > 0 || f.Reset || f.Corrupt || f.PartialWrite > 0 || f.Partition > 0
 }
 
 // WireConfig parameterizes a Wire plan. With a Script the listed faults are
@@ -58,6 +70,11 @@ type WireConfig struct {
 	CorruptProb float64
 	// PartialProb truncates a write mid-frame and closes the connection.
 	PartialProb float64
+	// PartitionProb opens a bidirectional blackhole lasting PartitionFor.
+	// The extra decision draws are only consumed when PartitionProb > 0, so
+	// plans that never partition keep their historical seeded schedules.
+	PartitionProb float64
+	PartitionFor  time.Duration
 
 	// Script, when non-empty, replaces the probabilistic schedule with an
 	// explicit one. Operations beyond the script's end pass through clean.
@@ -66,12 +83,12 @@ type WireConfig struct {
 
 // WireCounts tallies the faults a plan actually injected.
 type WireCounts struct {
-	Delays, Stalls, Resets, Corrupts, Partials int
+	Delays, Stalls, Resets, Corrupts, Partials, Partitions int
 }
 
 // Total is the number of operations the plan perturbed.
 func (c WireCounts) Total() int {
-	return c.Delays + c.Stalls + c.Resets + c.Corrupts + c.Partials
+	return c.Delays + c.Stalls + c.Resets + c.Corrupts + c.Partials + c.Partitions
 }
 
 // Wire is a fault plan for one or more connections. Wrap each accepted or
@@ -85,6 +102,10 @@ type Wire struct {
 	conns  uint64
 	cursor int // script position
 	counts WireCounts
+	// healCh is non-nil while a partition is in force; it is closed (and
+	// cleared) when the partition heals. Readers block on it without
+	// holding mu.
+	healCh chan struct{}
 }
 
 // NewWire builds a plan from the config.
@@ -95,6 +116,46 @@ func (w *Wire) Counts() WireCounts {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.counts
+}
+
+// Partition opens a bidirectional blackhole across every connection the
+// plan wraps, healing after d. While it is in force, writes are swallowed
+// (reported successful, never delivered) and reads block; at heal, blocked
+// readers get ErrInjectedPartition on a closed connection so callers
+// re-dial cleanly. A partition already in force is not extended.
+func (w *Wire) Partition(d time.Duration) {
+	w.mu.Lock()
+	if w.healCh != nil {
+		w.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	w.healCh = ch
+	w.counts.Partitions++
+	w.mu.Unlock()
+	time.AfterFunc(d, func() {
+		w.mu.Lock()
+		if w.healCh == ch {
+			w.healCh = nil
+		}
+		w.mu.Unlock()
+		close(ch)
+	})
+}
+
+// Partitioned reports whether a partition is currently in force.
+func (w *Wire) Partitioned() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healCh != nil
+}
+
+// partitionCh returns the heal channel when a partition is in force, nil
+// otherwise. Callers block on the channel without holding the plan lock.
+func (w *Wire) partitionCh() chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healCh
 }
 
 // Wrap decorates a connection with the plan's fault schedule.
@@ -144,6 +205,9 @@ func (w *Wire) next(src interface{ Float64() float64 }, write bool) WireFault {
 	corrupt := src.Float64()
 	partial := src.Float64()
 	frac := src.Float64()
+	if w.cfg.PartitionProb > 0 && src.Float64() < w.cfg.PartitionProb {
+		f.Partition = w.cfg.PartitionFor
+	}
 	switch {
 	case reset < w.cfg.ResetProb:
 		f.Reset = true
@@ -189,8 +253,19 @@ type conn struct {
 
 func (c *conn) Read(b []byte) (int, error) {
 	f := c.plan.next(c.read, false)
+	if f.Partition > 0 {
+		c.plan.Partition(f.Partition)
+	}
 	if f.Delay > 0 {
 		time.Sleep(f.Delay)
+	}
+	// A partitioned link delivers nothing: block until the heal timer
+	// fires, then fail the connection so the caller re-dials rather than
+	// resuming a stream whose framing may be mid-frame.
+	if ch := c.plan.partitionCh(); ch != nil {
+		<-ch
+		c.Conn.Close()
+		return 0, ErrInjectedPartition
 	}
 	if f.Reset {
 		c.Conn.Close()
@@ -201,8 +276,17 @@ func (c *conn) Read(b []byte) (int, error) {
 
 func (c *conn) Write(b []byte) (int, error) {
 	f := c.plan.next(c.write, true)
+	if f.Partition > 0 {
+		c.plan.Partition(f.Partition)
+	}
 	if f.Delay > 0 {
 		time.Sleep(f.Delay)
+	}
+	// During a partition, writes vanish into the blackhole: the local
+	// stack accepts them (success) but the peer never sees the bytes, so
+	// the caller's request deadline is what surfaces the outage.
+	if c.plan.Partitioned() {
+		return len(b), nil
 	}
 	switch {
 	case f.Reset:

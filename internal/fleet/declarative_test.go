@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hermes/internal/classifier"
+	"hermes/internal/core"
+	"hermes/internal/intent"
+)
+
+// declTarget adapts a live Fleet to the reconciler's Target seam — the
+// same shape cmd/hermes-fleetd wires in declarative mode. An open breaker
+// reads as not-ready so the controller backs off instead of burning RPCs.
+type declTarget struct{ f *Fleet }
+
+func (t declTarget) Ready(sw string) bool {
+	st, err := t.f.BreakerState(sw)
+	return err == nil && st != BreakerOpen
+}
+
+func (t declTarget) Observe(sw string) ([]classifier.Rule, error) {
+	return t.f.ObservedRules(sw)
+}
+
+func (t declTarget) Apply(sw string, op intent.Op) error {
+	var res OpResult
+	switch op.Kind {
+	case intent.OpInsert:
+		res = t.f.Insert(sw, op.Rule)
+	case intent.OpModify:
+		res = t.f.Modify(sw, op.Rule)
+	case intent.OpDelete:
+		res = t.f.Delete(sw, op.Rule.ID)
+	}
+	return res.Err
+}
+
+// TestDeclarativeReconcileOverFleet: the intent controller in goroutine
+// mode drives a live 3-agent fleet to its desired set, survives a switch
+// being killed (breaker opens, key backs off), and — once the agent
+// restarts with empty tables — the reconnect trigger reinstalls the full
+// partition without any imperative replay.
+func TestDeclarativeReconcileOverFleet(t *testing.T) {
+	specs, servers := startAgents(t, 3, core.Config{DisableRateLimit: true})
+	var hookMu sync.Mutex
+	var hookFn func(string)
+	f, err := New(Config{
+		BatchSize:     4,
+		ProbeInterval: 20 * time.Millisecond,
+		Breaker:       BreakerConfig{FailureThreshold: 2, OpenTimeout: 50 * time.Millisecond},
+		OnReconnect: func(sw string) {
+			hookMu.Lock()
+			fn := hookFn
+			hookMu.Unlock()
+			if fn != nil {
+				fn(sw)
+			}
+		},
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	start := time.Now()
+	store := intent.NewStore(f.Route)
+	ctrl, err := intent.New(intent.Config{
+		Switches: f.Switches(),
+		Shards:   2,
+		ID:       "test",
+		Store:    store,
+		Target:   declTarget{f},
+		Now:      func() time.Duration { return time.Since(start) },
+		Resync:   50 * time.Millisecond,
+		RateLimit: intent.RateLimit{Base: 5 * time.Millisecond,
+			Max: 50 * time.Millisecond, Multiplier: 2, Jitter: 0.2},
+		Permanent: func(err error) bool { return errors.Is(err, ErrFleetClosed) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hookMu.Lock()
+	hookFn = func(sw string) { ctrl.MarkDirty(sw, intent.DirtyReconnect) }
+	hookMu.Unlock()
+	ctrl.Run()
+	defer ctrl.Close()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	converged := func() bool {
+		gen := store.Generation()
+		for _, sw := range f.Switches() {
+			if g, ok := ctrl.ConvergedGeneration(sw); !ok || g != gen {
+				return false
+			}
+		}
+		return true
+	}
+	zeroDiff := func(sw string) bool {
+		desired, _ := store.Desired(sw)
+		observed, err := f.ObservedRules(sw)
+		return err == nil && len(intent.Diff(desired, observed)) == 0
+	}
+
+	// Declare the initial set and let the controller install it.
+	for i := 1; i <= 30; i++ {
+		store.Set(testRule(i))
+	}
+	waitFor("initial convergence", converged)
+	for _, sw := range f.Switches() {
+		if !zeroDiff(sw) {
+			t.Fatalf("%s differs from desired after convergence", sw)
+		}
+	}
+
+	// Kill one agent: its breaker opens and its key backs off, while
+	// churn routed to live switches keeps converging.
+	victim := specs[1]
+	servers[1].Close() //nolint:errcheck
+	waitFor("breaker open on killed switch", func() bool {
+		st, err := f.BreakerState(victim.ID)
+		return err == nil && st == BreakerOpen
+	})
+	for i := 31; i <= 45; i++ {
+		store.Set(testRule(i))
+	}
+	waitFor("live switches converging past the dead one", func() bool {
+		gen := store.Generation()
+		for _, sw := range f.Switches() {
+			if sw == victim.ID {
+				continue
+			}
+			if g, ok := ctrl.ConvergedGeneration(sw); !ok || g != gen {
+				return false
+			}
+		}
+		return true
+	})
+	if g, _ := ctrl.ConvergedGeneration(victim.ID); g == store.Generation() {
+		t.Fatal("dead switch claims convergence at the latest generation")
+	}
+
+	// Restart the agent empty: the probe redials, the reconnect hook
+	// marks the key dirty, and the reconciler reinstalls the whole
+	// partition — the level-triggered self-heal, no replay needed.
+	restartAgent(t, victim.Addr)
+	waitFor("full reconvergence after restart", func() bool {
+		return converged() && zeroDiff(victim.ID)
+	})
+	desired, _ := store.Desired(victim.ID)
+	if len(desired) == 0 {
+		t.Fatal("victim partition empty; test routed it no rules")
+	}
+	if err, dead := ctrl.Halted(victim.ID); dead {
+		t.Fatalf("victim halted (%v); a restartable switch must stay transient", err)
+	}
+}

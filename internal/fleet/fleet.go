@@ -99,6 +99,12 @@ type Config struct {
 	// to the submitter's channel. It runs on worker goroutines: keep it
 	// fast and never block.
 	OnResult func(OpResult)
+	// OnReconnect, when non-nil, fires after a worker redials a dead
+	// switch, replays its desired rules, and swaps the fresh connection in
+	// — the reconnect-trigger seam a reconciler uses to re-examine a
+	// switch that may have restarted with empty tables. It runs on the
+	// worker's probe goroutine: keep it fast and never block.
+	OnReconnect func(switchID string)
 }
 
 func (c Config) withDefaults() Config {
@@ -293,6 +299,51 @@ func (f *Fleet) InsertRouted(r classifier.Rule) OpResult {
 // InsertRoutedAsync queues an insertion on the rule's home switch.
 func (f *Fleet) InsertRoutedAsync(r classifier.Rule) (<-chan OpResult, error) {
 	return f.InsertAsync(f.Route(r.ID), r)
+}
+
+// ObservedRules dumps the named switch's controller-visible rule set over
+// its control channel — the observed side of a desired-vs-observed diff,
+// sorted by rule ID. A switch with an open circuit fails fast with
+// CircuitOpenError so callers back off instead of piling requests onto a
+// dead channel.
+func (f *Fleet) ObservedRules(switchID string) ([]classifier.Rule, error) {
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return nil, ErrFleetClosed
+	}
+	w, ok := f.workers[switchID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSwitch, switchID)
+	}
+	if !w.brk.allow() {
+		w.tele.fail()
+		return nil, &CircuitOpenError{Switch: switchID}
+	}
+	rules, err := w.currentClient().DumpRules()
+	if err != nil {
+		var remote *ofwire.ErrorBody
+		if !errors.As(err, &remote) {
+			w.tele.fault(err)
+			w.brk.failure(time.Now())
+		}
+		return nil, err
+	}
+	w.brk.success()
+	return rules, nil
+}
+
+// BreakerState reports the named switch's circuit state, letting callers
+// (reconcilers, dashboards) distinguish a switch that is dead from one
+// that is merely slow without submitting a probe op.
+func (f *Fleet) BreakerState(switchID string) (BreakerState, error) {
+	w, ok := f.workers[switchID]
+	if !ok {
+		return BreakerClosed, fmt.Errorf("%w: %q", ErrUnknownSwitch, switchID)
+	}
+	st, _ := w.brk.snapshot()
+	return st, nil
 }
 
 // Barrier fences every healthy switch: it returns once each has applied

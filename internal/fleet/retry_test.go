@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -85,6 +86,131 @@ func TestBackoffNoJitter(t *testing.T) {
 	}
 	if _, ok := bo.next(); ok {
 		t.Error("backoff exceeded MaxAttempts")
+	}
+}
+
+// TestBackoffTableDeterminism: across a table of policies and seeds, the
+// schedule is a pure function of (policy, seed) — identical on replay,
+// the documented length, never above the jitter-adjusted cap, and never
+// below the jitter-adjusted floor of the uncapped exponential.
+func TestBackoffTableDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		p    RetryPolicy
+		seed int64
+	}{
+		{"defaults", RetryPolicy{}, 1},
+		{"zero-jitter", RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond,
+			MaxDelay: time.Second, Multiplier: 3, Jitter: 0}, 7},
+		{"full-jitter", RetryPolicy{MaxAttempts: 8, BaseDelay: 2 * time.Millisecond,
+			MaxDelay: 100 * time.Millisecond, Multiplier: 2, Jitter: 1}, 42},
+		{"tight-cap", RetryPolicy{MaxAttempts: 12, BaseDelay: 10 * time.Millisecond,
+			MaxDelay: 15 * time.Millisecond, Multiplier: 4, Jitter: 0.2}, -9},
+		{"no-growth", RetryPolicy{MaxAttempts: 6, BaseDelay: 5 * time.Millisecond,
+			MaxDelay: time.Second, Multiplier: 1, Jitter: 0.5}, 1 << 40},
+		{"single-attempt", RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond}, 3},
+	}
+	schedule := func(p RetryPolicy, seed int64) []time.Duration {
+		bo := p.newBackoff(seed)
+		var ds []time.Duration
+		for {
+			d, ok := bo.next()
+			if !ok {
+				return ds
+			}
+			ds = append(ds, d)
+		}
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := schedule(tc.p, tc.seed), schedule(tc.p, tc.seed)
+			p := tc.p.withDefaults()
+			if want := p.MaxAttempts - 1; len(a) != want {
+				t.Fatalf("schedule length = %d, want %d", len(a), want)
+			}
+			ceil := time.Duration(float64(p.MaxDelay) * (1 + p.Jitter/2))
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+				}
+				if a[i] > ceil {
+					t.Fatalf("attempt %d: %v above jittered cap %v", i, a[i], ceil)
+				}
+				exp := float64(p.BaseDelay)
+				for j := 0; j < i; j++ {
+					exp *= p.Multiplier
+				}
+				if max := float64(p.MaxDelay); exp > max {
+					exp = max
+				}
+				if floor := time.Duration(exp * (1 - p.Jitter/2)); a[i] < floor {
+					t.Fatalf("attempt %d: %v below jittered floor %v", i, a[i], floor)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerConcurrentHalfOpenProbe: run with -race. Concurrent allow
+// callers hammer the breaker while one goroutine walks it through
+// failure → open → half-open probe → success; the breaker must stay
+// data-race-free and end closed with exactly one trip recorded.
+func TestBreakerConcurrentHalfOpenProbe(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 2, OpenTimeout: 10 * time.Millisecond})
+	now := time.Unix(2000, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Mixed readers and failure writers racing the lifecycle
+				// walker below.
+				b.allow()
+				b.snapshot()
+				if g%4 == 0 {
+					b.failure(now)
+				}
+			}
+		}(g)
+	}
+
+	// Lifecycle under fire: force open, wait out the open timeout in
+	// virtual time, probe, close.
+	b.failure(now)
+	b.failure(now)
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", st)
+	}
+	if b.allow() {
+		t.Fatal("ops allowed while open")
+	}
+	// The concurrent failure writers keep re-opening from half-open, so
+	// retry the probe transition until the walker wins the race; with the
+	// writers stopped it must succeed deterministically.
+	close(stop)
+	wg.Wait()
+	if !b.allowProbe(now.Add(20 * time.Millisecond)) {
+		t.Fatal("probe refused after open timeout")
+	}
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("state after probe window = %v, want half-open", st)
+	}
+	if b.allow() {
+		t.Fatal("ops allowed while half-open")
+	}
+	b.success()
+	if !b.allow() {
+		t.Fatal("breaker not closed after probe success")
+	}
+	if st, trips := b.snapshot(); st != BreakerClosed || trips == 0 {
+		t.Fatalf("final state=%v trips=%d, want closed with recorded trips", st, trips)
 	}
 }
 

@@ -317,6 +317,9 @@ func (w *worker) probe() {
 		}
 		w.tele.reconnect()
 		w.setClient(nc)
+		if h := w.f.cfg.OnReconnect; h != nil {
+			h(w.id)
+		}
 		c = w.currentClient()
 	}
 	if _, err := c.Echo([]byte("hermes-fleet-probe")); err != nil {

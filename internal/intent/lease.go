@@ -1,0 +1,93 @@
+package intent
+
+import (
+	"sync"
+	"time"
+)
+
+// LeaseTable coordinates shard ownership across controller replicas: a
+// shard's queue is only drained by the replica currently holding its
+// lease, and a replica that stops renewing (crashed, partitioned away)
+// loses the shard to whichever peer asks next after the TTL — leader
+// handoff without external coordination, on the controllers' shared
+// clock. In-memory by design: replicas in one process share the table
+// directly, and the deterministic harness drives failover by advancing
+// virtual time past the TTL.
+type LeaseTable struct {
+	ttl time.Duration
+
+	mu        sync.Mutex
+	holders   map[int]*leaseEntry
+	transfers uint64
+}
+
+type leaseEntry struct {
+	who     string
+	expires time.Duration
+}
+
+// NewLeaseTable builds a table whose leases last ttl past their most
+// recent renewal. ttl must be positive.
+func NewLeaseTable(ttl time.Duration) *LeaseTable {
+	if ttl <= 0 {
+		ttl = 500 * time.Millisecond
+	}
+	return &LeaseTable{ttl: ttl, holders: make(map[int]*leaseEntry)}
+}
+
+// TTL returns the lease duration.
+func (l *LeaseTable) TTL() time.Duration { return l.ttl }
+
+// TryAcquire attempts to take or renew the shard's lease for who at now.
+// ok reports whether who holds the lease after the call; took reports
+// whether this call changed the holder (first acquisition or takeover of
+// an expired lease) — the transition a trace records as a handoff.
+func (l *LeaseTable) TryAcquire(shard int, who string, now time.Duration) (ok, took bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.holders[shard]
+	switch {
+	case e == nil:
+		l.holders[shard] = &leaseEntry{who: who, expires: now + l.ttl}
+		l.transfers++
+		return true, true
+	case e.who == who:
+		e.expires = now + l.ttl
+		return true, false
+	case now >= e.expires:
+		e.who = who
+		e.expires = now + l.ttl
+		l.transfers++
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// Release gives the shard's lease up if who holds it, letting a peer take
+// over immediately instead of waiting out the TTL.
+func (l *LeaseTable) Release(shard int, who string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e := l.holders[shard]; e != nil && e.who == who {
+		delete(l.holders, shard)
+	}
+}
+
+// Holder reports the shard's current holder, if its lease is live at now.
+func (l *LeaseTable) Holder(shard int, now time.Duration) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.holders[shard]
+	if e == nil || now >= e.expires {
+		return "", false
+	}
+	return e.who, true
+}
+
+// Transfers returns how many times any shard changed holders.
+func (l *LeaseTable) Transfers() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.transfers
+}

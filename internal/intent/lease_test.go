@@ -1,0 +1,60 @@
+package intent
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLeaseLifecycle: acquisition, renewal, contention, TTL expiry
+// takeover, and release.
+func TestLeaseLifecycle(t *testing.T) {
+	l := NewLeaseTable(100 * time.Millisecond)
+	if l.TTL() != 100*time.Millisecond {
+		t.Fatalf("TTL = %v", l.TTL())
+	}
+	now := 10 * time.Millisecond
+
+	ok, took := l.TryAcquire(0, "ctrl-a", now)
+	if !ok || !took {
+		t.Fatalf("first acquire = %v,%v, want granted takeover", ok, took)
+	}
+	if who, live := l.Holder(0, now); !live || who != "ctrl-a" {
+		t.Fatalf("holder = %q,%v", who, live)
+	}
+	// A peer is refused while the lease is live.
+	if ok, _ := l.TryAcquire(0, "ctrl-b", now+50*time.Millisecond); ok {
+		t.Fatal("live lease handed to a peer")
+	}
+	// Renewal extends, and is not a takeover.
+	if ok, took := l.TryAcquire(0, "ctrl-a", now+90*time.Millisecond); !ok || took {
+		t.Fatalf("renewal = %v,%v, want granted non-takeover", ok, took)
+	}
+	// The renewal pushed expiry to now+90+100: still held at now+150.
+	if ok, _ := l.TryAcquire(0, "ctrl-b", now+150*time.Millisecond); ok {
+		t.Fatal("renewed lease expired early")
+	}
+	// Past the renewed TTL the peer takes over.
+	ok, took = l.TryAcquire(0, "ctrl-b", now+191*time.Millisecond)
+	if !ok || !took {
+		t.Fatalf("expired takeover = %v,%v", ok, took)
+	}
+	if who, live := l.Holder(0, now+195*time.Millisecond); !live || who != "ctrl-b" {
+		t.Fatalf("post-takeover holder = %q,%v", who, live)
+	}
+	// Release frees immediately for anyone.
+	l.Release(0, "ctrl-a") // not the holder: no-op
+	if _, live := l.Holder(0, now+195*time.Millisecond); !live {
+		t.Fatal("non-holder release freed the lease")
+	}
+	l.Release(0, "ctrl-b")
+	if ok, took := l.TryAcquire(0, "ctrl-a", now+196*time.Millisecond); !ok || !took {
+		t.Fatalf("acquire after release = %v,%v", ok, took)
+	}
+	if l.Transfers() != 3 {
+		t.Fatalf("transfers = %d, want 3", l.Transfers())
+	}
+	// Shards are independent.
+	if ok, _ := l.TryAcquire(1, "ctrl-b", now); !ok {
+		t.Fatal("other shard not independently acquirable")
+	}
+}

@@ -1,0 +1,44 @@
+package intent
+
+import (
+	"fmt"
+
+	"hermes/internal/obs"
+)
+
+// registerObs exposes the controller on its obs registry: per-shard queue
+// depth and requeue counters as scrape-time closures over state the
+// queues already maintain, plus live convergence instruments (counter and
+// lag histogram) the reconcile step records into. Labels carry the
+// controller ID (and shard where it applies) so multi-replica deployments
+// stay distinguishable on one /metrics page.
+func (c *Controller) registerObs() {
+	reg := c.cfg.Obs
+	if reg == nil {
+		return
+	}
+	ctrl := obs.Labels("controller", c.cfg.ID)
+	c.converges = reg.CounterL("hermes_intent_converges_total", ctrl,
+		"reconciles that drove a switch to zero diff")
+	c.lag = reg.HistogramL("hermes_intent_convergence_lag_ns", ctrl, "ns",
+		"time from a switch's first dirty mark to its convergence")
+	reg.GaugeFunc("hermes_intent_pending_switches", ctrl,
+		"switches marked dirty and not yet reconverged",
+		func() float64 { return float64(c.Pending()) })
+	reg.CounterFunc("hermes_intent_generation", ctrl,
+		"current desired-state store generation",
+		func() uint64 { return c.cfg.Store.Generation() })
+	for _, s := range c.shards {
+		s := s
+		lbl := obs.Labels("controller", c.cfg.ID, "shard", fmt.Sprintf("%d", s.idx))
+		reg.GaugeFunc("hermes_intent_queue_depth", lbl,
+			"reconcile keys ready in the shard's workqueue",
+			func() float64 { return float64(s.q.Len()) })
+		reg.CounterFunc("hermes_intent_requeues_total", lbl,
+			"rate-limited requeues after failed or not-ready reconciles",
+			func() uint64 { _, rq := s.q.Stats(); return rq })
+		reg.CounterFunc("hermes_intent_triggers_total", lbl,
+			"dirty marks delivered to the shard's queue (pre-dedup)",
+			func() uint64 { adds, _ := s.q.Stats(); return adds })
+	}
+}

@@ -1,0 +1,148 @@
+package intent
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQueueDedupAndProcessing: duplicate adds collapse; an add during
+// processing defers exactly one re-queue to Done.
+func TestQueueDedupAndProcessing(t *testing.T) {
+	clk := NewVirtualClock()
+	q := newQueue(RateLimit{}, 1, clk.After)
+
+	q.Add("a")
+	q.Add("a")
+	q.Add("b")
+	q.Add("a")
+	if q.Len() != 2 {
+		t.Fatalf("queue depth %d after deduped adds, want 2", q.Len())
+	}
+	k, ok := q.TryGet()
+	if !ok || k != "a" {
+		t.Fatalf("TryGet = %q,%v, want a (FIFO)", k, ok)
+	}
+	// Re-adds while a is processing defer, not duplicate.
+	q.Add("a")
+	q.Add("a")
+	if q.Len() != 1 { // only b
+		t.Fatalf("depth %d while a processing, want 1", q.Len())
+	}
+	q.Done("a")
+	if q.Len() != 2 { // b then a again
+		t.Fatalf("depth %d after Done with deferred add, want 2", q.Len())
+	}
+	if k, _ := q.TryGet(); k != "b" {
+		t.Fatalf("second TryGet = %q, want b", k)
+	}
+	q.Done("b")
+	if k, _ := q.TryGet(); k != "a" {
+		t.Fatalf("third TryGet = %q, want deferred a", k)
+	}
+	q.Done("a")
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("queue not empty after all Dones")
+	}
+	if adds, _ := q.Stats(); adds != 6 {
+		t.Fatalf("adds counter = %d, want 6 (pre-dedup)", adds)
+	}
+}
+
+// TestQueueRateLimitedBackoff: requeues grow the per-key delay
+// exponentially up to the cap, delays elapse on the injected clock, and
+// Forget resets the schedule.
+func TestQueueRateLimitedBackoff(t *testing.T) {
+	clk := NewVirtualClock()
+	lim := RateLimit{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond,
+		Multiplier: 2, Jitter: 0}
+	q := newQueue(lim, 1, clk.After)
+
+	want := []time.Duration{10, 20, 40, 80, 80} // ms, capped
+	for i, w := range want {
+		d := q.AddRateLimited("k")
+		if d != w*time.Millisecond {
+			t.Fatalf("requeue %d delay = %v, want %v", i+1, d, w*time.Millisecond)
+		}
+		if _, ok := q.TryGet(); ok {
+			t.Fatalf("requeue %d ready before its delay elapsed", i+1)
+		}
+		clk.Advance(d)
+		k, ok := q.TryGet()
+		if !ok || k != "k" {
+			t.Fatalf("requeue %d not ready after delay: %q,%v", i+1, k, ok)
+		}
+		q.Done("k")
+	}
+	if n := q.Requeues("k"); n != len(want) {
+		t.Fatalf("requeue count = %d, want %d", n, len(want))
+	}
+	q.Forget("k")
+	if d := q.AddRateLimited("k"); d != 10*time.Millisecond {
+		t.Fatalf("post-Forget delay = %v, want base", d)
+	}
+	if _, rq := q.Stats(); rq != uint64(len(want)+1) {
+		t.Fatalf("requeued counter = %d, want %d", rq, len(want)+1)
+	}
+}
+
+// TestRateLimitJitterDeterministic: delayFor is a pure function of
+// (seed, key, attempt) — stable across calls, spread across keys, and
+// bounded by the jitter window.
+func TestRateLimitJitterDeterministic(t *testing.T) {
+	lim := RateLimit{Base: 10 * time.Millisecond, Max: time.Second,
+		Multiplier: 2, Jitter: 0.5}.withDefaults()
+	seen := map[time.Duration]int{}
+	for _, key := range []string{"sw-0", "sw-1", "sw-2", "sw-3", "sw-4", "sw-5"} {
+		for attempt := 1; attempt <= 4; attempt++ {
+			a := lim.delayFor(7, key, attempt)
+			if b := lim.delayFor(7, key, attempt); a != b {
+				t.Fatalf("delayFor(%q,%d) unstable: %v vs %v", key, attempt, a, b)
+			}
+			base := float64(10*time.Millisecond) * float64(int(1)<<(attempt-1))
+			lo := time.Duration(base * 0.75)
+			hi := time.Duration(base * 1.25)
+			if a < lo || a > hi {
+				t.Fatalf("delayFor(%q,%d) = %v outside [%v,%v]", key, attempt, a, lo, hi)
+			}
+			seen[a]++
+		}
+	}
+	if len(seen) < 12 {
+		t.Fatalf("only %d distinct delays across 24 (key,attempt) pairs; jitter not spreading", len(seen))
+	}
+	if a, b := lim.delayFor(7, "sw-0", 1), lim.delayFor(8, "sw-0", 1); a == b {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+// TestVirtualClockOrdering: callbacks fire in (due-time, schedule-order)
+// sequence, nested scheduling lands in the same sweep, and time is
+// monotone.
+func TestVirtualClockOrdering(t *testing.T) {
+	clk := NewVirtualClock()
+	var fired []string
+	clk.After(30*time.Millisecond, func() { fired = append(fired, "c") })
+	clk.After(10*time.Millisecond, func() {
+		fired = append(fired, "a")
+		// Nested: due before the sweep target, must fire in this sweep.
+		clk.After(5*time.Millisecond, func() { fired = append(fired, "a2") })
+	})
+	clk.After(10*time.Millisecond, func() { fired = append(fired, "b") }) // same instant, later seq
+	if at, ok := clk.NextTimer(); !ok || at != 10*time.Millisecond {
+		t.Fatalf("NextTimer = %v,%v", at, ok)
+	}
+	clk.AdvanceTo(20 * time.Millisecond)
+	if clk.Now() != 20*time.Millisecond {
+		t.Fatalf("Now = %v after AdvanceTo(20ms)", clk.Now())
+	}
+	clk.Advance(10 * time.Millisecond)
+	want := []string{"a", "b", "a2", "c"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package intent
+
+import (
+	"sort"
+	"sync"
+
+	"hermes/internal/classifier"
+)
+
+// Store is the versioned desired-rule-set store: the single source of
+// truth for what the network should look like. Every effective mutation
+// bumps a fleet-wide generation number, and rules are partitioned per
+// switch by the injected route function (production wires fleet.Route in,
+// so the store's partitions match the fleet's consistent routing).
+// Subscribers are notified with the affected switch after each mutation —
+// the desired-update trigger feeding reconcile queues.
+type Store struct {
+	route func(classifier.RuleID) string
+
+	mu       sync.RWMutex
+	gen      uint64
+	rules    map[classifier.RuleID]classifier.Rule
+	bySwitch map[string]map[classifier.RuleID]classifier.Rule
+	subs     []func(switchID string, gen uint64)
+}
+
+// NewStore builds an empty store over the given rule→switch route
+// function.
+func NewStore(route func(classifier.RuleID) string) *Store {
+	return &Store{
+		route:    route,
+		rules:    make(map[classifier.RuleID]classifier.Rule),
+		bySwitch: make(map[string]map[classifier.RuleID]classifier.Rule),
+	}
+}
+
+// Subscribe registers a mutation observer. It fires once per effective
+// Set/Delete with the affected switch and the new generation, after the
+// store reflects the change. Callbacks run on the mutating goroutine:
+// keep them fast (enqueue and return) and never call back into the store.
+func (s *Store) Subscribe(fn func(switchID string, gen uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs = append(s.subs, fn)
+}
+
+// Set inserts or replaces one desired rule, returning the generation that
+// now covers it. Setting a rule to its current value is a no-op and does
+// not bump the generation.
+func (s *Store) Set(r classifier.Rule) uint64 {
+	sw := s.route(r.ID)
+	s.mu.Lock()
+	if cur, ok := s.rules[r.ID]; ok && cur == r {
+		gen := s.gen
+		s.mu.Unlock()
+		return gen
+	}
+	s.gen++
+	gen := s.gen
+	s.rules[r.ID] = r
+	part := s.bySwitch[sw]
+	if part == nil {
+		part = make(map[classifier.RuleID]classifier.Rule)
+		s.bySwitch[sw] = part
+	}
+	part[r.ID] = r
+	subs := s.subs
+	s.mu.Unlock()
+	for _, fn := range subs {
+		fn(sw, gen)
+	}
+	return gen
+}
+
+// Delete removes one desired rule, returning the resulting generation.
+// Deleting an absent rule is a no-op.
+func (s *Store) Delete(id classifier.RuleID) uint64 {
+	sw := s.route(id)
+	s.mu.Lock()
+	if _, ok := s.rules[id]; !ok {
+		gen := s.gen
+		s.mu.Unlock()
+		return gen
+	}
+	s.gen++
+	gen := s.gen
+	delete(s.rules, id)
+	delete(s.bySwitch[sw], id)
+	subs := s.subs
+	s.mu.Unlock()
+	for _, fn := range subs {
+		fn(sw, gen)
+	}
+	return gen
+}
+
+// Desired returns the switch's desired partition, sorted by rule ID, and
+// the store generation the snapshot reflects.
+func (s *Store) Desired(switchID string) ([]classifier.Rule, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	part := s.bySwitch[switchID]
+	out := make([]classifier.Rule, 0, len(part))
+	for _, r := range part {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, s.gen
+}
+
+// Generation returns the current store generation.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Len returns the number of desired rules fleet-wide.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rules)
+}
+
+// SwitchOf reports the switch a rule routes to.
+func (s *Store) SwitchOf(id classifier.RuleID) string { return s.route(id) }

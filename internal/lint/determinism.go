@@ -32,6 +32,7 @@ var deterministicPaths = []string{
 	"internal/faultinject",
 	"internal/obs",
 	"internal/loadgen",
+	"internal/intent",
 }
 
 // isDeterministicPath reports whether a package import path (module- or

@@ -465,6 +465,62 @@ func decodeStats(resp *Message, err error) (*Stats, error) {
 	return resp.Stats, nil
 }
 
+// DumpRules fetches the agent's complete controller-visible rule set,
+// paging through the multipart rules dump until the agent reports no more
+// entries. The result is sorted by rule ID. This is the observed view a
+// level-triggered reconciler diffs its desired state against; cursor
+// pagination keeps the dump coherent under concurrent flow-mods (an entry
+// present for the whole dump appears exactly once).
+func (c *Client) DumpRules() ([]classifier.Rule, error) {
+	return c.DumpRulesCtx(context.Background())
+}
+
+// DumpRulesCtx is DumpRules bounded by the context's deadline/cancellation
+// (checked per page; the client's default request timeout also applies to
+// each page individually).
+func (c *Client) DumpRulesCtx(ctx context.Context) ([]classifier.Rule, error) {
+	return c.dumpRulesPaged(ctx, 0) // 0: let the agent pick the frame-bound page
+}
+
+// dumpRulesPaged walks the multipart dump with an explicit page size
+// (tests shrink it to exercise multi-page dumps without frame-sized rule
+// counts).
+func (c *Client) dumpRulesPaged(ctx context.Context, pageSize uint16) ([]classifier.Rule, error) {
+	var out []classifier.Rule
+	after := uint64(0)
+	for {
+		req := &Message{
+			Header:       Header{Type: TypeRulesRequest},
+			RulesRequest: &RulesRequest{After: after, Max: pageSize},
+		}
+		var resp *Message
+		var err error
+		if d := c.RequestTimeout(); d > 0 {
+			pageCtx, cancel := context.WithTimeout(ctx, d)
+			resp, err = c.roundTripCtx(pageCtx, req)
+			cancel()
+		} else {
+			resp, err = c.roundTripCtx(ctx, req)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if resp.Header.Type != TypeRulesReply || resp.RulesReply == nil {
+			return nil, fmt.Errorf("ofwire: unexpected reply %s", resp.Header.Type)
+		}
+		for _, e := range resp.RulesReply.Rules {
+			out = append(out, e.Rule())
+			after = e.RuleID
+		}
+		if !resp.RulesReply.More {
+			return out, nil
+		}
+		if len(resp.RulesReply.Rules) == 0 {
+			return nil, fmt.Errorf("ofwire: rules dump stalled: empty page with more=true")
+		}
+	}
+}
+
 // RequestQoS negotiates a new insertion guarantee on the remote switch
 // (CreateTCAMQoS over the wire). The switch re-carves its TCAM; installed
 // rules are discarded, exactly as slice reconfiguration does on hardware.

@@ -16,6 +16,12 @@ const (
 	qosRequestLen   = 8
 	qosReplyLen     = 24
 	errorFixedLen   = 2
+
+	// rules-dump framing: a fixed prefix (entry count) + a more-flag byte,
+	// then count fixed-layout entries.
+	rulesRequestLen    = 10
+	rulesReplyFixedLen = 2
+	ruleEntryLen       = 25
 )
 
 // WriteMessage encodes and writes one frame.
@@ -120,8 +126,64 @@ func encodeBody(m *Message) ([]byte, error) {
 		binary.BigEndian.PutUint16(b[0:2], uint16(e.Code))
 		copy(b[2:], e.Reason)
 		return b, nil
+	case TypeRulesRequest:
+		q := m.RulesRequest
+		if q == nil {
+			return nil, fmt.Errorf("ofwire: rules-request frame without body")
+		}
+		b := make([]byte, rulesRequestLen)
+		binary.BigEndian.PutUint64(b[0:8], q.After)
+		binary.BigEndian.PutUint16(b[8:10], q.Max)
+		return b, nil
+	case TypeRulesReply:
+		q := m.RulesReply
+		if q == nil {
+			return nil, fmt.Errorf("ofwire: rules-reply frame without body")
+		}
+		if len(q.Rules) > MaxRuleEntries {
+			return nil, ErrTooLarge
+		}
+		b := make([]byte, rulesReplyFixedLen+1+ruleEntryLen*len(q.Rules))
+		binary.BigEndian.PutUint16(b[0:2], uint16(len(q.Rules)))
+		b[2] = boolByte(q.More)
+		for i, e := range q.Rules {
+			encodeRuleEntry(b[rulesReplyFixedLen+1+i*ruleEntryLen:], e)
+		}
+		return b, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, m.Header.Type)
+	}
+}
+
+// encodeRuleEntry lays out the 25-byte rule-entry body:
+//
+//	0-7    rule id
+//	8-11   priority
+//	12-15  dst addr   16 dst len
+//	17-20  src addr   21 src len
+//	22     action
+//	23-24  port
+func encodeRuleEntry(b []byte, e RuleEntry) {
+	binary.BigEndian.PutUint64(b[0:8], e.RuleID)
+	binary.BigEndian.PutUint32(b[8:12], uint32(e.Priority))
+	binary.BigEndian.PutUint32(b[12:16], e.DstAddr)
+	b[16] = e.DstLen
+	binary.BigEndian.PutUint32(b[17:21], e.SrcAddr)
+	b[21] = e.SrcLen
+	b[22] = e.Action
+	binary.BigEndian.PutUint16(b[23:25], e.Port)
+}
+
+func decodeRuleEntry(b []byte) RuleEntry {
+	return RuleEntry{
+		RuleID:   binary.BigEndian.Uint64(b[0:8]),
+		Priority: int32(binary.BigEndian.Uint32(b[8:12])),
+		DstAddr:  binary.BigEndian.Uint32(b[12:16]),
+		DstLen:   b[16],
+		SrcAddr:  binary.BigEndian.Uint32(b[17:21]),
+		SrcLen:   b[21],
+		Action:   b[22],
+		Port:     binary.BigEndian.Uint16(b[23:25]),
 	}
 }
 
@@ -258,6 +320,32 @@ func decodeBody(m *Message, body []byte) error {
 			Code:   ErrorCode(binary.BigEndian.Uint16(body[0:2])),
 			Reason: string(body[2:]),
 		}
+		return nil
+	case TypeRulesRequest:
+		if len(body) < rulesRequestLen {
+			return ErrTruncated
+		}
+		m.RulesRequest = &RulesRequest{
+			After: binary.BigEndian.Uint64(body[0:8]),
+			Max:   binary.BigEndian.Uint16(body[8:10]),
+		}
+		return nil
+	case TypeRulesReply:
+		if len(body) < rulesReplyFixedLen+1 {
+			return ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(body[0:2]))
+		if len(body) < rulesReplyFixedLen+1+n*ruleEntryLen {
+			return ErrTruncated
+		}
+		q := &RulesReply{More: body[2] != 0}
+		if n > 0 {
+			q.Rules = make([]RuleEntry, n)
+			for i := range q.Rules {
+				q.Rules[i] = decodeRuleEntry(body[rulesReplyFixedLen+1+i*ruleEntryLen:])
+			}
+		}
+		m.RulesReply = q
 		return nil
 	default:
 		return fmt.Errorf("%w: %d", ErrBadType, m.Header.Type)

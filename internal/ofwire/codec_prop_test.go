@@ -32,7 +32,7 @@ func randomRule(rng *rand.Rand) classifier.Rule {
 // randomMessage builds a random valid frame of any body-carrying type.
 func randomMessage(rng *rand.Rand) *Message {
 	hdr := func(t MsgType) Header { return Header{Type: t, XID: rng.Uint32()} }
-	switch rng.Intn(8) {
+	switch rng.Intn(10) {
 	case 0:
 		cmds := []FlowModCommand{FlowAdd, FlowDelete, FlowModify}
 		return &Message{
@@ -70,6 +70,19 @@ func randomMessage(rng *rand.Rand) *Message {
 		rng.Read(payload)
 		types := []MsgType{TypeEchoRequest, TypeEchoReply}
 		return &Message{Header: hdr(types[rng.Intn(2)]), Raw: payload}
+	case 7:
+		return &Message{Header: hdr(TypeRulesRequest), RulesRequest: &RulesRequest{
+			After: rng.Uint64(), Max: uint16(rng.Intn(1 << 16)),
+		}}
+	case 8:
+		reply := &RulesReply{More: rng.Intn(2) == 0}
+		if n := rng.Intn(50); n > 0 {
+			reply.Rules = make([]RuleEntry, n)
+			for i := range reply.Rules {
+				reply.Rules[i] = EntryFromRule(randomRule(rng))
+			}
+		}
+		return &Message{Header: hdr(TypeRulesReply), RulesReply: reply}
 	default:
 		types := []MsgType{TypeHello, TypeBarrierRequest, TypeBarrierReply, TypeStatsRequest}
 		return &Message{Header: hdr(types[rng.Intn(len(types))])}
@@ -98,15 +111,19 @@ func TestCodecPropertyRoundTrip(t *testing.T) {
 			t.Fatalf("#%d raw mismatch: %x vs %x", i, out.Raw, in.Raw)
 		}
 		type bodies struct {
-			F *FlowMod
-			R *FlowModReply
-			S *Stats
-			Q *QoSRequest
-			P *QoSReply
-			E *ErrorBody
+			F  *FlowMod
+			R  *FlowModReply
+			S  *Stats
+			Q  *QoSRequest
+			P  *QoSReply
+			E  *ErrorBody
+			RQ *RulesRequest
+			RR *RulesReply
 		}
-		got := bodies{out.FlowMod, out.FlowModReply, out.Stats, out.QoSRequest, out.QoSReply, out.Error}
-		want := bodies{in.FlowMod, in.FlowModReply, in.Stats, in.QoSRequest, in.QoSReply, in.Error}
+		got := bodies{out.FlowMod, out.FlowModReply, out.Stats, out.QoSRequest, out.QoSReply, out.Error,
+			out.RulesRequest, out.RulesReply}
+		want := bodies{in.FlowMod, in.FlowModReply, in.Stats, in.QoSRequest, in.QoSReply, in.Error,
+			in.RulesRequest, in.RulesReply}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("#%d body mismatch (%s):\n got %+v\nwant %+v", i, in.Header.Type, got, want)
 		}

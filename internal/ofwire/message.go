@@ -43,6 +43,8 @@ const (
 	TypeQoSRequest
 	TypeQoSReply
 	TypeError
+	TypeRulesRequest
+	TypeRulesReply
 )
 
 func (t MsgType) String() string {
@@ -71,6 +73,10 @@ func (t MsgType) String() string {
 		return "qos-reply"
 	case TypeError:
 		return "error"
+	case TypeRulesRequest:
+		return "rules-request"
+	case TypeRulesReply:
+		return "rules-reply"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -106,6 +112,8 @@ type Message struct {
 	QoSRequest   *QoSRequest
 	QoSReply     *QoSReply
 	Error        *ErrorBody
+	RulesRequest *RulesRequest
+	RulesReply   *RulesReply
 	Raw          []byte // echo payloads and unrecognized-but-valid bodies
 }
 
@@ -202,6 +210,68 @@ type QoSReply struct {
 	OverheadPPM   uint32
 	MaxRateMilli  uint64
 	GuaranteeNS   uint64
+}
+
+// RulesRequest asks the agent for one page of its controller-visible rule
+// set (fixed 10-byte body) — the multipart table dump a level-triggered
+// reconciler diffs its desired state against. After is an exclusive rule-ID
+// cursor (0 starts the dump); Max caps the entries in the reply so every
+// page fits the 64KiB frame bound. Cursor pagination keyed by rule ID stays
+// coherent even when the table mutates between pages: a page never repeats
+// an ID the previous page already carried.
+type RulesRequest struct {
+	After uint64
+	Max   uint16
+}
+
+// MaxRuleEntries is the largest page an agent returns (and the default for
+// a request with Max == 0): the most 25-byte entries that fit one frame.
+const MaxRuleEntries = (MaxMessageLen - headerLen - rulesReplyFixedLen - 1) / ruleEntryLen
+
+// RulesReply is one page of the dump: entries sorted by rule ID, plus a
+// continuation flag.
+type RulesReply struct {
+	More  bool
+	Rules []RuleEntry
+}
+
+// RuleEntry is the wire form of one installed rule (25-byte layout).
+type RuleEntry struct {
+	RuleID   uint64
+	Priority int32
+	DstAddr  uint32
+	DstLen   uint8
+	SrcAddr  uint32
+	SrcLen   uint8
+	Action   uint8 // classifier.ActionType
+	Port     uint16
+}
+
+// Rule converts the wire form to the classifier form.
+func (e RuleEntry) Rule() classifier.Rule {
+	return classifier.Rule{
+		ID: classifier.RuleID(e.RuleID),
+		Match: classifier.Match{
+			Dst: classifier.NewPrefix(e.DstAddr, e.DstLen),
+			Src: classifier.NewPrefix(e.SrcAddr, e.SrcLen),
+		},
+		Priority: e.Priority,
+		Action:   classifier.Action{Type: classifier.ActionType(e.Action), Port: int(e.Port)},
+	}
+}
+
+// EntryFromRule builds the wire form of one rule.
+func EntryFromRule(r classifier.Rule) RuleEntry {
+	return RuleEntry{
+		RuleID:   uint64(r.ID),
+		Priority: r.Priority,
+		DstAddr:  r.Match.Dst.Addr,
+		DstLen:   r.Match.Dst.Len,
+		SrcAddr:  r.Match.Src.Addr,
+		SrcLen:   r.Match.Src.Len,
+		Action:   uint8(r.Action.Type),
+		Port:     clampU16(r.Action.Port),
+	}
 }
 
 // ErrorCode classifies protocol and execution failures.

@@ -151,7 +151,7 @@ func TestCodecRejectsBadFrames(t *testing.T) {
 }
 
 func TestMsgTypeString(t *testing.T) {
-	for typ := TypeHello; typ <= TypeError; typ++ {
+	for typ := TypeHello; typ <= TypeRulesReply; typ++ {
 		if typ.String() == "" {
 			t.Errorf("type %d has empty string", typ)
 		}

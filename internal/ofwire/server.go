@@ -6,9 +6,11 @@ import (
 	"log"
 	"net"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"hermes/internal/classifier"
 	"hermes/internal/core"
 	"hermes/internal/obs"
 	"hermes/internal/tcam"
@@ -322,6 +324,8 @@ func (s *AgentServer) dispatch(req *Message) *Message {
 		return s.doStats()
 	case TypeQoSRequest:
 		return s.doQoS(req)
+	case TypeRulesRequest:
+		return s.doRules(req)
 	case TypeHello:
 		return nil // tolerated mid-stream
 	default:
@@ -385,6 +389,38 @@ func (s *AgentServer) doStats() *Message {
 			MaxRateMilli:  uint64(s.agent.MaxRate() * 1e3),
 		},
 	}
+}
+
+// doRules serves one page of the multipart rules dump: the agent's
+// controller-visible rules with IDs above the request's cursor, in ID
+// order. The page size is the smaller of the request's Max and the frame
+// bound; More tells the client to come back with the last ID as the new
+// cursor.
+func (s *AgentServer) doRules(req *Message) *Message {
+	if req.RulesRequest == nil {
+		return errorMsg(ErrCodeBadRequest, "empty rules-request")
+	}
+	max := int(req.RulesRequest.Max)
+	if max <= 0 || max > MaxRuleEntries {
+		max = MaxRuleEntries
+	}
+	after := classifier.RuleID(req.RulesRequest.After)
+	s.mu.Lock()
+	rules := s.agent.Rules() // sorted by ID
+	s.mu.Unlock()
+	// Skip to the first ID past the cursor (rules is ID-sorted).
+	lo := sort.Search(len(rules), func(i int) bool { return rules[i].ID > after })
+	rules = rules[lo:]
+	reply := &RulesReply{}
+	if len(rules) > max {
+		reply.More = true
+		rules = rules[:max]
+	}
+	reply.Rules = make([]RuleEntry, len(rules))
+	for i, r := range rules {
+		reply.Rules[i] = EntryFromRule(r)
+	}
+	return &Message{Header: Header{Type: TypeRulesReply}, RulesReply: reply}
 }
 
 // doQoS re-carves the switch for a new guarantee — ModQoSConfig over the

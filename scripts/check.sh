@@ -42,6 +42,15 @@ if grep -Eq 'DIVERGED|FAILED' /tmp/hermes-chaos.$$; then
 fi
 rm -f /tmp/hermes-chaos.$$
 
+echo ">> reconcile: 40-seed level-triggered convergence verdict (hermes-bench reconcile)"
+go run ./cmd/hermes-bench -scale 1 reconcile | tee /tmp/hermes-reconcile.$$ | tail -3
+if grep -Eq 'DIVERGED|FAILED' /tmp/hermes-reconcile.$$; then
+  rm -f /tmp/hermes-reconcile.$$
+  echo "reconcile convergence verdict not clean" >&2
+  exit 1
+fi
+rm -f /tmp/hermes-reconcile.$$
+
 echo ">> bench-json smoke: lookup + obs-overhead benches run and produce parseable JSON"
 bench_json="/tmp/hermes-bench-lookup.$$"
 bench_obs="/tmp/hermes-bench-obs.$$"
