@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint lint-bench fuzz bench bench-json chaos loadgen-smoke loadgen-1m
+.PHONY: all build test check lint lint-bench fuzz bench bench-json bench-batch chaos loadgen-smoke loadgen-1m
 
 all: build
 
@@ -56,6 +56,13 @@ bench:
 # diffs).
 bench-json:
 	./scripts/bench_json.sh
+
+# Batched wire-path perf baseline: per-op vs vectored-frame ingest over TCP
+# loopback (ingest_speedup floor: 10x committed), the agent-core batch
+# insert (steady-state 0 allocs/op), and the sharded parallel lookup grid
+# across GOMAXPROCS 1/2/4/8. Rewrites BENCH_batch.json (committed).
+bench-batch:
+	BATCH_ONLY=1 ./scripts/bench_json.sh
 
 # Open-loop SLO smoke: a deterministic 4k-flow schedule replayed against
 # two in-process agents, verdict rewritten to BENCH_loadgen.json

@@ -73,6 +73,11 @@ func main() {
 	switches := flag.Int("switches", 4, "in-process agent daemons to spawn")
 	targets := flag.String("targets", "",
 		"comma-separated external agent addresses (skips in-process daemons)")
+	batch := flag.Bool("batch", false,
+		"coalesce flow-mods into vectored flow-mod-batch frames (implies -fleet; one wire write per batch)")
+	batchSize := flag.Int("batch-size", 64, "max flow-mods per wire batch frame (with -batch)")
+	batchLinger := flag.Duration("batch-linger", 500*time.Microsecond,
+		"how long a non-full batch lingers for stragglers before flushing (with -batch)")
 	useFleet := flag.Bool("fleet", false,
 		"drive through the fleet layer (queues, batching, breakers) instead of raw wire clients")
 	profName := flag.String("switch", "Pica8 P-3290", "switch profile for in-process agents")
@@ -174,6 +179,11 @@ func main() {
 		fmt.Printf("loadgen metrics on http://%s/metrics\n", obsLis.Addr())
 	}
 
+	// Batching rides on the fleet's worker queues: the coalescer is the
+	// fleet worker, so -batch implies the fleet target.
+	if *batch {
+		*useFleet = true
+	}
 	var tgt driver.Target
 	targetName := "wire"
 	if *useFleet {
@@ -182,7 +192,14 @@ func main() {
 		for i, a := range addrs {
 			specs[i] = fleet.SwitchSpec{ID: fmt.Sprintf("sw-%d", i), Addr: a}
 		}
-		f, err := fleet.New(fleet.Config{}, specs)
+		fcfg := fleet.Config{}
+		if *batch {
+			targetName = "fleet-batch"
+			fcfg.WireBatch = true
+			fcfg.BatchSize = *batchSize
+			fcfg.BatchLinger = *batchLinger
+		}
+		f, err := fleet.New(fcfg, specs)
 		if err != nil {
 			fatalf("fleet: %v", err)
 		}

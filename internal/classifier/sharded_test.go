@@ -1,0 +1,172 @@
+package classifier
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardedRuleIndexMatchesLinearScan is the three-way differential:
+// for every probe the sharded index, the plain index, and the linear
+// first-match oracle must return the identical rule.
+func TestShardedRuleIndexMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		rules := randRules(rng, 1+rng.Intn(200))
+		plain := NewRuleIndex(rules)
+		for _, shards := range []int{1, 2, 3, 4, 8, len(rules) + 3} {
+			sx := NewShardedRuleIndex(rules, shards)
+			if sx.Len() != len(rules) {
+				t.Fatalf("Len = %d, want %d", sx.Len(), len(rules))
+			}
+			for probe := 0; probe < 120; probe++ {
+				var dst uint32
+				if probe%2 == 0 {
+					p := rules[rng.Intn(len(rules))].Match.Dst
+					dst = p.Addr | (rng.Uint32() & ^p.Mask())
+				} else {
+					dst = rng.Uint32()
+				}
+				src := rng.Uint32()
+				want, wok := linearFirstMatch(rules, dst, src)
+				got, gok := sx.Lookup(dst, src)
+				if wok != gok || got != want {
+					t.Fatalf("trial %d shards %d: Lookup(%08x,%08x) = %v,%v want %v,%v",
+						trial, shards, dst, src, got, gok, want, wok)
+				}
+				pg, pok := plain.Lookup(dst, src)
+				if pok != gok || pg != got {
+					t.Fatalf("trial %d shards %d: sharded %v,%v plain %v,%v",
+						trial, shards, got, gok, pg, pok)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedRuleIndexEmpty(t *testing.T) {
+	sx := NewShardedRuleIndex(nil, 4)
+	if r, ok := sx.Lookup(0x0A000001, 0); ok {
+		t.Fatalf("empty sharded index returned %v", r)
+	}
+	if sx.Len() != 0 {
+		t.Fatalf("Len = %d", sx.Len())
+	}
+}
+
+func TestShardedRuleIndexLookupZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sx := NewShardedRuleIndex(randRules(rng, 512), 8)
+	allocs := testing.AllocsPerRun(200, func() {
+		sx.Lookup(0x0A0B0C0D, 0xC0A80101)
+	})
+	if allocs != 0 {
+		t.Fatalf("ShardedRuleIndex.Lookup allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzShardedLookupEquivalence feeds arbitrary packed rule bytes and a
+// probe packet through the sharded index, the plain index, and the linear
+// oracle; any divergence is a bug regardless of input shape.
+func FuzzShardedLookupEquivalence(f *testing.F) {
+	f.Add([]byte{0x0a, 8, 0, 0, 1, 0xc0, 16, 1, 2, 3}, uint32(0x0a000001), uint32(0), uint8(4))
+	f.Add([]byte{}, uint32(1), uint32(2), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, dst, src uint32, shards uint8) {
+		// 5 bytes per rule: dst-addr-high, dst-len, priority, src-addr-high,
+		// src-len. Coarse quantization keeps overlaps and ties frequent.
+		var rules []Rule
+		for i := 0; i+5 <= len(data) && len(rules) < 64; i += 5 {
+			rules = append(rules, Rule{
+				ID:       RuleID(len(rules) + 1),
+				Match:    Match{Dst: NewPrefix(uint32(data[i])<<24, data[i+1]%33), Src: NewPrefix(uint32(data[i+3])<<24, data[i+4]%33)},
+				Priority: int32(data[i+2] % 8),
+			})
+		}
+		n := int(shards%12) + 1
+		sx := NewShardedRuleIndex(rules, n)
+		px := NewRuleIndex(rules)
+		want, wok := linearFirstMatch(rules, dst, src)
+		got, gok := sx.Lookup(dst, src)
+		if wok != gok || got != want {
+			t.Fatalf("shards %d: sharded %v,%v linear %v,%v", n, got, gok, want, wok)
+		}
+		pg, pok := px.Lookup(dst, src)
+		if pok != gok || pg != got {
+			t.Fatalf("shards %d: sharded %v,%v plain %v,%v", n, got, gok, pg, pok)
+		}
+	})
+}
+
+// TestOverlapsWhereMatchesOverlapping checks the allocation-free existence
+// probe against the collecting query it replaces.
+func TestOverlapsWhereMatchesOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		rules := randRules(rng, rng.Intn(120))
+		var tr Trie
+		for _, r := range rules {
+			tr.Insert(r)
+		}
+		for probe := 0; probe < 80; probe++ {
+			m := Match{
+				Dst: NewPrefix(rng.Uint32(), uint8(rng.Intn(33))),
+				Src: NewPrefix(rng.Uint32(), uint8(rng.Intn(17))),
+			}
+			prio := int32(rng.Intn(8))
+			pred := func(r Rule) bool { return r.Priority >= prio }
+			want := false
+			for _, r := range tr.Overlapping(m) {
+				if pred(r) {
+					want = true
+					break
+				}
+			}
+			if got := tr.OverlapsWhere(m, pred); got != want {
+				t.Fatalf("trial %d: OverlapsWhere(%v, prio>=%d) = %v, want %v",
+					trial, m, prio, got, want)
+			}
+		}
+	}
+}
+
+func TestOverlapsWhereZeroAllocs(t *testing.T) {
+	var tr Trie
+	rng := rand.New(rand.NewSource(3))
+	for _, r := range randRules(rng, 256) {
+		tr.Insert(r)
+	}
+	m := Match{Dst: NewPrefix(0x0A000000, 8)}
+	pred := func(r Rule) bool { return r.Priority >= 4 }
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.OverlapsWhere(m, pred)
+	})
+	if allocs != 0 {
+		t.Fatalf("OverlapsWhere allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestTrieNodeRecycling proves a delete/insert churn cycle reuses pruned
+// nodes instead of re-allocating the path — the steady-state 0 allocs/op
+// contract of the agent's batch insert path depends on it.
+func TestTrieNodeRecycling(t *testing.T) {
+	var tr Trie
+	r := Rule{ID: 1, Match: DstMatch(MustParsePrefix("10.1.2.3/32")), Priority: 1}
+	// Warm-up: allocate the path once.
+	tr.Insert(r)
+	if !tr.Delete(r.Match.Dst, r.ID) {
+		t.Fatal("warm-up delete failed")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Insert(r)
+		if !tr.Delete(r.Match.Dst, r.ID) {
+			t.Fatal("delete failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("churn cycle allocates %.1f/op, want 0 (freelist reuse)", allocs)
+	}
+	// The recycled trie still answers correctly.
+	tr.Insert(r)
+	if got, ok := tr.Get(r.Match.Dst, r.ID); !ok || got != r {
+		t.Fatalf("recycled trie lost the rule: %v %v", got, ok)
+	}
+}

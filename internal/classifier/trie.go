@@ -10,14 +10,51 @@ package classifier
 // candidate.
 //
 // The zero value is an empty trie.
+//
+// Pruned nodes are recycled through a bounded freelist: churn-heavy tables
+// (the TCAM match index deletes and reinserts on every migration, and the
+// agent's batch path promises steady-state 0 allocs/op) would otherwise
+// re-allocate the same path nodes — and their rules backing arrays — on
+// every delete/insert cycle.
 type Trie struct {
-	root *trieNode
-	size int
+	root  *trieNode
+	size  int
+	free  *trieNode // freelist of pruned nodes, chained through children[0]
+	nfree int
 }
+
+// maxFreeNodes bounds the freelist so one transient deep trie does not pin
+// memory forever.
+const maxFreeNodes = 8192
 
 type trieNode struct {
 	children [2]*trieNode
 	rules    []Rule // rules whose Dst ends exactly at this node
+}
+
+// newNode pops a recycled node (keeping its rules capacity) or allocates a
+// fresh one.
+func (t *Trie) newNode() *trieNode {
+	if n := t.free; n != nil {
+		t.free = n.children[0]
+		t.nfree--
+		n.children[0] = nil
+		return n
+	}
+	return &trieNode{}
+}
+
+// freeNode recycles a pruned node. The caller guarantees it is unlinked
+// and empty (no rules, no children).
+func (t *Trie) freeNode(n *trieNode) {
+	if t.nfree >= maxFreeNodes {
+		return
+	}
+	n.rules = n.rules[:0]
+	n.children[0] = t.free
+	n.children[1] = nil
+	t.free = n
+	t.nfree++
 }
 
 // Size reports the number of rules in the trie.
@@ -27,14 +64,14 @@ func (t *Trie) Size() int { return t.size }
 // prefix.
 func (t *Trie) Insert(r Rule) {
 	if t.root == nil {
-		t.root = &trieNode{}
+		t.root = t.newNode()
 	}
 	n := t.root
 	p := r.Match.Dst
 	for depth := uint8(0); depth < p.Len; depth++ {
 		bit := (p.Addr >> (31 - depth)) & 1
 		if n.children[bit] == nil {
-			n.children[bit] = &trieNode{}
+			n.children[bit] = t.newNode()
 		}
 		n = n.children[bit]
 	}
@@ -83,8 +120,10 @@ func (t *Trie) Delete(dst Prefix, id RuleID) bool {
 		}
 		bit := (dst.Addr >> (32 - depth)) & 1
 		path[depth-1].children[bit] = nil
+		t.freeNode(nd)
 	}
 	if t.size == 0 && t.root.children[0] == nil && t.root.children[1] == nil {
+		t.freeNode(t.root)
 		t.root = nil
 	}
 	return true
@@ -168,6 +207,50 @@ func (t *Trie) Overlapping(m Match) []Rule {
 	}
 	walk(n)
 	return out
+}
+
+// OverlapsWhere reports whether any indexed rule overlapping m satisfies
+// pred. It is the allocation-free existence form of Overlapping — the Gate
+// Keeper's batch fast path asks "would any main-table rule cut this one?"
+// and needs the answer without collecting candidates. Callers that care
+// about allocations must pass a preallocated (reused) pred.
+func (t *Trie) OverlapsWhere(m Match, pred func(Rule) bool) bool {
+	if t.root == nil {
+		return false
+	}
+	// Ancestors on the path to m.Dst: their dst contains the query.
+	n := t.root
+	for depth := uint8(0); depth < m.Dst.Len; depth++ {
+		if overlapIn(n.rules, m, pred) {
+			return true
+		}
+		bit := (m.Dst.Addr >> (31 - depth)) & 1
+		n = n.children[bit]
+		if n == nil {
+			return false
+		}
+	}
+	// Subtree at m.Dst: the node itself plus descendants contained in it.
+	return subtreeOverlaps(n, m, pred)
+}
+
+func overlapIn(rules []Rule, m Match, pred func(Rule) bool) bool {
+	for _, r := range rules {
+		if r.Match.Src.Overlaps(m.Src) && pred(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func subtreeOverlaps(nd *trieNode, m Match, pred func(Rule) bool) bool {
+	if nd == nil {
+		return false
+	}
+	if overlapIn(nd.rules, m, pred) {
+		return true
+	}
+	return subtreeOverlaps(nd.children[0], m, pred) || subtreeOverlaps(nd.children[1], m, pred)
 }
 
 // MatchIter iterates the rules whose destination prefix matches one packet

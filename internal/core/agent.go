@@ -118,6 +118,20 @@ type Agent struct {
 	// logical is the reference monolithic table (insertion-ordered) kept
 	// when cfg.TrackLogical is set; tests use it to verify equivalence.
 	logical []classifier.Rule
+
+	// stPool is a freelist of ruleState structs: deleteRule returns states
+	// to it and the batched insert fast path reuses them (with their
+	// partIDs capacity), so steady-state batch insert allocates nothing.
+	// Safe because deleteRule is the single exit point from a.rules and no
+	// caller retains a *ruleState past the deletion.
+	stPool []*ruleState
+
+	// overlapPrio/overlapPred implement the batch fast path's zero-alloc
+	// overlap probe: the closure is allocated once here, and the priority
+	// under test rides in overlapPrio (mutated under a.mu) instead of a
+	// fresh capture per op.
+	overlapPrio int32
+	overlapPred func(classifier.Rule) bool
 }
 
 // New creates a Hermes agent on the switch: sizes the shadow table from the
@@ -161,6 +175,12 @@ func New(sw *tcam.Switch, cfg Config) (*Agent, error) {
 	if a.o != nil {
 		shadow.SetShiftHistogram(a.o.ShadowShifts)
 		main.SetShiftHistogram(a.o.MainShifts)
+	}
+	// A main-table rule with priority ≥ the contender's would cut it
+	// (every installed rule has an earlier seq, so equal priority means the
+	// installed rule wins) — see insertBatched.
+	a.overlapPred = func(existing classifier.Rule) bool {
+		return existing.Priority >= a.overlapPrio
 	}
 	a.maxRate = a.computeMaxRate()
 	if !cfg.DisableRateLimit {
@@ -629,6 +649,7 @@ func (a *Agent) deleteRule(now time.Duration, id classifier.RuleID) (Result, err
 		}
 	}
 	delete(a.rules, id)
+	a.recycleRuleState(st)
 	a.untrackLogical(id)
 	a.o.recordDelete(total)
 	a.o.event(now, obs.EvDelete, 0, uint64(id), 0, uint64(total))
@@ -641,6 +662,10 @@ func (a *Agent) deleteRule(now time.Duration, id classifier.RuleID) (Result, err
 func (a *Agent) Modify(now time.Duration, r classifier.Rule) (Result, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.modifyLocked(now, r)
+}
+
+func (a *Agent) modifyLocked(now time.Duration, r classifier.Rule) (Result, error) {
 	a.advance(now)
 	st, ok := a.rules[r.ID]
 	if !ok {

@@ -108,6 +108,13 @@ type Config struct {
 	// trie-indexed default; off by default (indexed).
 	LinearLookup bool
 
+	// LookupShards, when > 1, splits the published lookup snapshot into
+	// that many per-CPU shards (rules partitioned by destination-prefix
+	// hash, a combining layer picking the first match across shards, see
+	// classifier.ShardedRuleIndex). Bit-identical to the single-index
+	// snapshot; 0 or 1 keeps the plain RuleIndex.
+	LookupShards int
+
 	// MigrationInterrupt, when non-nil, is consulted at each Fig.-7
 	// migration step; returning true cuts the migration off at that step,
 	// exactly as a switch crash mid-migration would. The agent is marked

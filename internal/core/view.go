@@ -28,14 +28,21 @@ import (
 // enough that insert/lookup alternation never rebuilds per packet.
 const viewRebuildAfter = 4
 
+// ruleLookup is what a published snapshot needs from an index: RuleIndex
+// satisfies it directly, ShardedRuleIndex through its combining layer
+// (Config.LookupShards picks which one freshView builds).
+type ruleLookup interface {
+	Lookup(dst, src uint32) (classifier.Rule, bool)
+}
+
 // agentView is one immutable snapshot of the agent's lookup state. All
 // fields are written before the view is published and never after.
 type agentView struct {
 	shadowGen  uint64
 	mainGen    uint64
 	logicalGen uint64
-	shadow     *classifier.RuleIndex
-	main       *classifier.RuleIndex
+	shadow     ruleLookup
+	main       ruleLookup
 	// logical is non-nil only when cfg.TrackLogical is set.
 	logical *classifier.RuleIndex
 }
@@ -89,18 +96,58 @@ func (a *Agent) freshView() *agentView {
 	if a.stale.observe(sg, mg, lg) < viewRebuildAfter {
 		return nil
 	}
+	v := a.buildView(sg, mg, lg)
+	a.view.Store(v)
+	return v
+}
+
+// buildView constructs a fresh immutable snapshot for the given
+// generations. Callers hold at least the read lock and publish the view
+// themselves (write before Store, never after).
+func (a *Agent) buildView(sg, mg, lg uint64) *agentView {
 	v := &agentView{
 		shadowGen: sg,
 		mainGen:   mg,
-		shadow:    classifier.NewRuleIndex(a.shadow.Rules()),
-		main:      classifier.NewRuleIndex(a.main.Rules()),
+		shadow:    a.buildIndex(a.shadow.Rules()),
+		main:      a.buildIndex(a.main.Rules()),
 	}
 	if a.cfg.TrackLogical {
 		v.logicalGen = lg
 		v.logical = classifier.NewRuleIndex(a.logicalFirstMatchOrder())
 	}
-	a.view.Store(v)
 	return v
+}
+
+// buildIndex picks the snapshot index implementation: sharded when
+// Config.LookupShards asks for parallel per-CPU shards, the plain
+// RuleIndex otherwise.
+func (a *Agent) buildIndex(rules []classifier.Rule) ruleLookup {
+	if n := a.cfg.LookupShards; n > 1 {
+		return classifier.NewShardedRuleIndex(rules, n)
+	}
+	return classifier.NewRuleIndex(rules)
+}
+
+// refreshViewLocked republishes the snapshot at the end of a batch — the
+// amortized replacement for per-op rebuild hysteresis: one rebuild covers
+// every op in the batch. It keeps the lazy economics of freshView: until a
+// reader has forced a first snapshot into existence there is nothing to
+// refresh (pure write workloads stay rebuild-free), and a view already at
+// the current generations is left untouched. Requires a.mu held
+// exclusively.
+func (a *Agent) refreshViewLocked() {
+	if a.cfg.LinearLookup {
+		return
+	}
+	v := a.view.Load()
+	if v == nil {
+		return
+	}
+	sg, mg, lg := a.shadow.Gen(), a.main.Gen(), a.logicalGen.Load()
+	if v.shadowGen == sg && v.mainGen == mg && v.logicalGen == lg {
+		return
+	}
+	a.view.Store(a.buildView(sg, mg, lg))
 }
 
 // logicalFirstMatchOrder returns a copy of the reference monolithic table

@@ -219,3 +219,45 @@ func TestApplyDrivesAgentFaults(t *testing.T) {
 		t.Fatalf("after reconcile: %v", err)
 	}
 }
+
+// TestWirePartialFracCutsMidFrame: a fractional partial write scales to
+// the buffer being written, so a large vectored batch frame is cut in its
+// body — not just inside the 8-byte header — and the connection dies with
+// the injected-reset cause.
+func TestWirePartialFracCutsMidFrame(t *testing.T) {
+	w := NewWire(WireConfig{Script: []WireFault{{PartialFrac: 0.5}}})
+	under := &memConn{}
+	c := w.Wrap(under)
+	frame := make([]byte, 1000) // a batch-frame-sized write
+	n, err := c.Write(frame)
+	if err == nil || n != 500 {
+		t.Fatalf("mid-frame partial: n=%d err=%v, want 500 bytes and an error", n, err)
+	}
+	if !under.closed {
+		t.Fatal("mid-frame partial must close the connection")
+	}
+	if got := w.Counts().Partials; got != 1 {
+		t.Fatalf("Partials = %d, want 1", got)
+	}
+}
+
+// TestWirePartialMidFrameSeeded: with PartialMidFrame set, a seeded
+// partial cut lands somewhere inside the whole frame, and a cut that
+// rounds to zero bytes passes the write through untouched instead of
+// emitting an empty write.
+func TestWirePartialMidFrameSeeded(t *testing.T) {
+	w := NewWire(WireConfig{Seed: 9, PartialProb: 1, PartialMidFrame: true})
+	under := &memConn{}
+	c := w.Wrap(under)
+	frame := make([]byte, 4096)
+	n, err := c.Write(frame)
+	if err == nil {
+		t.Fatalf("seeded mid-frame partial did not fire (n=%d)", n)
+	}
+	if n <= 0 || n >= len(frame) {
+		t.Fatalf("cut at %d bytes, want strictly inside (0, %d)", n, len(frame))
+	}
+	if n < 8 {
+		t.Logf("cut landed in the header (%d bytes); body cuts need larger fracs", n)
+	}
+}

@@ -37,6 +37,12 @@ type WireFault struct {
 	// PartialWrite, when > 0 on a write, transmits only that many bytes and
 	// then closes the connection, modeling a crash mid-frame.
 	PartialWrite int
+	// PartialFrac, when in (0, 1), cuts a write at that fraction of the
+	// buffer (at least one byte) and closes the connection. Unlike
+	// PartialWrite it scales to the frame being written, so it reaches
+	// into the body of a large vectored batch frame — modeling a crash
+	// mid-batch rather than mid-header.
+	PartialFrac float64
 	// Partition, when > 0, opens a plan-wide bidirectional blackhole for
 	// that interval: every wrapped connection swallows writes (reported as
 	// successful, never delivered) and blocks reads until the partition
@@ -46,7 +52,8 @@ type WireFault struct {
 }
 
 func (f WireFault) active() bool {
-	return f.Delay > 0 || f.Reset || f.Corrupt || f.PartialWrite > 0 || f.Partition > 0
+	return f.Delay > 0 || f.Reset || f.Corrupt || f.PartialWrite > 0 ||
+		f.PartialFrac > 0 || f.Partition > 0
 }
 
 // WireConfig parameterizes a Wire plan. With a Script the listed faults are
@@ -70,6 +77,13 @@ type WireConfig struct {
 	CorruptProb float64
 	// PartialProb truncates a write mid-frame and closes the connection.
 	PartialProb float64
+	// PartialMidFrame stretches a firing partial write across the whole
+	// buffer instead of the first 8 (header) bytes: the cut lands at a
+	// seeded fraction of the frame, so large vectored batch frames are
+	// truncated mid-body. It reinterprets an existing draw rather than
+	// consuming a new one, so enabling it does not perturb the schedule
+	// of any other fault class.
+	PartialMidFrame bool
 	// PartitionProb opens a bidirectional blackhole lasting PartitionFor.
 	// The extra decision draws are only consumed when PartitionProb > 0, so
 	// plans that never partition keep their historical seeded schedules.
@@ -212,7 +226,11 @@ func (w *Wire) next(src interface{ Float64() float64 }, write bool) WireFault {
 	case reset < w.cfg.ResetProb:
 		f.Reset = true
 	case write && partial < w.cfg.PartialProb:
-		f.PartialWrite = 1 + int(frac*7) // within the 8-byte header
+		if w.cfg.PartialMidFrame {
+			f.PartialFrac = frac
+		} else {
+			f.PartialWrite = 1 + int(frac*7) // within the 8-byte header
+		}
 	case write && corrupt < w.cfg.CorruptProb:
 		f.Corrupt = true
 	}
@@ -230,7 +248,7 @@ func (w *Wire) count(f WireFault) {
 	switch {
 	case f.Reset:
 		w.counts.Resets++
-	case f.PartialWrite > 0:
+	case f.PartialWrite > 0 || f.PartialFrac > 0:
 		w.counts.Partials++
 	case f.Corrupt:
 		w.counts.Corrupts++
@@ -287,6 +305,11 @@ func (c *conn) Write(b []byte) (int, error) {
 	// the caller's request deadline is what surfaces the outage.
 	if c.plan.Partitioned() {
 		return len(b), nil
+	}
+	if f.PartialFrac > 0 && f.PartialFrac < 1 {
+		if cut := int(f.PartialFrac * float64(len(b))); cut > 0 && cut < len(b) {
+			f.PartialWrite = cut
+		}
 	}
 	switch {
 	case f.Reset:

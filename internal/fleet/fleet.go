@@ -67,6 +67,23 @@ type Config struct {
 	// chaos tests hand in faultinject.(*Wire).Dial to perturb the control
 	// channel without the fleet knowing.
 	Dial func(network, addr string) (net.Conn, error)
+	// WireBatch switches workers to vectored dispatch: instead of issuing
+	// each queued flow-mod as its own request, a worker drains its queue
+	// into one flow-mod-batch frame (up to BatchSize ops, lingering at
+	// most BatchLinger for stragglers) and applies it with a single wire
+	// round trip — amortizing syscalls, the agent's lock acquisition, and
+	// its snapshot rebuild across the whole batch. Ops are encoded in
+	// queue order and the agent applies them in order, so per-rule FIFO
+	// (an insert followed by a delete of the same rule never reorders) is
+	// preserved end to end. RetryDiverted is intentionally bypassed in
+	// batch mode: a divert retry deletes and re-inserts one rule
+	// mid-stream, which would break exactly the ordering the batch path
+	// guarantees.
+	WireBatch bool
+	// BatchLinger is how long a worker holding a non-full batch waits for
+	// more queued ops before flushing (size-or-deadline coalescing). Only
+	// consulted when WireBatch is set. Defaults to 500µs.
+	BatchLinger time.Duration
 	// OpTimeout, when > 0, bounds every request the fleet issues on a
 	// control channel (flow-mods, barriers, probes, stats). A stalled
 	// switch then fails the request with context.DeadlineExceeded instead
@@ -113,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 16
+	}
+	if c.BatchLinger <= 0 {
+		c.BatchLinger = 500 * time.Microsecond
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 2 * time.Second

@@ -148,6 +148,10 @@ func (w *worker) run() {
 			w.drainFail()
 			return
 		case o := <-w.queue:
+			if w.f.cfg.WireBatch {
+				w.dispatchWire(w.gatherLinger(o))
+				continue
+			}
 			batch := []*op{o}
 			for len(batch) < w.f.cfg.BatchSize {
 				select {
@@ -163,6 +167,28 @@ func (w *worker) run() {
 	}
 }
 
+// gatherLinger coalesces queued ops into one wire batch: it keeps pulling
+// until the batch is full or BatchLinger elapses without it filling —
+// size-or-deadline coalescing, so a trickle of ops still flushes promptly
+// while a burst amortizes into one frame.
+func (w *worker) gatherLinger(first *op) []*op {
+	batch := []*op{first}
+	t := time.NewTimer(w.f.cfg.BatchLinger)
+	defer t.Stop()
+	for len(batch) < w.f.cfg.BatchSize {
+		select {
+		case next := <-w.queue:
+			batch = append(batch, next)
+		case <-t.C:
+			return batch
+		//lint:ignore chanblock stop is close-only; a closed stop just flushes the gathered batch before the run loop drains
+		case <-w.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
 func (w *worker) dispatch(batch []*op) {
 	var wg sync.WaitGroup
 	for _, o := range batch {
@@ -174,6 +200,70 @@ func (w *worker) dispatch(batch []*op) {
 		}()
 	}
 	wg.Wait()
+}
+
+// dispatchWire applies one gathered batch as a single flow-mod-batch
+// frame. The ops travel in queue order and the agent applies the frame's
+// entries in order under one lock acquisition, so per-rule FIFO is
+// preserved: the queue is FIFO, one run loop gathers, and this method
+// issues batches sequentially (never concurrently). Per-op outcomes are
+// demuxed from the reply entries through the same complete() path the
+// per-op dispatcher uses, so OnResult observers see exactly one callback
+// per submitted op either way. Remote typed errors in an entry mean the
+// switch is alive and do not count against the circuit; only wire-level
+// failures trip it. RetryDiverted is deliberately not honored here (see
+// Config.WireBatch).
+func (w *worker) dispatchWire(batch []*op) {
+	if !w.brk.allow() {
+		for _, o := range batch {
+			w.tele.fail()
+			w.complete(o, OpResult{
+				Switch: w.id, RuleID: o.rule.ID, Attempts: 1,
+				Err: &CircuitOpenError{Switch: w.id},
+			})
+		}
+		return
+	}
+	mods := make([]ofwire.FlowMod, len(batch))
+	for i, o := range batch {
+		cmd := ofwire.FlowAdd
+		switch o.kind {
+		case opDelete:
+			cmd = ofwire.FlowDelete
+		case opModify:
+			cmd = ofwire.FlowModify
+		}
+		mods[i] = *ofwire.FlowModFromRule(cmd, o.rule)
+	}
+	results, err := w.currentClient().ApplyBatch(mods)
+	if err == nil {
+		w.brk.success()
+	} else {
+		var remote *ofwire.ErrorBody
+		if !errors.As(err, &remote) {
+			w.tele.fault(err)
+			w.brk.failure(time.Now())
+		}
+	}
+	for i, o := range batch {
+		res := OpResult{Switch: w.id, RuleID: o.rule.ID, Attempts: 1}
+		switch {
+		case i < len(results) && results[i].Err == nil:
+			res.Result = results[i].Result
+			w.recordApplied(o)
+			w.tele.observe(res.Result)
+		case i < len(results) && results[i].Err != nil:
+			// Per-op remote rejection: reported in its slot, the rest of
+			// the batch stands.
+			res.Err = results[i].Err
+			w.tele.fail()
+		default:
+			// The wire failed before this op's chunk got a reply.
+			res.Err = err
+			w.tele.fail()
+		}
+		w.complete(o, res)
+	}
 }
 
 // complete delivers one finished op: the completion hook (when configured)

@@ -37,16 +37,34 @@ var HotPathAllocAnalyzer = &Analyzer{
 	Run:       runHotPathAlloc,
 }
 
+// coreBatchFuncs are the agent's vectored entry points and their in-loop
+// helpers (DESIGN.md §15). Exact names, because the batch insert path
+// promises 0 allocs/op at steady state (BenchmarkAgentInsertBatch) while
+// sibling mutators in the same package allocate freely. Only meaningful
+// inside internal/core.
+var coreBatchFuncs = map[string]bool{
+	"InsertBatch":       true,
+	"DeleteBatch":       true,
+	"ApplyBatch":        true,
+	"insertBatched":     true,
+	"resetBatchResults": true,
+	"appendBatchResult": true,
+	"takeRuleState":     true,
+}
+
 // hotAllocRoot reports whether a function starts a zero-alloc budget:
-// lookup-path functions in tcam/classifier/core, record-path functions in
-// obs. Roots found via the call graph share the name rules allocscan
-// applies file by file.
+// lookup-path functions in tcam/classifier/core plus the core batch entry
+// points, record-path functions in obs. Roots found via the call graph
+// share the name rules allocscan applies file by file.
 func hotAllocRoot(fn *FuncNode) bool {
 	path := strings.TrimSuffix(fn.Pkg.Path, "_test")
 	if path == "internal/obs" || strings.HasSuffix(path, "/internal/obs") {
 		return obsRecordFuncs[fn.Name]
 	}
-	for _, suffix := range []string{"internal/tcam", "internal/classifier", "internal/core"} {
+	if path == "internal/core" || strings.HasSuffix(path, "/internal/core") {
+		return hotPathFunc(fn.Name) || coreBatchFuncs[fn.Name]
+	}
+	for _, suffix := range []string{"internal/tcam", "internal/classifier"} {
 		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
 			return hotPathFunc(fn.Name)
 		}

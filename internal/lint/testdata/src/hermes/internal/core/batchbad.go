@@ -1,0 +1,52 @@
+// batchbad.go is the hotpathalloc batch corpus: a twin of the agent's
+// vectored entry points (core/batch.go). The batch insert path promises
+// 0 allocs/op at steady state, so the exact-name roots (InsertBatch,
+// ApplyBatch, insertBatched, ...) carry the same zero-alloc budget the
+// lookup path does — growing a result slice per call or laundering an
+// allocation through a helper are the seeded bugs.
+package core
+
+type batchAgent struct {
+	rules map[uint64]uint64
+	pool  [][]uint64
+}
+
+// install allocates: one hop below the batch root, where the
+// intraprocedural scan cannot see it.
+func (a *batchAgent) install(id uint64) {
+	a.pool = append(a.pool, make([]uint64, 4))
+	a.rules[id] = id
+}
+
+// InsertBatch is a batch root by exact name: the per-op result slice is
+// grown per call instead of reusing the caller's buffer, and the helper
+// carries an allocation in.
+func (a *batchAgent) InsertBatch(ids []uint64) []uint64 {
+	out := make([]uint64, 0, len(ids)) // want:hotpathalloc
+	for _, id := range ids {
+		a.install(id)         // want:hotpathalloc
+		out = append(out, id) // want:hotpathalloc
+	}
+	return out
+}
+
+// insertBatched is the clean pattern: pure bookkeeping, no allocation.
+func (a *batchAgent) insertBatched(id uint64) bool {
+	if _, dup := a.rules[id]; dup {
+		return false
+	}
+	a.rules[id] = id
+	return true
+}
+
+// ApplyBatch chains through another batch root: the callee justifies its
+// own budget, so this call site stays clean.
+func (a *batchAgent) ApplyBatch(ids []uint64) int {
+	n := 0
+	for _, id := range ids {
+		if a.insertBatched(id) {
+			n++
+		}
+	}
+	return n
+}

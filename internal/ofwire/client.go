@@ -33,8 +33,11 @@ type Client struct {
 	timeoutNS atomic.Int64
 
 	// wmu serializes frame writes so concurrent requests cannot interleave
-	// bytes on the wire.
-	wmu sync.Mutex
+	// bytes on the wire. wbuf, guarded by wmu, is the reused batch encode
+	// buffer: a whole TypeFlowModBatch frame is laid out in it and written
+	// with a single conn.Write.
+	wmu  sync.Mutex
+	wbuf []byte
 
 	// pmu guards the pending demux table and the terminal error state.
 	pmu     sync.Mutex

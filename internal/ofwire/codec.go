@@ -22,6 +22,12 @@ const (
 	rulesRequestLen    = 10
 	rulesReplyFixedLen = 2
 	ruleEntryLen       = 25
+
+	// batch framing: a uint16 op count, then count fixed-layout bodies.
+	// The reply entry is a uint16 status code plus a 20-byte flow-mod
+	// reply; 22 < 28 keeps every well-formed batch's reply encodable.
+	batchFixedLen      = 2
+	batchReplyEntryLen = 22
 )
 
 // WriteMessage encodes and writes one frame.
@@ -126,6 +132,34 @@ func encodeBody(m *Message) ([]byte, error) {
 		binary.BigEndian.PutUint16(b[0:2], uint16(e.Code))
 		copy(b[2:], e.Reason)
 		return b, nil
+	case TypeFlowModBatch:
+		fb := m.FlowModBatch
+		if fb == nil {
+			return nil, fmt.Errorf("ofwire: flow-mod-batch frame without body")
+		}
+		if len(fb.Ops) > MaxBatchOps {
+			return nil, ErrTooLarge
+		}
+		b := make([]byte, batchFixedLen+flowModLen*len(fb.Ops))
+		binary.BigEndian.PutUint16(b[0:2], uint16(len(fb.Ops)))
+		for i := range fb.Ops {
+			encodeFlowModInto(b[batchFixedLen+i*flowModLen:], &fb.Ops[i])
+		}
+		return b, nil
+	case TypeFlowModBatchReply:
+		fb := m.FlowModBatchReply
+		if fb == nil {
+			return nil, fmt.Errorf("ofwire: flow-mod-batch-reply frame without body")
+		}
+		if len(fb.Entries) > MaxBatchOps {
+			return nil, ErrTooLarge
+		}
+		b := make([]byte, batchFixedLen+batchReplyEntryLen*len(fb.Entries))
+		binary.BigEndian.PutUint16(b[0:2], uint16(len(fb.Entries)))
+		for i, e := range fb.Entries {
+			encodeBatchReplyEntry(b[batchFixedLen+i*batchReplyEntryLen:], e)
+		}
+		return b, nil
 	case TypeRulesRequest:
 		q := m.RulesRequest
 		if q == nil {
@@ -199,7 +233,15 @@ func decodeRuleEntry(b []byte) RuleEntry {
 //	— port is packed into bytes 2-3 of the pad for compactness.
 func encodeFlowModFixed(f *FlowMod) []byte {
 	b := make([]byte, flowModLen)
+	encodeFlowModInto(b, f)
+	return b
+}
+
+// encodeFlowModInto writes the 28-byte layout into b (len(b) ≥ flowModLen),
+// allocation-free so batch encoding can pack ops into one reused buffer.
+func encodeFlowModInto(b []byte, f *FlowMod) {
 	b[0] = byte(f.Command)
+	b[1] = 0
 	binary.BigEndian.PutUint16(b[2:4], f.Port)
 	binary.BigEndian.PutUint64(b[4:12], f.RuleID)
 	binary.BigEndian.PutUint32(b[12:16], uint32(f.Priority))
@@ -208,14 +250,21 @@ func encodeFlowModFixed(f *FlowMod) []byte {
 	binary.BigEndian.PutUint32(b[21:25], f.SrcAddr)
 	b[25] = f.SrcLen
 	b[26] = f.Action
-	return b
+	b[27] = 0
 }
 
 func decodeFlowModFixed(b []byte) (*FlowMod, error) {
 	if len(b) < flowModLen {
 		return nil, ErrTruncated
 	}
-	return &FlowMod{
+	f := decodeFlowModValue(b)
+	return &f, nil
+}
+
+// decodeFlowModValue decodes the 28-byte layout by value (no allocation);
+// the caller guarantees len(b) ≥ flowModLen.
+func decodeFlowModValue(b []byte) FlowMod {
+	return FlowMod{
 		Command:  FlowModCommand(b[0]),
 		Port:     binary.BigEndian.Uint16(b[2:4]),
 		RuleID:   binary.BigEndian.Uint64(b[4:12]),
@@ -225,7 +274,38 @@ func decodeFlowModFixed(b []byte) (*FlowMod, error) {
 		SrcAddr:  binary.BigEndian.Uint32(b[21:25]),
 		SrcLen:   b[25],
 		Action:   b[26],
-	}, nil
+	}
+}
+
+// encodeBatchReplyEntry lays out the 22-byte reply entry:
+//
+//	0-1    status code (0 = ok)
+//	2-9    rule id
+//	10-17  latency ns
+//	18     path       19 guaranteed
+//	20     violation  21 partitions
+func encodeBatchReplyEntry(b []byte, e BatchReplyEntry) {
+	binary.BigEndian.PutUint16(b[0:2], uint16(e.Code))
+	binary.BigEndian.PutUint64(b[2:10], e.Reply.RuleID)
+	binary.BigEndian.PutUint64(b[10:18], e.Reply.LatencyNS)
+	b[18] = e.Reply.Path
+	b[19] = boolByte(e.Reply.Guaranteed)
+	b[20] = boolByte(e.Reply.Violation)
+	b[21] = e.Reply.Partitions
+}
+
+func decodeBatchReplyEntry(b []byte) BatchReplyEntry {
+	return BatchReplyEntry{
+		Code: ErrorCode(binary.BigEndian.Uint16(b[0:2])),
+		Reply: FlowModReply{
+			RuleID:     binary.BigEndian.Uint64(b[2:10]),
+			LatencyNS:  binary.BigEndian.Uint64(b[10:18]),
+			Path:       b[18],
+			Guaranteed: b[19] != 0,
+			Violation:  b[20] != 0,
+			Partitions: b[21],
+		},
+	}
 }
 
 // ReadMessage reads and decodes one frame.
@@ -320,6 +400,40 @@ func decodeBody(m *Message, body []byte) error {
 			Code:   ErrorCode(binary.BigEndian.Uint16(body[0:2])),
 			Reason: string(body[2:]),
 		}
+		return nil
+	case TypeFlowModBatch:
+		if len(body) < batchFixedLen {
+			return ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(body[0:2]))
+		if len(body) < batchFixedLen+n*flowModLen {
+			return ErrTruncated
+		}
+		fb := &FlowModBatch{}
+		if n > 0 {
+			fb.Ops = make([]FlowMod, n)
+			for i := range fb.Ops {
+				fb.Ops[i] = decodeFlowModValue(body[batchFixedLen+i*flowModLen:])
+			}
+		}
+		m.FlowModBatch = fb
+		return nil
+	case TypeFlowModBatchReply:
+		if len(body) < batchFixedLen {
+			return ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(body[0:2]))
+		if len(body) < batchFixedLen+n*batchReplyEntryLen {
+			return ErrTruncated
+		}
+		fb := &FlowModBatchReply{}
+		if n > 0 {
+			fb.Entries = make([]BatchReplyEntry, n)
+			for i := range fb.Entries {
+				fb.Entries[i] = decodeBatchReplyEntry(body[batchFixedLen+i*batchReplyEntryLen:])
+			}
+		}
+		m.FlowModBatchReply = fb
 		return nil
 	case TypeRulesRequest:
 		if len(body) < rulesRequestLen {

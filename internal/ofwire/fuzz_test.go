@@ -45,6 +45,26 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add(frame(f, &Message{Header: Header{Type: TypeError, XID: 6}, Error: &ErrorBody{
 		Code: ErrCodeTableFull, Reason: "full",
 	}}))
+	f.Add(frame(f, &Message{Header: Header{Type: TypeFlowModBatch, XID: 8}, FlowModBatch: &FlowModBatch{
+		Ops: []FlowMod{
+			{Command: FlowAdd, RuleID: 1, Priority: 5, DstAddr: 0x0a000000, DstLen: 8, Action: 1},
+			{Command: FlowDelete, RuleID: 2},
+		},
+	}}))
+	f.Add(frame(f, &Message{Header: Header{Type: TypeFlowModBatchReply, XID: 8}, FlowModBatchReply: &FlowModBatchReply{
+		Entries: []BatchReplyEntry{
+			{Reply: FlowModReply{RuleID: 1, LatencyNS: 1e6, Guaranteed: true, Partitions: 1}},
+			{Code: ErrCodeDuplicateRule, Reply: FlowModReply{RuleID: 2}},
+		},
+	}}))
+	// The 64KiB batch boundary regression: the largest batch that fits one
+	// frame. One op more is unencodable (ErrTooLarge) and must be split by
+	// the client before it reaches the codec.
+	full := &FlowModBatch{Ops: make([]FlowMod, MaxBatchOps)}
+	for i := range full.Ops {
+		full.Ops[i] = FlowMod{Command: FlowAdd, RuleID: uint64(i), Priority: int32(i % 7)}
+	}
+	f.Add(frame(f, &Message{Header: Header{Type: TypeFlowModBatch, XID: 10}, FlowModBatch: full}))
 	// Truncated and length-corrupted headers.
 	f.Add([]byte{Version, byte(TypeHello), 0, 0, 0, 0, 0, 1})
 	corrupt := frame(f, &Message{Header: Header{Type: TypeEchoRequest}, Raw: []byte("abcd")})

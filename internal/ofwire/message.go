@@ -45,6 +45,8 @@ const (
 	TypeError
 	TypeRulesRequest
 	TypeRulesReply
+	TypeFlowModBatch
+	TypeFlowModBatchReply
 )
 
 func (t MsgType) String() string {
@@ -77,6 +79,10 @@ func (t MsgType) String() string {
 		return "rules-request"
 	case TypeRulesReply:
 		return "rules-reply"
+	case TypeFlowModBatch:
+		return "flow-mod-batch"
+	case TypeFlowModBatchReply:
+		return "flow-mod-batch-reply"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -106,15 +112,17 @@ type Message struct {
 	// Body is exactly one of the pointers below, matching Header.Type;
 	// Hello, Echo and Barrier frames have nil bodies (Echo payload rides
 	// in Raw).
-	FlowMod      *FlowMod
-	FlowModReply *FlowModReply
-	Stats        *Stats
-	QoSRequest   *QoSRequest
-	QoSReply     *QoSReply
-	Error        *ErrorBody
-	RulesRequest *RulesRequest
-	RulesReply   *RulesReply
-	Raw          []byte // echo payloads and unrecognized-but-valid bodies
+	FlowMod           *FlowMod
+	FlowModReply      *FlowModReply
+	FlowModBatch      *FlowModBatch
+	FlowModBatchReply *FlowModBatchReply
+	Stats             *Stats
+	QoSRequest        *QoSRequest
+	QoSReply          *QoSReply
+	Error             *ErrorBody
+	RulesRequest      *RulesRequest
+	RulesReply        *RulesReply
+	Raw               []byte // echo payloads and unrecognized-but-valid bodies
 }
 
 // FlowModCommand selects the flow-mod operation.
@@ -176,6 +184,42 @@ type FlowModReply struct {
 	Guaranteed bool
 	Violation  bool
 	Partitions uint8
+}
+
+// FlowModBatch vectors N flow-mods into one frame under one XID — one
+// syscall and one agent lock acquisition per batch instead of per op
+// (the DevoFlow observation: per-flow control-channel overhead dominates
+// at scale). Ops apply in order; the reply carries one entry per op.
+type FlowModBatch struct {
+	Ops []FlowMod
+}
+
+// MaxBatchOps is the largest batch that fits one 64KiB frame. The reply
+// entry (22 bytes) is smaller than the request entry (28 bytes), so any
+// request that fits guarantees its reply fits too.
+const MaxBatchOps = (MaxMessageLen - 1 - headerLen - batchFixedLen) / flowModLen
+
+// BatchReplyEntry is the per-op outcome inside a batch reply: a status
+// code (0 = ok) plus the usual flow-mod reply fields.
+type BatchReplyEntry struct {
+	Code  ErrorCode // 0 on success
+	Reply FlowModReply
+}
+
+// Err returns the entry's failure as an error, or nil on success. The
+// returned error is an *ErrorBody so callers can classify it exactly like
+// a per-op error frame (errors.As against *ErrorBody).
+func (e BatchReplyEntry) Err() error {
+	if e.Code == 0 {
+		return nil
+	}
+	return &ErrorBody{Code: e.Code, Reason: e.Code.String()}
+}
+
+// FlowModBatchReply carries one entry per op of the matching batch, in
+// op order.
+type FlowModBatchReply struct {
+	Entries []BatchReplyEntry
 }
 
 // Stats is the agent-counter snapshot (fixed 64-byte body).
@@ -286,6 +330,25 @@ const (
 	ErrCodeQoSInfeasible
 	ErrCodeInternal
 )
+
+func (c ErrorCode) String() string {
+	switch c {
+	case ErrCodeBadRequest:
+		return "bad request"
+	case ErrCodeTableFull:
+		return "table full"
+	case ErrCodeUnknownRule:
+		return "unknown rule"
+	case ErrCodeDuplicateRule:
+		return "duplicate rule"
+	case ErrCodeQoSInfeasible:
+		return "qos infeasible"
+	case ErrCodeInternal:
+		return "internal error"
+	default:
+		return fmt.Sprintf("error(%d)", uint16(c))
+	}
+}
 
 // ErrorBody is the error frame body: a code plus a short reason.
 type ErrorBody struct {

@@ -320,6 +320,8 @@ func (s *AgentServer) dispatch(req *Message) *Message {
 		return &Message{Header: Header{Type: TypeBarrierReply}}
 	case TypeFlowMod:
 		return s.doFlowMod(req)
+	case TypeFlowModBatch:
+		return s.doFlowModBatch(req)
 	case TypeStatsRequest:
 		return s.doStats()
 	case TypeQoSRequest:

@@ -4,7 +4,7 @@
 # benchmark: {"name", "runs", "ns_per_op", "bytes_per_op", "allocs_per_op",
 # and any b.ReportMetric extras keyed by unit}.
 #
-# Usage: scripts/bench_json.sh [output.json] [benchtime] [obs_output.json] [loadgen_output.json]
+# Usage: scripts/bench_json.sh [output.json] [benchtime] [obs_output.json] [loadgen_output.json] [batch_output.json]
 #   output.json      defaults to BENCH_lookup.json in the repo root
 #                    (committed as the tracked perf baseline).
 #   benchtime        defaults to 0.2s; scripts/check.sh passes a short
@@ -18,6 +18,15 @@
 #                    per-class p50/p99/p999 setup latency + violation and
 #                    loss rates against the declared SLO budgets. The
 #                    script fails if the smoke SLO breaches.
+#   batch_output.json  defaults to BENCH_batch.json: the batched wire-path
+#                    report — per-op vs vectored batch ingest over TCP
+#                    loopback (with the computed ingest_speedup; floor:
+#                    10x committed, 5x CI smoke), the agent-core batch
+#                    insert (steady-state 0 allocs/op), and the sharded
+#                    parallel lookup grid across GOMAXPROCS 1/2/4/8.
+#
+# BATCH_ONLY=1 runs just the batch section (the `make bench-batch` entry
+# point), skipping the lookup/obs/loadgen artifacts.
 #
 # Stdlib awk only; no jq, no module downloads.
 set -eu
@@ -27,10 +36,12 @@ out="${1:-BENCH_lookup.json}"
 benchtime="${2:-0.2s}"
 obs_out="${3:-BENCH_obs.json}"
 loadgen_out="${4:-BENCH_loadgen.json}"
+batch_out="${5:-BENCH_batch.json}"
 
 raw="$(mktemp)"
 raw_obs="$(mktemp)"
-trap 'rm -f "$raw" "$raw_obs"' EXIT
+raw_batch="$(mktemp)"
+trap 'rm -f "$raw" "$raw_obs" "$raw_batch"' EXIT
 
 # to_json renders `go test -bench` output as a JSON benchmark array.
 to_json() {
@@ -52,6 +63,49 @@ to_json() {
 END { printf "\n" }
 ' "$1"
 }
+
+# --- batch wire path: per-op vs vectored ingest + sharded lookup grid --------
+run_batch() {
+	go test -run '^$' -bench 'BenchmarkWireInsertPerOp|BenchmarkWireInsertBatch64' \
+		-benchmem -benchtime "$benchtime" ./internal/ofwire | tee -a "$raw_batch"
+	go test -run '^$' -bench 'BenchmarkAgentInsertPerOp$|BenchmarkAgentInsertBatch$' \
+		-benchmem -benchtime "$benchtime" ./internal/core | tee -a "$raw_batch"
+	go test -run '^$' -bench 'BenchmarkAgentLookupParallel' -cpu 1,2,4,8 \
+		-benchmem -benchtime "$benchtime" ./internal/core | tee -a "$raw_batch"
+
+	to_json "$raw_batch" > "$batch_out.tmp"
+
+	# Ingest speedup: per-op wire ns/op over batched ns/op. Both benches do
+	# the same work per iteration (64 inserts + 64 deletes over TCP
+	# loopback), so the ratio is the end-to-end amortization factor.
+	speedup="$(awk '
+	$1 ~ /^BenchmarkWireInsertPerOp/   { perop = $3 }
+	$1 ~ /^BenchmarkWireInsertBatch64/ { batch = $3 }
+	END {
+		if (perop > 0 && batch > 0) printf "%.2f", perop / batch
+		else printf "null"
+	}
+	' "$raw_batch")"
+
+	{
+		echo "{"
+		echo "\"benchtime\": \"$benchtime\","
+		echo "\"ingest_speedup\": $speedup,"
+		echo "\"ingest_speedup_floor\": 10,"
+		echo "\"benchmarks\": ["
+		cat "$batch_out.tmp"
+		echo "]"
+		echo "}"
+	} > "$batch_out"
+	rm -f "$batch_out.tmp"
+
+	echo "wrote $batch_out (batched ingest speedup: ${speedup}x)"
+}
+
+if [ "${BATCH_ONLY:-0}" = "1" ]; then
+	run_batch
+	exit 0
+fi
 
 # Table-level lookup + reset benches live in internal/tcam; the agent
 # read-path bench lives in the root package.
@@ -119,3 +173,5 @@ go run ./cmd/hermes-loadgen -flows 4000 -rate 20000 -switches 2 -hold 20ms \
 	-out "$loadgen_out" >/dev/null
 
 echo "wrote $loadgen_out"
+
+run_batch

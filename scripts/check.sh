@@ -68,6 +68,23 @@ if ! grep -q 'BenchmarkAgentInsert/obs' "$bench_obs" ||
 fi
 rm -f "$bench_json" "$bench_obs"
 
+echo ">> bench-batch smoke: batched wire ingest speedup floor (>=5x)"
+bench_batch="/tmp/hermes-bench-batch.$$"
+BATCH_ONLY=1 ./scripts/bench_json.sh BENCH_lookup.json 20x BENCH_obs.json \
+  BENCH_loadgen.json "$bench_batch" >/dev/null
+speedup="$(awk -F': ' '/"ingest_speedup"/ { gsub(/,/, "", $2); print $2 }' "$bench_batch")"
+if ! awk "BEGIN { exit !($speedup >= 5) }" 2>/dev/null; then
+  rm -f "$bench_batch"
+  echo "bench-batch smoke failed: ingest speedup ${speedup}x below the 5x floor" >&2
+  exit 1
+fi
+if ! grep -q 'BenchmarkAgentLookupParallel' "$bench_batch"; then
+  rm -f "$bench_batch"
+  echo "bench-batch smoke failed: no parallel lookup grid in output" >&2
+  exit 1
+fi
+rm -f "$bench_batch"
+
 echo ">> loadgen smoke: open-loop schedule determinism + SLO verdict gate"
 lg="/tmp/hermes-loadgen.$$"
 # Same seed must dump byte-identical schedules.
