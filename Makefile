@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint lint-bench fuzz bench bench-json bench-batch chaos loadgen-smoke loadgen-1m
+.PHONY: all build test check lint lint-bench fuzz bench bench-json bench-batch bench-cache chaos loadgen-smoke loadgen-1m
 
 all: build
 
@@ -63,6 +63,13 @@ bench-json:
 # across GOMAXPROCS 1/2/4/8. Rewrites BENCH_batch.json (committed).
 bench-batch:
 	BATCH_ONLY=1 ./scripts/bench_json.sh
+
+# FDRC caching-hierarchy baseline (DESIGN.md §16): the deterministic
+# policy × Zipf-skew × cache-size sweep plus the wall-clock cached-vs-plain
+# lookup overhead pair. Rewrites BENCH_cache.json (committed, so hit-ratio
+# or overhead regressions show up in review diffs).
+bench-cache:
+	$(GO) run ./cmd/hermes-bench -cache-json BENCH_cache.json
 
 # Open-loop SLO smoke: a deterministic 4k-flow schedule replayed against
 # two in-process agents, verdict rewritten to BENCH_loadgen.json

@@ -24,6 +24,7 @@ import (
 	"hermes/internal/core"
 	"hermes/internal/obs"
 	"hermes/internal/ofwire"
+	"hermes/internal/rulecache"
 	"hermes/internal/tcam"
 )
 
@@ -33,6 +34,9 @@ func main() {
 	guarantee := flag.Duration("guarantee", 5*time.Millisecond, "insertion guarantee")
 	name := flag.String("name", "hermes-sw", "switch name")
 	rateLimit := flag.Bool("ratelimit", true, "enable Gate Keeper admission control")
+	cacheSize := flag.Int("cache", 0,
+		"enable the FDRC caching hierarchy with this many hardware-resident rules (0 disables; the software tier below is unbounded)")
+	cachePolicy := flag.String("cache-policy", "cost", "cache promotion policy: lru, lfu, or cost")
 	obsAddr := flag.String("obs-addr", "",
 		"serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (empty disables)")
 	flag.Parse()
@@ -50,11 +54,20 @@ func main() {
 		reg = obs.NewRegistry()
 		observer = core.NewObserver(reg, 4096)
 	}
-	srv, err := ofwire.NewAgentServer(*name, profile, core.Config{
+	cfg := core.Config{
 		Guarantee:        *guarantee,
 		DisableRateLimit: !*rateLimit,
 		Observer:         observer,
-	})
+	}
+	if *cacheSize > 0 {
+		policy, err := rulecache.ParsePolicy(*cachePolicy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hermes-agentd: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Cache = &rulecache.Config{Capacity: *cacheSize, Policy: policy}
+	}
+	srv, err := ofwire.NewAgentServer(*name, profile, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hermes-agentd: %v\n", err)
 		os.Exit(1)
@@ -69,8 +82,16 @@ func main() {
 		*name, profile.Name, lis.Addr(), *guarantee,
 		agent.ShadowSize(), agent.OverheadFraction()*100, agent.MaxRate())
 
+	if *cacheSize > 0 {
+		fmt.Printf("hermes-agentd: FDRC cache enabled — %d hardware slots, policy %s\n",
+			*cacheSize, *cachePolicy)
+	}
+
 	if *obsAddr != "" {
 		srv.RegisterObs(reg)
+		if *cacheSize > 0 {
+			agent.RegisterCacheMetrics(reg)
+		}
 		obsLis, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hermes-agentd: obs listener: %v\n", err)

@@ -41,6 +41,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
 	gmp := flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4,8): run the sharded parallel-lookup scaling sweep and exit")
+	cacheJSON := flag.String("cache-json", "", "run the cache experiment plus the lookup-overhead pair and write the JSON report to this file, then exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: hermes-bench [-scale F] [-list] [-gomaxprocs 1,2,4,8] [experiment ...]\n\nexperiments: %v\n", experiments.IDs())
 		flag.PrintDefaults()
@@ -56,6 +57,14 @@ func main() {
 
 	if *gmp != "" {
 		if err := runLookupSweep(*gmp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *cacheJSON != "" {
+		if err := runCacheJSON(*cacheJSON, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

@@ -43,6 +43,7 @@ import (
 	"hermes/internal/controller"
 	"hermes/internal/core"
 	"hermes/internal/predict"
+	"hermes/internal/rulecache"
 	"hermes/internal/tcam"
 	"hermes/internal/verify"
 )
@@ -136,7 +137,33 @@ const (
 	PathBypass    = core.PathBypass
 	PathMain      = core.PathMain
 	PathRedundant = core.PathRedundant
+	PathSoft      = core.PathSoft
 )
+
+// Flow-driven rule caching hierarchy (Config.Cache): the carved TCAM
+// becomes the top tier of a two-tier lookup pipeline backed by an unbounded
+// switch-CPU software table, with popularity-driven promotion/demotion and
+// dependency-safe eviction via cover rules.
+type (
+	// CacheConfig tunes the caching hierarchy.
+	CacheConfig = rulecache.Config
+	// CachePolicy selects the promotion/eviction policy.
+	CachePolicy = rulecache.Policy
+	// CacheSnapshot is a point-in-time copy of the hierarchy's metrics.
+	CacheSnapshot = rulecache.Snapshot
+	// SoftProfile models the software tier's per-operation latencies.
+	SoftProfile = rulecache.SoftProfile
+)
+
+// Cache policies.
+const (
+	CacheLRU       = rulecache.PolicyLRU
+	CacheLFU       = rulecache.PolicyLFU
+	CacheCostAware = rulecache.PolicyCostAware
+)
+
+// ParseCachePolicy parses a policy name ("lru", "lfu", "cost").
+var ParseCachePolicy = rulecache.ParsePolicy
 
 // Migration modes.
 const (

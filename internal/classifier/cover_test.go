@@ -1,0 +1,171 @@
+package classifier
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b Match
+		want Match
+		ok   bool
+	}{
+		{DstMatch(NewPrefix(0x10<<24, 8)), DstMatch(NewPrefix(0x10<<24|0x01<<16, 16)),
+			DstMatch(NewPrefix(0x10<<24|0x01<<16, 16)), true},
+		{DstMatch(NewPrefix(0x10<<24, 8)), DstMatch(NewPrefix(0x20<<24, 8)), Match{}, false},
+		{
+			Match{Dst: NewPrefix(0x0A<<24, 8), Src: NewPrefix(0, 0)},
+			Match{Dst: NewPrefix(0, 0), Src: NewPrefix(0xC0<<24, 8)},
+			Match{Dst: NewPrefix(0x0A<<24, 8), Src: NewPrefix(0xC0<<24, 8)}, true,
+		},
+		{DstMatch(Prefix{}), DstMatch(Prefix{}), DstMatch(Prefix{}), true},
+	}
+	for i, c := range cases {
+		got, ok := c.a.Intersect(c.b)
+		if ok != c.ok || got != c.want {
+			t.Errorf("case %d: Intersect(%v, %v) = %v,%v; want %v,%v", i, c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+	// Intersection is commutative.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a, b := randMatch(rng), randMatch(rng)
+		ga, oka := a.Intersect(b)
+		gb, okb := b.Intersect(a)
+		if oka != okb || ga != gb {
+			t.Fatalf("Intersect not commutative: %v vs %v", a, b)
+		}
+	}
+}
+
+func randMatch(rng *rand.Rand) Match {
+	m := Match{Dst: NewPrefix(rng.Uint32(), uint8(rng.Intn(13)))}
+	if rng.Intn(2) == 0 {
+		m.Src = NewPrefix(rng.Uint32(), uint8(rng.Intn(9)))
+	}
+	return m
+}
+
+// samplePacket draws a packet inside m by fixing the prefix bits and
+// randomizing the rest.
+func samplePacket(rng *rand.Rand, m Match) (dst, src uint32) {
+	dst = m.Dst.Addr | (rng.Uint32() &^ m.Dst.Mask())
+	src = m.Src.Addr | (rng.Uint32() &^ m.Src.Mask())
+	return dst, src
+}
+
+// TestCoverForUnion is the satellite property test: the cover set's union
+// must be semantically equal to the evicted rule's match — every packet the
+// rule matches is covered, and no cover piece matches a packet the rule does
+// not.
+func TestCoverForUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		rule := Rule{ID: 1, Match: randMatch(rng), Priority: 10}
+		deps := make([]Rule, rng.Intn(6))
+		for i := range deps {
+			deps[i] = Rule{ID: RuleID(i + 2), Match: randMatch(rng), Priority: 1}
+			if rng.Intn(2) == 0 {
+				// Bias half the deps toward overlapping the rule so the cut
+				// machinery is actually exercised.
+				deps[i].Match, _ = func() (Match, bool) {
+					sub := Match{
+						Dst: NewPrefix(rule.Match.Dst.Addr|rng.Uint32()&^rule.Match.Dst.Mask(), minU8(rule.Match.Dst.Len+uint8(rng.Intn(8)), 32)),
+						Src: NewPrefix(rule.Match.Src.Addr|rng.Uint32()&^rule.Match.Src.Mask(), minU8(rule.Match.Src.Len+uint8(rng.Intn(6)), 32)),
+					}
+					return sub, true
+				}()
+			}
+		}
+		covers := CoverFor(rule, deps)
+
+		// Direction 1: every cover piece is contained in the rule's match.
+		for _, c := range covers {
+			if !rule.Match.Contains(c) {
+				t.Fatalf("trial %d: cover piece %v escapes rule match %v", trial, c, rule.Match)
+			}
+		}
+		// Direction 2: every packet in the rule's match hits some cover
+		// piece (sampled).
+		for i := 0; i < 64; i++ {
+			dst, src := samplePacket(rng, rule.Match)
+			hit := false
+			for _, c := range covers {
+				if c.MatchesPacket(dst, src) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Fatalf("trial %d: packet (%x,%x) in %v not covered by %v (deps %v)",
+					trial, dst, src, rule.Match, covers, deps)
+			}
+		}
+	}
+}
+
+// TestCoverForExhaustive checks union equality exhaustively on a small
+// universe: /28 rules over a 4-bit address space embedded in the low bits.
+func TestCoverForExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := uint32(0xC0A80000) // 192.168.0.0
+	randSmall := func() Match {
+		plen := uint8(16 + rng.Intn(17))
+		return DstMatch(NewPrefix(base|rng.Uint32()&0xFFFF, plen))
+	}
+	for trial := 0; trial < 200; trial++ {
+		rule := Rule{ID: 1, Match: randSmall(), Priority: 5}
+		deps := make([]Rule, rng.Intn(5))
+		for i := range deps {
+			deps[i] = Rule{ID: RuleID(i + 2), Match: randSmall(), Priority: 1}
+		}
+		covers := CoverFor(rule, deps)
+		// Walk every /32 host under 192.168.0.0/16 in strides that cover
+		// all boundary structure: every address in a 1<<12 window around
+		// the rule's own prefix plus coarse strides over the rest.
+		check := func(addr uint32) {
+			in := rule.Match.MatchesPacket(addr, 0)
+			cov := false
+			for _, c := range covers {
+				if c.MatchesPacket(addr, 0) {
+					cov = true
+					break
+				}
+			}
+			if in != cov {
+				t.Fatalf("trial %d: addr %x: rule match=%v covered=%v (rule %v covers %v)",
+					trial, addr, in, cov, rule.Match, covers)
+			}
+		}
+		lo := rule.Match.Dst.Addr
+		for off := uint32(0); off < 1<<12; off += 13 {
+			check(lo + off)
+		}
+		for off := uint32(0); off < 1<<16; off += 251 {
+			check(base + off)
+		}
+	}
+}
+
+// TestCoverForNoDeps: with no (overlapping) deps the cover is the rule's
+// own match region.
+func TestCoverForNoDeps(t *testing.T) {
+	r := Rule{ID: 1, Match: DstMatch(NewPrefix(0x0A000000, 8)), Priority: 3}
+	got := CoverFor(r, nil)
+	if len(got) != 1 || got[0] != r.Match {
+		t.Fatalf("CoverFor with no deps = %v; want [%v]", got, r.Match)
+	}
+	disjoint := []Rule{{ID: 2, Match: DstMatch(NewPrefix(0x14000000, 8))}}
+	got = CoverFor(r, disjoint)
+	if len(got) != 1 || got[0] != r.Match {
+		t.Fatalf("CoverFor with disjoint deps = %v; want [%v]", got, r.Match)
+	}
+}
+
+func minU8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -11,6 +11,7 @@ import (
 	"hermes/internal/classifier"
 	"hermes/internal/obs"
 	"hermes/internal/predict"
+	"hermes/internal/rulecache"
 	"hermes/internal/tcam"
 	"hermes/internal/tokenbucket"
 )
@@ -132,6 +133,27 @@ type Agent struct {
 	// fresh capture per op.
 	overlapPrio int32
 	overlapPred func(classifier.Rule) bool
+
+	// --- rule-cache hierarchy (DESIGN.md §16, cache.go) ---------------
+	// soft is the authoritative software tier (non-nil iff Config.Cache
+	// is set); cmgr is the cache/hit-stats manager (non-nil when Cache or
+	// TrackHits). soft's pointer is written once in New and read lock-free
+	// on the lookup fast path; its contents mutate only under a.mu.
+	soft     *rulecache.SoftTable
+	cmgr     *rulecache.Manager
+	cacheCfg rulecache.Config
+	// residentIndex tracks the hardware-resident original rules;
+	// residentCount is its size (covers excluded from both).
+	residentIndex classifier.Trie
+	residentCount int
+	// covers maps a software-only rule to the cover entries shielding it
+	// in the main table; nextCoverID mints their IDs (≥ coverIDBase).
+	covers      map[classifier.RuleID][]classifier.RuleID
+	nextCoverID classifier.RuleID
+	// promoting marks insertSeq calls made by the cache manager itself:
+	// background promotions skip the token bucket and the guarantee
+	// accounting (they are cache maintenance, not controller actions).
+	promoting bool
 }
 
 // New creates a Hermes agent on the switch: sizes the shadow table from the
@@ -185,6 +207,19 @@ func New(sw *tcam.Switch, cfg Config) (*Agent, error) {
 	a.maxRate = a.computeMaxRate()
 	if !cfg.DisableRateLimit {
 		a.bucket = tokenbucket.New(a.maxRate, a.burstBudget())
+	}
+	if cfg.Cache != nil {
+		cc := cfg.Cache.WithDefaults()
+		if cc.Capacity <= 0 {
+			return nil, fmt.Errorf("core: cache capacity must be positive, got %d", cc.Capacity)
+		}
+		a.cacheCfg = cc
+		a.soft = rulecache.NewSoftTable(cc.Profile)
+		a.cmgr = rulecache.NewManager(cc)
+		a.covers = make(map[classifier.RuleID][]classifier.RuleID)
+		a.nextCoverID = coverIDBase
+	} else if cfg.TrackHits {
+		a.cmgr = rulecache.NewManager(rulecache.Config{})
 	}
 	if cfg.AutoTuneSlack {
 		seed := 1.0
@@ -312,9 +347,18 @@ func (a *Agent) guarded(r classifier.Rule) bool {
 func (a *Agent) Insert(now time.Duration, r classifier.Rule) (Result, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.soft != nil {
+		return a.insertCached(now, r)
+	}
 	return a.insert(now, r)
 }
 
+// insert validates the rule, mints its tie-breaking sequence number, and
+// routes it through the Gate Keeper (insertSeq). It owns the bookkeeping
+// that must happen exactly once per controller-visible insert — the Inserts
+// counter, the logical reference table, and the hit-stats record — so that
+// insertSeq can also serve cache promotions, which re-install an existing
+// rule under its original seq.
 func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 	a.advance(now)
 	if r.ID >= partIDBase {
@@ -326,14 +370,22 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 	a.metrics.Inserts++
 	seq := a.nextSeq
 	a.nextSeq++
+	res, err := a.insertSeq(now, r, seq)
+	if err != nil {
+		return res, err
+	}
+	a.trackLogical(r)
+	a.noteRuleAdded(r.ID)
+	return res, nil
+}
 
+// insertSeq is the Gate Keeper's routing core: bypass, admission control,
+// Algorithm 1 partitioning, and the shadow/main install paths, for a rule
+// whose seq is already minted. Callers handle validation and per-insert
+// bookkeeping.
+func (a *Agent) insertSeq(now time.Duration, r classifier.Rule, seq uint64) (Result, error) {
 	if !a.guarded(r) {
-		res, err := a.insertMain(now, r, seq)
-		if err != nil {
-			return res, err
-		}
-		a.trackLogical(r)
-		return res, nil
+		return a.insertMain(now, r, seq)
 	}
 
 	// §4.2 optimization: a rule that is the lowest priority everywhere
@@ -349,20 +401,16 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 		a.o.recordBypass(res.Completed - now)
 		a.o.event(now, obs.EvBypass, 0, uint64(r.ID), 0, uint64(res.Completed-now))
 		a.observeGuaranteed(now, res)
-		a.trackLogical(r)
 		return res, nil
 	}
 
 	// Admission control (token bucket): overruns go to the main table.
-	if a.bucket != nil && !a.bucket.Allow(now, 1) {
+	// Cache promotions bypass the bucket — they are background maintenance
+	// and must not starve controller admissions.
+	if a.bucket != nil && !a.promoting && !a.bucket.Allow(now, 1) {
 		a.metrics.RateLimited++
 		a.o.event(now, obs.EvDivertRate, 0, uint64(r.ID), uint64(a.bucket.Tokens(now)), 0)
-		res, err := a.insertMain(now, r, seq)
-		if err != nil {
-			return res, err
-		}
-		a.trackLogical(r)
-		return res, nil
+		return a.insertMain(now, r, seq)
 	}
 
 	// Algorithm 1: partition against higher-priority main-table rules.
@@ -371,19 +419,13 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 		// Footnote 5: partitioning abandoned — install into the main table.
 		a.metrics.Oversized++
 		a.o.event(now, obs.EvDivertSize, 0, uint64(r.ID), 0, 0)
-		res, err := a.insertMain(now, r, seq)
-		if err != nil {
-			return res, err
-		}
-		a.trackLogical(r)
-		return res, nil
+		return a.insertMain(now, r, seq)
 	}
 	if part.Redundant() {
 		a.rules[r.ID] = &ruleState{original: r, seq: seq, place: placeShadow, partIDs: nil}
 		a.pmap.Record(part)
 		a.metrics.Redundant++
 		a.o.event(now, obs.EvRedundant, 0, uint64(r.ID), 0, 0)
-		a.trackLogical(r)
 		return Result{Path: PathRedundant, Completed: now, Guaranteed: true}, nil
 	}
 	if len(part.Parts) > a.cfg.MaxPartitions {
@@ -391,24 +433,14 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 		// directly in the main table instead.
 		a.metrics.Oversized++
 		a.o.event(now, obs.EvDivertSize, 0, uint64(r.ID), uint64(len(part.Parts)), 0)
-		res, err := a.insertMain(now, r, seq)
-		if err != nil {
-			return res, err
-		}
-		a.trackLogical(r)
-		return res, nil
+		return a.insertMain(now, r, seq)
 	}
 	if a.shadow.Free() < len(part.Parts) {
 		// Shadow exhausted: fall back to the main table (§5.2 calls this a
 		// potential performance violation).
 		a.metrics.ShadowFull++
 		a.o.event(now, obs.EvDivertFull, 0, uint64(r.ID), uint64(a.shadow.Free()), 0)
-		res, err := a.insertMain(now, r, seq)
-		if err != nil {
-			return res, err
-		}
-		a.trackLogical(r)
-		return res, nil
+		return a.insertMain(now, r, seq)
 	}
 
 	// Guaranteed path: install the fragments in the shadow table.
@@ -444,7 +476,6 @@ func (a *Agent) insert(now time.Duration, r classifier.Rule) (Result, error) {
 	a.o.recordShadow(completed - now)
 	a.o.event(now, obs.EvAdmit, 0, uint64(r.ID), uint64(len(part.Parts)), uint64(completed-now))
 	a.observeGuaranteed(now, res)
-	a.trackLogical(r)
 	return res, nil
 }
 
@@ -610,6 +641,9 @@ func (a *Agent) reinstallShadowRule(now time.Duration, st *ruleState) {
 func (a *Agent) Delete(now time.Duration, id classifier.RuleID) (Result, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.soft != nil {
+		return a.deleteCached(now, id)
+	}
 	return a.deleteRule(now, id)
 }
 
@@ -620,8 +654,24 @@ func (a *Agent) deleteRule(now time.Duration, id classifier.RuleID) (Result, err
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownRule, id)
 	}
 	a.metrics.Deletes++
+	total, completed := a.removePhysical(now, st)
+	delete(a.rules, id)
+	a.recycleRuleState(st)
+	a.untrackLogical(id)
+	a.noteRuleRemoved(id)
+	a.o.recordDelete(total)
+	a.o.event(now, obs.EvDelete, 0, uint64(id), 0, uint64(total))
+	return Result{Latency: total, Completed: completed, Guaranteed: true}, nil
+}
+
+// removePhysical deletes a rule's physical entries from the carved tables
+// and repairs dependent shadow rules (the Fig. 6 un-merge), leaving the
+// a.rules entry for the caller to drop. Shared by deleteRule and the cache
+// manager's demotion/cover paths.
+func (a *Agent) removePhysical(now time.Duration, st *ruleState) (time.Duration, time.Duration) {
 	var total time.Duration
 	completed := now
+	id := st.original.ID
 	switch st.place {
 	case placeShadow:
 		// Delete the rule or all of its partitions — never both exist.
@@ -648,12 +698,7 @@ func (a *Agent) deleteRule(now time.Duration, id classifier.RuleID) (Result, err
 			a.reinstallShadowRule(now, depSt)
 		}
 	}
-	delete(a.rules, id)
-	a.recycleRuleState(st)
-	a.untrackLogical(id)
-	a.o.recordDelete(total)
-	a.o.event(now, obs.EvDelete, 0, uint64(id), 0, uint64(total))
-	return Result{Latency: total, Completed: completed, Guaranteed: true}, nil
+	return total, completed
 }
 
 // Modify updates a live rule. Action-only changes apply in place at
@@ -662,6 +707,9 @@ func (a *Agent) deleteRule(now time.Duration, id classifier.RuleID) (Result, err
 func (a *Agent) Modify(now time.Duration, r classifier.Rule) (Result, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.soft != nil {
+		return a.modifyCached(now, r)
+	}
 	return a.modifyLocked(now, r)
 }
 
@@ -705,13 +753,16 @@ func (a *Agent) modifyLocked(now time.Duration, r classifier.Rule) (Result, erro
 }
 
 // Lookup resolves a packet against the carved pipeline (shadow first, then
-// main), as the switch data plane would. The fast path validates the
-// published snapshot with two atomic generation loads and runs without the
-// agent lock; when the snapshot is stale (a control-plane write landed) it
-// falls back to a read-locked indexed lookup on the live tables.
+// main), as the switch data plane would; in cached mode a hardware miss or
+// cover hit continues into the authoritative software tier (DESIGN.md §16).
+// The fast path validates the published snapshot with atomic generation
+// loads and runs without the agent lock; when the snapshot is stale (a
+// control-plane write landed) it falls back to a read-locked indexed lookup
+// on the live tables.
 func (a *Agent) Lookup(dst, src uint32) (classifier.Rule, bool) {
 	if v := a.view.Load(); v != nil &&
-		v.shadowGen == a.shadow.Gen() && v.mainGen == a.main.Gen() {
+		v.shadowGen == a.shadow.Gen() && v.mainGen == a.main.Gen() &&
+		v.softGen == a.softGen() {
 		return v.lookup(dst, src)
 	}
 	a.mu.RLock()
@@ -720,10 +771,29 @@ func (a *Agent) Lookup(dst, src uint32) (classifier.Rule, bool) {
 	if v := a.freshView(); v != nil {
 		return v.lookup(dst, src)
 	}
-	return a.sw.Lookup(dst, src)
+	r, ok := a.sw.Lookup(dst, src)
+	if a.soft == nil {
+		a.recordPlainHit(r, ok)
+		return r, ok
+	}
+	return a.finishCachedLookup(dst, src, r, ok)
+}
+
+// softGen returns the software tier's generation counter (0 when uncached).
+// Lock-free: a.soft is written once in New.
+func (a *Agent) softGen() uint64 {
+	if a.soft == nil {
+		return 0
+	}
+	return a.soft.Gen()
 }
 
 func (a *Agent) observeGuaranteed(now time.Duration, res Result) {
+	if a.promoting {
+		// Background cache promotions are maintenance, not controller
+		// actions: they carry no guarantee to account or violate.
+		return
+	}
 	lat := res.Completed - now
 	a.metrics.observeLatency(lat, true)
 	if lat > a.cfg.Guarantee {
@@ -811,10 +881,14 @@ func (a *Agent) LogicalRules() []classifier.Rule {
 // level-triggered reconciler diffs a desired set against: it reflects
 // what the agent believes is installed, and the agent's own
 // CheckConsistency/Reconcile pair keeps it faithful to the physical
-// tables across crashes and truncations.
+// tables across crashes and truncations. In cached mode the authoritative
+// set is the software tier (internal cover rules never appear).
 func (a *Agent) Rules() []classifier.Rule {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	if a.soft != nil {
+		return a.soft.Rules()
+	}
 	out := make([]classifier.Rule, 0, len(a.rules))
 	for _, st := range a.rules {
 		out = append(out, st.original)

@@ -69,7 +69,7 @@ func (a *Agent) DeleteBatch(now time.Duration, ids []classifier.RuleID, out []Ba
 	out = resetBatchResults(out, len(ids))
 	for _, id := range ids {
 		//lint:ignore hotpathalloc delete frees capacity; it is not the 0-alloc target path
-		res, err := a.deleteRule(now, id)
+		res, err := a.deleteOp(now, id)
 		out = appendBatchResult(out, res, err)
 	}
 	//lint:ignore hotpathalloc snapshot republish is the amortized once-per-batch slow path
@@ -97,10 +97,10 @@ func (a *Agent) ApplyBatch(now time.Duration, ops []BatchOp, out []BatchResult) 
 			res, err = a.insertBatched(now, ops[i].Rule)
 		case BatchDelete:
 			//lint:ignore hotpathalloc delete frees capacity; it is not the 0-alloc target path
-			res, err = a.deleteRule(now, ops[i].Rule.ID)
+			res, err = a.deleteOp(now, ops[i].Rule.ID)
 		case BatchModify:
 			//lint:ignore hotpathalloc modify is delete+insert in the general case; not the 0-alloc target path
-			res, err = a.modifyLocked(now, ops[i].Rule)
+			res, err = a.modifyOp(now, ops[i].Rule)
 		default:
 			err = fmt.Errorf("core: unknown batch op kind %d", ops[i].Kind)
 		}
@@ -146,6 +146,10 @@ func appendBatchResult(out []BatchResult, res Result, err error) []BatchResult {
 // routes. Once Allow succeeds the fast path is committed — every
 // precondition for the uncut shadow install has been verified.
 func (a *Agent) insertBatched(now time.Duration, r classifier.Rule) (Result, error) {
+	if a.soft != nil {
+		//lint:ignore hotpathalloc the cached path's software install is the guaranteed slow tier, not the 0-alloc target path
+		return a.insertCached(now, r)
+	}
 	//lint:ignore hotpathalloc no-op after the batch-start advance at the same now; allocates only when a migration tick fires
 	a.advance(now)
 	if r.ID >= partIDBase {
@@ -208,7 +212,24 @@ func (a *Agent) insertBatched(now time.Duration, r classifier.Rule) (Result, err
 	a.observeGuaranteed(now, res)
 	//lint:ignore hotpathalloc the logical reference table is a testing aid, off in production configs
 	a.trackLogical(r)
+	a.noteRuleAdded(r.ID)
 	return res, nil
+}
+
+// deleteOp / modifyOp dispatch a batch op to the cached or carved-pipeline
+// implementation, mirroring the per-op entry points.
+func (a *Agent) deleteOp(now time.Duration, id classifier.RuleID) (Result, error) {
+	if a.soft != nil {
+		return a.deleteCached(now, id)
+	}
+	return a.deleteRule(now, id)
+}
+
+func (a *Agent) modifyOp(now time.Duration, r classifier.Rule) (Result, error) {
+	if a.soft != nil {
+		return a.modifyCached(now, r)
+	}
+	return a.modifyLocked(now, r)
 }
 
 // takeRuleState pops a recycled ruleState (keeping its partIDs capacity)

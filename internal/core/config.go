@@ -15,6 +15,7 @@ import (
 
 	"hermes/internal/classifier"
 	"hermes/internal/predict"
+	"hermes/internal/rulecache"
 )
 
 // Predicate selects the rules that receive the performance guarantee
@@ -115,6 +116,20 @@ type Config struct {
 	// snapshot; 0 or 1 keeps the plain RuleIndex.
 	LookupShards int
 
+	// Cache, when non-nil, enables the flow-driven rule caching hierarchy
+	// (DESIGN.md §16): the carved TCAM becomes the top tier of a two-tier
+	// lookup pipeline backed by an unbounded switch-CPU software table,
+	// with popularity-driven promotion/demotion between tiers and
+	// dependency-safe eviction via cover rules. Capacity (the maximum
+	// number of hardware-resident rules) must be positive.
+	Cache *rulecache.Config
+
+	// TrackHits enables per-rule hit-count accounting on the lookup fast
+	// path without the full cache hierarchy: every lookup that resolves to
+	// a rule bumps its zero-alloc sharded counter (see Agent.RuleHits).
+	// Implied by Cache.
+	TrackHits bool
+
 	// MigrationInterrupt, when non-nil, is consulted at each Fig.-7
 	// migration step; returning true cuts the migration off at that step,
 	// exactly as a switch crash mid-migration would. The agent is marked
@@ -167,6 +182,10 @@ const (
 	// PathRedundant means the rule was wholly subsumed by a
 	// higher-priority main-table rule and nothing was installed (Fig. 5a).
 	PathRedundant
+	// PathSoft is the cached-mode path: the rule was installed into the
+	// authoritative software tier (promotion into the hardware tier, if
+	// any, is a background cache decision and not part of the result).
+	PathSoft
 )
 
 func (p InsertPath) String() string {
@@ -179,6 +198,8 @@ func (p InsertPath) String() string {
 		return "main"
 	case PathRedundant:
 		return "redundant"
+	case PathSoft:
+		return "soft"
 	default:
 		return "unknown"
 	}

@@ -115,6 +115,12 @@ func (a *Agent) Tick(now time.Duration) time.Duration {
 	}
 	a.arrivals = 0
 
+	if a.soft != nil {
+		// Cached mode: every tick is also a cache-manager rebalance pass
+		// (promotion/demotion under the configured policy, cover hygiene).
+		a.rebalanceLocked(now)
+	}
+
 	if !migrate || a.migr != nil {
 		return 0
 	}

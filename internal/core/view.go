@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"hermes/internal/classifier"
+	"hermes/internal/rulecache"
 )
 
 // This file implements the agent's lock-free read path: an immutable
@@ -41,19 +42,52 @@ type agentView struct {
 	shadowGen  uint64
 	mainGen    uint64
 	logicalGen uint64
+	softGen    uint64
 	shadow     ruleLookup
 	main       ruleLookup
 	// logical is non-nil only when cfg.TrackLogical is set.
 	logical *classifier.RuleIndex
+	// soft is the software-tier index (cached mode only); cache and hits
+	// are set whenever hit tracking is on (Config.Cache or TrackHits).
+	soft  ruleLookup
+	cache *rulecache.Manager
+	hits  map[classifier.RuleID]*rulecache.RuleStats
 }
 
 // lookup resolves a packet against the snapshot exactly as the carved
-// pipeline would: shadow slice first, then main.
+// pipeline would: shadow slice first, then main — and, in cached mode,
+// finishes cover punts and hardware misses in the software tier.
 func (v *agentView) lookup(dst, src uint32) (classifier.Rule, bool) {
-	if r, ok := v.shadow.Lookup(dst, src); ok {
+	r, ok := v.shadow.Lookup(dst, src)
+	if !ok {
+		r, ok = v.main.Lookup(dst, src)
+	}
+	if v.soft == nil {
+		if ok && v.hits != nil {
+			if s := v.hits[r.ID]; s != nil {
+				s.RecordHit(v.cache.EpochNow())
+			}
+		}
+		return r, ok
+	}
+	if ok && r.ID < coverIDBase {
+		// Off sample points (the common case) the hardware-tier hit touches
+		// no shared state at all; sample points push the entry ID into the
+		// manager's ring for the next tick's fold. Either way the stats map
+		// stays off this path, keeping it within the <5% overhead budget.
+		v.cache.SampleHW(dst, src, r.ID)
 		return r, true
 	}
-	return v.main.Lookup(dst, src)
+	if sr, sok := v.soft.Lookup(dst, src); sok {
+		if v.cache.SampleSoft(dst, src) {
+			if s := v.hits[sr.ID]; s != nil {
+				s.RecordHit(v.cache.EpochNow())
+			}
+		}
+		return sr, true
+	}
+	v.cache.RecordMiss()
+	return classifier.Rule{}, false
 }
 
 // viewStaleness tracks, with benign-racy atomics, how many consecutive
@@ -64,16 +98,19 @@ type viewStaleness struct {
 	shadowGen  atomic.Uint64
 	mainGen    atomic.Uint64
 	logicalGen atomic.Uint64
+	softGen    atomic.Uint64
 	streak     atomic.Uint32
 }
 
 // observe records one stale read at the given generations and returns the
 // current streak length.
-func (s *viewStaleness) observe(sg, mg, lg uint64) int {
-	if s.shadowGen.Load() != sg || s.mainGen.Load() != mg || s.logicalGen.Load() != lg {
+func (s *viewStaleness) observe(sg, mg, lg, fg uint64) int {
+	if s.shadowGen.Load() != sg || s.mainGen.Load() != mg ||
+		s.logicalGen.Load() != lg || s.softGen.Load() != fg {
 		s.shadowGen.Store(sg)
 		s.mainGen.Store(mg)
 		s.logicalGen.Store(lg)
+		s.softGen.Store(fg)
 		s.streak.Store(1)
 		return 1
 	}
@@ -89,14 +126,15 @@ func (a *Agent) freshView() *agentView {
 	if a.cfg.LinearLookup {
 		return nil
 	}
-	sg, mg, lg := a.shadow.Gen(), a.main.Gen(), a.logicalGen.Load()
-	if v := a.view.Load(); v != nil && v.shadowGen == sg && v.mainGen == mg && v.logicalGen == lg {
+	sg, mg, lg, fg := a.shadow.Gen(), a.main.Gen(), a.logicalGen.Load(), a.softGen()
+	if v := a.view.Load(); v != nil && v.shadowGen == sg && v.mainGen == mg &&
+		v.logicalGen == lg && v.softGen == fg {
 		return v
 	}
-	if a.stale.observe(sg, mg, lg) < viewRebuildAfter {
+	if a.stale.observe(sg, mg, lg, fg) < viewRebuildAfter {
 		return nil
 	}
-	v := a.buildView(sg, mg, lg)
+	v := a.buildView(sg, mg, lg, fg)
 	a.view.Store(v)
 	return v
 }
@@ -104,16 +142,24 @@ func (a *Agent) freshView() *agentView {
 // buildView constructs a fresh immutable snapshot for the given
 // generations. Callers hold at least the read lock and publish the view
 // themselves (write before Store, never after).
-func (a *Agent) buildView(sg, mg, lg uint64) *agentView {
+func (a *Agent) buildView(sg, mg, lg, fg uint64) *agentView {
 	v := &agentView{
 		shadowGen: sg,
 		mainGen:   mg,
+		softGen:   fg,
 		shadow:    a.buildIndex(a.shadow.Rules()),
 		main:      a.buildIndex(a.main.Rules()),
 	}
 	if a.cfg.TrackLogical {
 		v.logicalGen = lg
 		v.logical = classifier.NewRuleIndex(a.logicalFirstMatchOrder())
+	}
+	if a.cmgr != nil {
+		v.cache = a.cmgr
+		v.hits = a.buildHitMap()
+	}
+	if a.soft != nil {
+		v.soft = a.buildIndex(a.soft.FirstMatchOrder())
 	}
 	return v
 }
@@ -143,11 +189,11 @@ func (a *Agent) refreshViewLocked() {
 	if v == nil {
 		return
 	}
-	sg, mg, lg := a.shadow.Gen(), a.main.Gen(), a.logicalGen.Load()
-	if v.shadowGen == sg && v.mainGen == mg && v.logicalGen == lg {
+	sg, mg, lg, fg := a.shadow.Gen(), a.main.Gen(), a.logicalGen.Load(), a.softGen()
+	if v.shadowGen == sg && v.mainGen == mg && v.logicalGen == lg && v.softGen == fg {
 		return
 	}
-	a.view.Store(a.buildView(sg, mg, lg))
+	a.view.Store(a.buildView(sg, mg, lg, fg))
 }
 
 // logicalFirstMatchOrder returns a copy of the reference monolithic table

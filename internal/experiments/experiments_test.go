@@ -203,7 +203,7 @@ func TestAblationsShape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("registry size = %d", len(ids))
 	}
 	if len(Order()) != len(ids) {

@@ -28,6 +28,7 @@ var registry = map[string]Runner{
 	"shadowswitch": ShadowSwitchComparison,
 	"chaos":        Chaos,
 	"reconcile":    Reconcile,
+	"cache":        CacheSweep,
 }
 
 // IDs returns the known experiment IDs in stable order.
@@ -56,5 +57,6 @@ func Order() []string {
 		"table1", "fig1", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "predsweep", "bgp",
 		"ablations", "autotune", "shadowswitch", "chaos", "reconcile",
+		"cache",
 	}
 }

@@ -28,6 +28,7 @@ var AllocscanAnalyzer = &Analyzer{
 		"internal/tcam",
 		"internal/classifier",
 		"internal/obs",
+		"internal/rulecache",
 	},
 	SkipTests: true,
 	Run:       runAllocscan,
@@ -54,11 +55,34 @@ var obsRecordFuncs = map[string]bool{
 	"shardHint":      true,
 }
 
+// cacheSampleFuncs are the per-packet sampling hooks of internal/rulecache
+// (DESIGN.md §16): they ride the lookup fast path, so like the obs record
+// path they carry a zero-alloc budget. The fold runs under the agent lock
+// but inside the tick, so it keeps the budget too. Rebalance, snapshot,
+// and registration code in the same package allocates freely.
+var cacheSampleFuncs = map[string]bool{
+	"SampleHW":    true,
+	"SampleSoft":  true,
+	"RecordMiss":  true,
+	"RecordHit":   true,
+	"samplePoint": true,
+	"FoldSamples": true,
+}
+
+// isRulecachePath reports whether the package is internal/rulecache
+// (module- or corpus-relative).
+func isRulecachePath(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return path == "internal/rulecache" || strings.HasSuffix(path, "/internal/rulecache")
+}
+
 func runAllocscan(p *Pass) {
 	hot := hotPathFunc
 	if path := strings.TrimSuffix(p.Pkg.Path, "_test"); path == "internal/obs" ||
 		strings.HasSuffix(path, "/internal/obs") {
 		hot = func(name string) bool { return obsRecordFuncs[name] }
+	} else if isRulecachePath(path) {
+		hot = func(name string) bool { return hotPathFunc(name) || cacheSampleFuncs[name] }
 	}
 	for _, file := range p.Files() {
 		for _, decl := range file.Decls {

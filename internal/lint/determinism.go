@@ -33,6 +33,7 @@ var deterministicPaths = []string{
 	"internal/obs",
 	"internal/loadgen",
 	"internal/intent",
+	"internal/rulecache",
 }
 
 // isDeterministicPath reports whether a package import path (module- or

@@ -32,6 +32,7 @@ var HotPathAllocAnalyzer = &Analyzer{
 		"internal/classifier",
 		"internal/obs",
 		"internal/core",
+		"internal/rulecache",
 	},
 	SkipTests: true,
 	Run:       runHotPathAlloc,
@@ -63,6 +64,9 @@ func hotAllocRoot(fn *FuncNode) bool {
 	}
 	if path == "internal/core" || strings.HasSuffix(path, "/internal/core") {
 		return hotPathFunc(fn.Name) || coreBatchFuncs[fn.Name]
+	}
+	if isRulecachePath(path) {
+		return hotPathFunc(fn.Name) || cacheSampleFuncs[fn.Name]
 	}
 	for _, suffix := range []string{"internal/tcam", "internal/classifier"} {
 		if path == suffix || strings.HasSuffix(path, "/"+suffix) {

@@ -1,0 +1,167 @@
+package rulecache
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"hermes/internal/classifier"
+)
+
+// SoftTable is the switch-CPU software tier: the authoritative store of
+// every controller rule, indexed for both point lookups (by rule ID) and
+// packet lookups (trie over dst prefixes, like the TCAM index). Unlike the
+// hardware tier it is unbounded; what it charges instead is latency — every
+// operation returns its virtual-time cost from the table's SoftProfile.
+//
+// Mutations are the caller's (the agent's) responsibility to serialize;
+// Lookup and Gen are safe only against a quiescent table, which is why the
+// agent reads it either under its lock or through the published snapshot.
+type SoftTable struct {
+	profile SoftProfile
+	byID    map[classifier.RuleID]softEntry
+	trie    classifier.Trie
+	gen     atomic.Uint64
+}
+
+type softEntry struct {
+	rule classifier.Rule
+	seq  uint64
+}
+
+// NewSoftTable builds an empty software table with the given latency
+// profile (zero fields take defaults).
+func NewSoftTable(p SoftProfile) *SoftTable {
+	return &SoftTable{
+		profile: p.withDefaults(),
+		byID:    make(map[classifier.RuleID]softEntry),
+	}
+}
+
+// Profile returns the table's latency model.
+func (t *SoftTable) Profile() SoftProfile { return t.profile }
+
+// Gen returns the table's generation counter; it advances on every
+// mutation, so snapshot readers can detect staleness the same way they do
+// for the TCAM tables.
+func (t *SoftTable) Gen() uint64 { return t.gen.Load() }
+
+// Len returns the number of rules in the table.
+func (t *SoftTable) Len() int { return len(t.byID) }
+
+// Contains reports whether the rule is present.
+func (t *SoftTable) Contains(id classifier.RuleID) bool {
+	_, ok := t.byID[id]
+	return ok
+}
+
+// Get returns the stored rule and its first-match sequence number.
+func (t *SoftTable) Get(id classifier.RuleID) (classifier.Rule, uint64, bool) {
+	e, ok := t.byID[id]
+	return e.rule, e.seq, ok
+}
+
+// Insert stores the rule with its tie-breaking sequence number, replacing
+// any previous entry with the same ID, and returns the virtual cost.
+func (t *SoftTable) Insert(r classifier.Rule, seq uint64) time.Duration {
+	if old, ok := t.byID[r.ID]; ok {
+		t.trie.Delete(old.rule.Match.Dst, r.ID)
+	}
+	t.byID[r.ID] = softEntry{rule: r, seq: seq}
+	t.trie.Insert(r)
+	t.gen.Add(1)
+	return t.profile.Insert
+}
+
+// Delete removes the rule; ok is false if it was not present.
+func (t *SoftTable) Delete(id classifier.RuleID) (time.Duration, bool) {
+	e, ok := t.byID[id]
+	if !ok {
+		return 0, false
+	}
+	t.trie.Delete(e.rule.Match.Dst, id)
+	delete(t.byID, id)
+	t.gen.Add(1)
+	return t.profile.Delete, true
+}
+
+// UpdateAction rewrites the rule's action in place (match and priority
+// unchanged), the software half of an action-only FlowMod.
+func (t *SoftTable) UpdateAction(id classifier.RuleID, action classifier.Action) (time.Duration, bool) {
+	e, ok := t.byID[id]
+	if !ok {
+		return 0, false
+	}
+	e.rule.Action = action
+	t.byID[id] = e
+	t.trie.Update(e.rule.Match.Dst, e.rule)
+	t.gen.Add(1)
+	return t.profile.Modify, true
+}
+
+// Lookup finds the winning rule for the packet under first-match semantics:
+// highest priority wins, earlier seq breaks ties — identical to the
+// monolithic single-table oracle. It allocates nothing.
+func (t *SoftTable) Lookup(dst, src uint32) (classifier.Rule, bool) {
+	var (
+		best    classifier.Rule
+		bestSeq uint64
+		found   bool
+	)
+	it := t.trie.MatchCandidates(dst)
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !r.Match.Src.MatchesAddr(src) {
+			continue
+		}
+		seq := t.byID[r.ID].seq
+		if !found || r.Priority > best.Priority ||
+			(r.Priority == best.Priority && seq < bestSeq) {
+			best, bestSeq, found = r, seq, true
+		}
+	}
+	return best, found
+}
+
+// Overlapping returns the rules whose match regions overlap m.
+func (t *SoftTable) Overlapping(m classifier.Match) []classifier.Rule {
+	return t.trie.Overlapping(m)
+}
+
+// Rules returns every rule sorted by ID — the shape Agent.Rules reports.
+func (t *SoftTable) Rules() []classifier.Rule {
+	out := make([]classifier.Rule, 0, len(t.byID))
+	for _, e := range t.byID {
+		out = append(out, e.rule)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FirstMatchOrder returns every rule in first-match order (priority
+// descending, seq ascending) — the order classifier.NewRuleIndex expects,
+// used to build the snapshot's software-tier index.
+func (t *SoftTable) FirstMatchOrder() []classifier.Rule {
+	type ranked struct {
+		r   classifier.Rule
+		seq uint64
+	}
+	tmp := make([]ranked, 0, len(t.byID))
+	for _, e := range t.byID {
+		tmp = append(tmp, ranked{r: e.rule, seq: e.seq})
+	}
+	sort.Slice(tmp, func(i, j int) bool {
+		if tmp[i].r.Priority != tmp[j].r.Priority {
+			return tmp[i].r.Priority > tmp[j].r.Priority
+		}
+		return tmp[i].seq < tmp[j].seq
+	})
+	out := make([]classifier.Rule, len(tmp))
+	for i, e := range tmp {
+		out[i] = e.r
+	}
+	return out
+}

@@ -85,6 +85,27 @@ if ! grep -q 'BenchmarkAgentLookupParallel' "$bench_batch"; then
 fi
 rm -f "$bench_batch"
 
+echo ">> bench-cache smoke: FDRC policy verdicts + hit-ratio floor"
+cache_json="/tmp/hermes-bench-cache.$$"
+# The sweep is deterministic (virtual time, seeded workload), so the policy
+# orderings and hit ratios are exact gates; the wall-clock overhead pair is
+# machine-dependent and reported but not gated here.
+go run ./cmd/hermes-bench -cache-json "$cache_json" -scale 0.5 >/dev/null
+for verdict in lfu_beats_lru cost_beats_lru; do
+  if ! grep -q "\"$verdict\": true" "$cache_json"; then
+    rm -f "$cache_json"
+    echo "bench-cache smoke failed: $verdict is not true" >&2
+    exit 1
+  fi
+done
+min_ratio="$(awk -F': ' '/"min_hit_ratio"/ { gsub(/,/, "", $2); print $2 }' "$cache_json")"
+if ! awk "BEGIN { exit !($min_ratio >= 0.6) }" 2>/dev/null; then
+  rm -f "$cache_json"
+  echo "bench-cache smoke failed: min {lfu,cost} hit ratio $min_ratio below the 0.6 floor" >&2
+  exit 1
+fi
+rm -f "$cache_json"
+
 echo ">> loadgen smoke: open-loop schedule determinism + SLO verdict gate"
 lg="/tmp/hermes-loadgen.$$"
 # Same seed must dump byte-identical schedules.
